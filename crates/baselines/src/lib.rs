@@ -1,0 +1,81 @@
+//! # lardb-baselines — miniature comparator engines for the §5 experiments
+//!
+//! The paper benchmarks its extended SimSQL against SystemML V0.9, SciDB
+//! V14.8 and Spark 1.6 `mllib.linalg`. None of those systems is available
+//! here, so — per the reproduction's substitution rule — this crate
+//! implements *faithful miniatures*: engines that execute the same
+//! physical strategies those systems used for the paper's three workloads,
+//! on the same thread-per-worker substrate as lardb itself.
+//!
+//! * [`systemml_like`] — block-partitioned matrices (square blocks, as
+//!   SystemML's physical layer stores them) with fused block map/reduce
+//!   operators; workloads written the way the paper's DML scripts compile.
+//! * [`scidb_like`] — chunked dense arrays with `gemm`, `filter`,
+//!   grouped aggregation, mirroring the paper's AQL programs (chunk size
+//!   1000, as in §5).
+//! * [`spark_like`] — an RDD-style lazy partitioned collection with
+//!   `map`/`reduce`/`tree_reduce` and a distributed `BlockMatrix`.
+//!   Deliberately models the allocation behaviour of the paper's Scala
+//!   code (`(a, b).zipped.map(_+_)` allocates a fresh array per combine;
+//!   per-row results are boxed) — that allocation churn is a large part of
+//!   why Spark was uncompetitive at 1000 dimensions, and the miniature
+//!   reproduces it by construction.
+//!
+//! Each module exposes the three §5 workloads (Gram matrix, least-squares
+//! regression, distance computation) with identical signatures so the
+//! benchmark harness can drive all platforms uniformly.
+
+pub mod scidb_like;
+pub mod spark_like;
+pub mod systemml_like;
+
+use lardb_la::Matrix;
+
+/// Dense input data shared by all comparator engines: one row per data
+/// point (n × dims), plus optional targets / metric.
+#[derive(Debug, Clone)]
+pub struct WorkloadData {
+    /// The data matrix X (n × dims).
+    pub x: Matrix,
+    /// Regression targets y (length n), when the workload needs them.
+    pub y: Vec<f64>,
+    /// The distance metric A (dims × dims), when the workload needs it.
+    pub a: Matrix,
+}
+
+impl WorkloadData {
+    /// Builds workload data from a data matrix alone.
+    pub fn from_x(x: Matrix) -> Self {
+        let dims = x.cols();
+        WorkloadData { x, y: Vec::new(), a: Matrix::identity(dims) }
+    }
+}
+
+/// Splits `0..n` into `parts` contiguous ranges (last one ragged).
+pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let per = n.div_ceil(parts);
+    (0..parts)
+        .map(|p| (p * per).min(n)..((p + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for (n, p) in [(10, 3), (7, 7), (5, 8), (100, 4), (0, 3)] {
+            let rs = split_ranges(n, p);
+            let total: usize = rs.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            let mut next = 0;
+            for r in &rs {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! LA-size-aware costing vs blind (§4.1), early projection on/off, and
+//! join→aggregate fusion on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lardb::{
+    Cluster, DataType, Database, DatabaseConfig, Executor, Matrix, OptimizerConfig,
+    Partitioning, Row, Schema, Value,
+};
+use lardb_planner::physical::PhysicalPlanner;
+use lardb_sql::{parse_statement, Binder, Statement};
+use lardb_storage::gen;
+
+fn rst_db(config: OptimizerConfig) -> Database {
+    let db = Database::with_config(DatabaseConfig { workers: 4, optimizer: config });
+    db.create_table(
+        "R",
+        Schema::from_pairs(&[
+            ("r_rid", DataType::Integer),
+            ("r_matrix", DataType::Matrix(Some(2), Some(1000))),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.create_table(
+        "S",
+        Schema::from_pairs(&[
+            ("s_sid", DataType::Integer),
+            ("s_matrix", DataType::Matrix(Some(1000), Some(2))),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.create_table(
+        "T",
+        Schema::from_pairs(&[("t_rid", DataType::Integer), ("t_sid", DataType::Integer)]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    for i in 0..50i64 {
+        db.insert_rows(
+            "R",
+            [Row::new(vec![
+                Value::Integer(i),
+                Value::matrix(Matrix::filled(2, 1000, 0.5)),
+            ])],
+        )
+        .unwrap();
+        db.insert_rows(
+            "S",
+            [Row::new(vec![
+                Value::Integer(i),
+                Value::matrix(Matrix::filled(1000, 2, 0.5)),
+            ])],
+        )
+        .unwrap();
+    }
+    for k in 0..1000i64 {
+        db.insert_rows("T", [Row::new(vec![Value::Integer(k % 50), Value::Integer((k * 3) % 50)])])
+            .unwrap();
+    }
+    db
+}
+
+const RST: &str = "SELECT matrix_multiply(r_matrix, s_matrix) AS prod
+ FROM R, S, T WHERE r_rid = t_rid AND s_sid = t_sid";
+
+/// §4.1: size-aware plan vs blind plan, measured end to end.
+fn bench_size_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_41");
+    g.sample_size(10);
+    let smart = rst_db(OptimizerConfig::default());
+    g.bench_function("size_aware", |b| b.iter(|| smart.query(RST).unwrap()));
+    let blind = rst_db(OptimizerConfig { size_inference: false, ..Default::default() });
+    g.bench_function("blind", |b| b.iter(|| blind.query(RST).unwrap()));
+    let no_early =
+        rst_db(OptimizerConfig { early_projection: false, ..Default::default() });
+    g.bench_function("no_early_projection", |b| b.iter(|| no_early.query(RST).unwrap()));
+    g.finish();
+}
+
+/// Join→aggregate fusion: tuple-based Gram with and without the pipelined
+/// path (without it, the join output materializes).
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion");
+    g.sample_size(10);
+    let db = Database::new(4);
+    db.create_table(
+        "x",
+        Schema::from_pairs(&[
+            ("row_index", DataType::Integer),
+            ("col_index", DataType::Integer),
+            ("value", DataType::Double),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.insert_rows("x", gen::tuple_rows(3, 2000, 20)).unwrap();
+
+    let sql = "SELECT x1.col_index, x2.col_index, SUM(x1.value * x2.value) AS v
+               FROM x AS x1, x AS x2
+               WHERE x1.row_index = x2.row_index
+               GROUP BY x1.col_index, x2.col_index";
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else { unreachable!() };
+    let logical = Binder::new(db.catalog()).bind_select(&sel).unwrap();
+    let optimizer = lardb::Optimizer::with_defaults(db.catalog());
+    let optimized = optimizer.optimize(logical).unwrap();
+    let mut pp = PhysicalPlanner::new(db.catalog(), db.catalog());
+    let physical = pp.plan_gathered(&optimized).unwrap();
+
+    for fuse in [true, false] {
+        let name = if fuse { "fused" } else { "materialized" };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let exec = Executor::new(db.catalog(), Cluster::new(4)).with_fusion(fuse);
+                exec.execute(&physical).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_size_inference, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion benchmarks over the engine's physical layer: the per-tuple
+//! fixed cost the paper's whole argument rests on, join strategies, the
+//! construction aggregates, and shuffle overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lardb::{DataType, Database, Partitioning, Schema};
+use lardb_storage::gen;
+
+/// One database per (n, dims) with both representations loaded.
+fn setup(n: usize, dims: usize, workers: usize) -> Database {
+    let db = Database::new(workers);
+    db.create_table(
+        "x_vm",
+        Schema::from_pairs(&[("id", DataType::Integer), ("value", DataType::Vector(Some(dims)))]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.insert_rows("x_vm", gen::vector_rows(7, n, dims)).unwrap();
+    db.create_table(
+        "x",
+        Schema::from_pairs(&[
+            ("row_index", DataType::Integer),
+            ("col_index", DataType::Integer),
+            ("value", DataType::Double),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.insert_rows("x", gen::tuple_rows(7, n, dims)).unwrap();
+    db
+}
+
+/// The paper's core claim in microcosm: SUM over n vectors vs SUM over
+/// n·d tuples — same numbers, orders of magnitude apart.
+fn bench_tuple_vs_vector_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sum_aggregate");
+    g.sample_size(10);
+    for &dims in &[10usize, 50] {
+        let db = setup(2000, dims, 4);
+        g.bench_with_input(BenchmarkId::new("vector", dims), &dims, |b, _| {
+            b.iter(|| db.query("SELECT SUM(value * value) AS s FROM x_vm").unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("tuple", dims), &dims, |b, _| {
+            b.iter(|| {
+                db.query("SELECT col_index, SUM(value * value) AS s FROM x GROUP BY col_index")
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+    let db = setup(2000, 10, 4);
+    g.bench_function("hash_self_join", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT COUNT(*) AS n FROM x_vm AS a, x_vm AS b WHERE a.id = b.id",
+            )
+            .unwrap()
+        })
+    });
+    let small = setup(100, 10, 4);
+    g.bench_function("cross_join_100x100", |b| {
+        b.iter(|| {
+            small
+                .query("SELECT COUNT(*) AS n FROM x_vm AS a, x_vm AS b")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_construction_aggregates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    let db = setup(5000, 20, 4);
+    g.bench_function("vectorize_5000", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT VECTORIZE(label_scalar(value, row_index)) AS v
+                 FROM x WHERE col_index = 0",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("rowmatrix_blocks", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT ROWMATRIX(label_vector(value, id - (id/100)*100)) AS m, id/100 AS blk
+                 FROM x_vm GROUP BY id/100",
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram_workers");
+    g.sample_size(10);
+    for &w in &[1usize, 2, 4, 8] {
+        let db = setup(4000, 50, w);
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                db.query("SELECT SUM(outer_product(value, value)) AS g FROM x_vm")
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tuple_vs_vector_aggregation,
+    bench_join_strategies,
+    bench_construction_aggregates,
+    bench_worker_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 1 — Gram matrix computation, six platforms × dims {10,100,1000}.
+//!
+//! ```text
+//! cargo run --release -p lardb-bench --bin fig1_gram [-- --n 20k --dims 10,100,1000 --workers 8]
+//! ```
+
+use lardb_bench::{platforms, print_figure_table, Args, Workload, ALL_PLATFORMS};
+
+fn main() {
+    let args = Args::from_env();
+    println!(
+        "Figure 1: Gram matrix (n = {}, workers = {}, block = {}, seed = {})",
+        args.n, args.workers, args.block, args.seed
+    );
+    let rows: Vec<_> = ALL_PLATFORMS
+        .iter()
+        .map(|&p| {
+            let outcomes: Vec<_> = args
+                .dims
+                .iter()
+                .map(|&d| {
+                    eprintln!("running {:?} at {d} dims …", p);
+                    platforms::run(p, Workload::Gram, args.n, d, args.block, args.workers, args.seed)
+                })
+                .collect();
+            (p, outcomes)
+        })
+        .collect();
+    print_figure_table("Gram Matrix Computation", &args.dims, &rows);
+}

@@ -1,0 +1,38 @@
+//! Figure 2 — least-squares linear regression, six platforms × dims.
+//!
+//! ```text
+//! cargo run --release -p lardb-bench --bin fig2_linreg [-- --n 20k --dims 10,100,1000]
+//! ```
+
+use lardb_bench::{platforms, print_figure_table, Args, Workload, ALL_PLATFORMS};
+
+fn main() {
+    let args = Args::from_env();
+    println!(
+        "Figure 2: Linear regression (n = {}, workers = {}, block = {}, seed = {})",
+        args.n, args.workers, args.block, args.seed
+    );
+    let rows: Vec<_> = ALL_PLATFORMS
+        .iter()
+        .map(|&p| {
+            let outcomes: Vec<_> = args
+                .dims
+                .iter()
+                .map(|&d| {
+                    eprintln!("running {:?} at {d} dims …", p);
+                    platforms::run(
+                        p,
+                        Workload::Regression,
+                        args.n,
+                        d,
+                        args.block,
+                        args.workers,
+                        args.seed,
+                    )
+                })
+                .collect();
+            (p, outcomes)
+        })
+        .collect();
+    print_figure_table("Linear Regression", &args.dims, &rows);
+}

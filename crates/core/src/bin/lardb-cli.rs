@@ -1,0 +1,119 @@
+//! An interactive SQL shell for lardb.
+//!
+//! ```text
+//! cargo run --release -p lardb --bin lardb-cli [-- --workers 8]
+//! ```
+//!
+//! Reads statements terminated by `;` (multi-line input supported).
+//! Meta-commands: `\q` quit, `\d` list tables, `\timing` toggle timing,
+//! `\explain <select>` show plans, `\help`.
+
+use std::io::{BufRead, Write};
+
+use lardb::{Database, Response};
+
+fn main() {
+    let mut workers = 4usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--workers" => {
+                workers = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let db = Database::new(workers);
+    let mut timing = true;
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+
+    println!("lardb — scalable linear algebra on a relational database");
+    println!("{workers} simulated workers; end statements with ';', \\help for help");
+    prompt(buffer.is_empty());
+
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+
+        // Meta-commands only at the start of a fresh statement.
+        if buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            buffer.clear();
+            let (cmd, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+            match cmd {
+                "\\q" | "\\quit" => break,
+                "\\d" => {
+                    for t in db.catalog().table_names() {
+                        let stats = db.catalog().table_stats(&t).unwrap_or_default();
+                        let schema = db.catalog().table_schema(&t).unwrap();
+                        println!("  {t} {schema}  [{} rows]", stats.num_rows);
+                    }
+                }
+                "\\timing" => {
+                    timing = !timing;
+                    println!("timing {}", if timing { "on" } else { "off" });
+                }
+                "\\explain" => match db.explain(rest) {
+                    Ok(plan) => println!("{plan}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                "\\help" => {
+                    println!("  \\q          quit");
+                    println!("  \\d          list tables");
+                    println!("  \\timing     toggle per-statement timing");
+                    println!("  \\explain Q  show optimized + physical plan for a SELECT");
+                }
+                other => println!("unknown meta-command {other}; try \\help"),
+            }
+            prompt(true);
+            continue;
+        }
+
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute every complete `;`-terminated statement in the buffer.
+        while let Some(pos) = buffer.find(';') {
+            let stmt: String = buffer.drain(..=pos).collect();
+            let stmt = stmt.trim_end_matches(';').trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            run_statement(&db, stmt, timing);
+        }
+        if buffer.trim().is_empty() {
+            buffer.clear();
+        }
+        prompt(buffer.is_empty());
+    }
+}
+
+fn run_statement(db: &Database, sql: &str, timing: bool) {
+    let t0 = std::time::Instant::now();
+    match db.execute(sql) {
+        Ok(Response::Rows(q)) => {
+            print!("{}", q.display_table());
+            println!("({} rows)", q.rows.len());
+        }
+        Ok(Response::Inserted(n)) => println!("inserted {n} rows"),
+        Ok(Response::Done) => println!("ok"),
+        Ok(Response::Explained(plan)) => println!("{plan}"),
+        Err(e) => println!("error: {e}"),
+    }
+    if timing {
+        println!("time: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+fn prompt(fresh: bool) {
+    print!("{}", if fresh { "lardb> " } else { "   ... " });
+    let _ = std::io::stdout().flush();
+}
+
+fn usage() -> ! {
+    eprintln!("usage: lardb-cli [--workers N]");
+    std::process::exit(2);
+}

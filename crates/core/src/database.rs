@@ -1,0 +1,411 @@
+//! The `Database` façade: the full query path in one object.
+
+use std::sync::Arc;
+
+use lardb_exec::{Cluster, ExecStats, Executor};
+use lardb_planner::physical::PhysicalPlanner;
+use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig};
+use lardb_sql::ast::Statement;
+use lardb_sql::{parse_statement, Binder};
+use lardb_storage::{Catalog, Partitioning, Row, Schema, Table, Value};
+
+use crate::error::{EngineError, Result};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Number of simulated shared-nothing workers (the paper used 10
+    /// machines × 8 cores).
+    pub workers: usize,
+    /// Optimizer switches (size inference, early projection, DP budget).
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig { workers: 4, optimizer: OptimizerConfig::default() }
+    }
+}
+
+/// The outcome of a gathered query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// All result rows.
+    pub rows: Vec<Row>,
+    /// Per-operator execution statistics.
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// First row, first column — convenient for scalar results.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().map(|r| r.value(0))
+    }
+
+    /// Renders the result as a simple table.
+    pub fn display_table(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<String> =
+            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        for r in &self.rows {
+            let vals: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
+            out.push_str(&vals.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// What a statement produced.
+#[derive(Debug)]
+pub enum Response {
+    /// SELECT results.
+    Rows(QueryResult),
+    /// DDL completed (CREATE/DROP).
+    Done,
+    /// INSERT (or CREATE TABLE AS) row count.
+    Inserted(usize),
+    /// EXPLAIN output.
+    Explained(String),
+}
+
+impl Response {
+    /// Unwraps SELECT results.
+    pub fn into_rows(self) -> Result<QueryResult> {
+        match self {
+            Response::Rows(q) => Ok(q),
+            other => Err(EngineError::Usage(format!(
+                "statement did not produce rows (got {other:?})"
+            ))),
+        }
+    }
+}
+
+/// A parallel relational database with the paper's linear-algebra
+/// extensions. Cloning shares the catalog (sessions over one store).
+///
+/// ```
+/// use lardb::Database;
+/// let db = Database::new(4);
+/// db.execute("CREATE TABLE t (id INTEGER, v DOUBLE)").unwrap();
+/// db.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5)").unwrap();
+/// let r = db.query("SELECT SUM(v) AS s FROM t").unwrap();
+/// assert_eq!(r.scalar().unwrap().as_double(), Some(2.0));
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    catalog: Arc<Catalog>,
+    config: DatabaseConfig,
+}
+
+impl Database {
+    /// A database with `workers` simulated workers and default optimizer
+    /// settings.
+    pub fn new(workers: usize) -> Self {
+        Database::with_config(DatabaseConfig {
+            workers,
+            ..DatabaseConfig::default()
+        })
+    }
+
+    /// A database with explicit configuration.
+    pub fn with_config(config: DatabaseConfig) -> Self {
+        Database { catalog: Arc::new(Catalog::new()), config }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Mutates the optimizer configuration (ablation benchmarks flip
+    /// [`OptimizerConfig::size_inference`] here).
+    pub fn set_optimizer_config(&mut self, cfg: OptimizerConfig) {
+        self.config.optimizer = cfg;
+    }
+
+    /// Executes one SQL statement.
+    ///
+    /// ```
+    /// # use lardb::{Database, Response};
+    /// # let db = Database::new(2);
+    /// assert!(matches!(
+    ///     db.execute("CREATE TABLE m (mat MATRIX[3][3], vec VECTOR[3])").unwrap(),
+    ///     Response::Done
+    /// ));
+    /// // §3.1: a dimension mismatch is caught before execution.
+    /// db.execute("CREATE TABLE bad (mat MATRIX[3][3], vec VECTOR[7])").unwrap();
+    /// assert!(db.query("SELECT matrix_vector_multiply(mat, vec) AS x FROM bad").is_err());
+    /// ```
+    pub fn execute(&self, sql: &str) -> Result<Response> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(n, t)| lardb_storage::Column::new(n, t))
+                        .collect(),
+                );
+                self.create_table(&name, schema, Partitioning::RoundRobin)?;
+                Ok(Response::Done)
+            }
+            Statement::CreateTableAs { name, query } => {
+                let plan = Binder::new(&self.catalog).bind_select(&query)?;
+                let result = self.run_logical(plan, /*gather=*/ false)?;
+                let mut table = Table::new(
+                    &name,
+                    result.schema.clone(),
+                    self.config.workers,
+                    Partitioning::RoundRobin,
+                );
+                let n = result.rows.len();
+                table.insert_all(result.rows)?;
+                self.catalog.create_table(table)?;
+                Ok(Response::Inserted(n))
+            }
+            Statement::CreateView { name, columns, query, sql } => {
+                // Validate now so errors surface at CREATE VIEW time.
+                Binder::new(&self.catalog).bind_select(&query)?;
+                if let Some(cols) = &columns {
+                    let plan = Binder::new(&self.catalog).bind_select(&query)?;
+                    if plan.schema().arity() != cols.len() {
+                        return Err(EngineError::Usage(format!(
+                            "view column list has {} names but query yields {}",
+                            cols.len(),
+                            plan.schema().arity()
+                        )));
+                    }
+                }
+                self.catalog.create_view(&name, sql, columns)?;
+                Ok(Response::Done)
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                Ok(Response::Done)
+            }
+            Statement::DropView { name } => {
+                self.catalog.drop_view(&name)?;
+                Ok(Response::Done)
+            }
+            Statement::Insert { table, rows } => {
+                let binder = Binder::new(&self.catalog);
+                let empty = Schema::default();
+                let empty_row = Row::default();
+                let mut materialized = Vec::with_capacity(rows.len());
+                for r in rows {
+                    let mut vals = Vec::with_capacity(r.len());
+                    for e in &r {
+                        let bound = binder.bind_expr(e, &empty)?;
+                        vals.push(lardb_exec::eval::eval(&bound, &empty_row)?);
+                    }
+                    materialized.push(Row::new(vals));
+                }
+                let n = materialized.len();
+                let handle = self.catalog.table(&table)?;
+                handle.write().insert_all(materialized)?;
+                Ok(Response::Inserted(n))
+            }
+            Statement::Select(sel) => {
+                let plan = Binder::new(&self.catalog).bind_select(&sel)?;
+                Ok(Response::Rows(self.run_logical(plan, true)?))
+            }
+            Statement::Explain(sel) => {
+                let plan = Binder::new(&self.catalog).bind_select(&sel)?;
+                Ok(Response::Explained(self.explain_logical(plan)?))
+            }
+        }
+    }
+
+    /// Executes a SELECT and returns its rows.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?.into_rows()
+    }
+
+    /// EXPLAIN: optimized logical plan plus the physical plan with
+    /// exchanges.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match parse_statement(sql)? {
+            Statement::Select(sel) | Statement::Explain(sel) => {
+                let plan = Binder::new(&self.catalog).bind_select(&sel)?;
+                self.explain_logical(plan)
+            }
+            _ => Err(EngineError::Usage("EXPLAIN expects a SELECT".into())),
+        }
+    }
+
+    fn explain_logical(&self, plan: LogicalPlan) -> Result<String> {
+        let optimizer =
+            Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
+        let optimized = optimizer.optimize(plan)?;
+        let mut pp = PhysicalPlanner::new(&self.catalog, self.catalog.as_ref());
+        let physical = pp.plan_gathered(&optimized)?;
+        Ok(format!(
+            "== Optimized Logical Plan ==\n{}\n== Physical Plan ==\n{}",
+            optimized.display_tree(),
+            physical.display_tree()
+        ))
+    }
+
+    /// Runs a bound logical plan end-to-end (optimize → physical plan →
+    /// parallel execute). Exposed for tests and the benchmark harness.
+    pub fn run_logical(&self, plan: LogicalPlan, gather: bool) -> Result<QueryResult> {
+        let optimizer =
+            Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
+        let optimized = optimizer.optimize(plan)?;
+        let mut pp = PhysicalPlanner::new(&self.catalog, self.catalog.as_ref());
+        let physical = if gather {
+            pp.plan_gathered(&optimized)?
+        } else {
+            pp.plan(&optimized)?
+        };
+        let executor = Executor::new(&self.catalog, Cluster::new(self.config.workers));
+        let result = executor.execute(&physical)?;
+        Ok(QueryResult {
+            schema: result.schema.clone(),
+            rows: result.rows(),
+            stats: result.stats,
+        })
+    }
+
+    /// Programmatic table creation with an explicit partitioning scheme
+    /// (SQL `CREATE TABLE` defaults to round-robin; benchmark loaders use
+    /// hash/replicated placement like the paper's §5 setups).
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        partitioning: Partitioning,
+    ) -> Result<()> {
+        let table = Table::new(name, schema, self.config.workers, partitioning);
+        self.catalog.create_table(table)?;
+        Ok(())
+    }
+
+    /// Programmatic bulk load (used by generators: vectors and matrices
+    /// cannot be written as SQL literals).
+    pub fn insert_rows(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<usize> {
+        let handle = self.catalog.table(table)?;
+        let mut guard = handle.write();
+        let mut n = 0;
+        for r in rows {
+            guard.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_la::Vector;
+    use lardb_storage::DataType;
+
+    #[test]
+    fn ddl_insert_query_roundtrip() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER, v DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)").unwrap();
+        let r = db.query("SELECT SUM(v) AS s FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap().as_double(), Some(7.5));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        assert!(db.execute("CREATE TABLE t (id INTEGER)").is_err());
+    }
+
+    #[test]
+    fn view_and_drop() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        db.execute("CREATE VIEW big AS SELECT id FROM t WHERE id > 1").unwrap();
+        let r = db.query("SELECT COUNT(*) AS n FROM big").unwrap();
+        assert_eq!(r.scalar().unwrap().as_integer(), Some(1));
+        db.execute("DROP VIEW big").unwrap();
+        assert!(db.query("SELECT * FROM big").is_err());
+        db.execute("DROP TABLE t").unwrap();
+        assert!(db.query("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn create_table_as() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let resp = db.execute("CREATE TABLE doubled AS SELECT id + id AS d FROM t").unwrap();
+        assert!(matches!(resp, Response::Inserted(3)));
+        let r = db.query("SELECT SUM(d) AS s FROM doubled").unwrap();
+        assert_eq!(r.scalar().unwrap().as_integer(), Some(12));
+    }
+
+    #[test]
+    fn programmatic_vectors_and_gram() {
+        let db = Database::new(4);
+        db.create_table(
+            "x",
+            Schema::from_pairs(&[("id", DataType::Integer), ("val", DataType::Vector(None))]),
+            Partitioning::RoundRobin,
+        )
+        .unwrap();
+        let rows = vec![
+            Row::new(vec![Value::Integer(0), Value::vector(Vector::from_slice(&[1.0, 0.0]))]),
+            Row::new(vec![Value::Integer(1), Value::vector(Vector::from_slice(&[0.0, 2.0]))]),
+        ];
+        db.insert_rows("x", rows).unwrap();
+        let r = db
+            .query("SELECT SUM(outer_product(val, val)) AS g FROM x")
+            .unwrap();
+        let g = r.scalar().unwrap().as_matrix().unwrap().clone();
+        assert_eq!(g.get(0, 0).unwrap(), 1.0);
+        assert_eq!(g.get(1, 1).unwrap(), 4.0);
+        assert_eq!(g.get(0, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn explain_shows_plans() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        let text = db.explain("SELECT id FROM t WHERE id = 1").unwrap();
+        assert!(text.contains("Optimized Logical Plan"));
+        assert!(text.contains("Physical Plan"));
+        assert!(text.contains("TableScan"));
+        // The EXPLAIN statement form works too.
+        let resp = db.execute("EXPLAIN SELECT id FROM t").unwrap();
+        assert!(matches!(resp, Response::Explained(_)));
+    }
+
+    #[test]
+    fn usage_errors() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        assert!(db.execute("CREATE TABLE t2 (id INTEGER)").unwrap().into_rows().is_err());
+        assert!(db.explain("INSERT INTO t VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn shared_catalog_across_clones() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        let session2 = db.clone();
+        session2.execute("INSERT INTO t VALUES (42)").unwrap();
+        let r = db.query("SELECT COUNT(*) AS n FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap().as_integer(), Some(1));
+    }
+}

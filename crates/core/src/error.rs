@@ -1,0 +1,62 @@
+//! Unified engine error.
+
+use lardb_exec::ExecError;
+use lardb_planner::PlanError;
+use lardb_sql::SqlError;
+use lardb_storage::StorageError;
+
+/// Any error the engine can produce, from lexing to execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL front-end error (lex/parse/bind).
+    Sql(SqlError),
+    /// Planner or optimizer error (includes §4.2 dimension mismatches).
+    Plan(PlanError),
+    /// Runtime error.
+    Exec(ExecError),
+    /// Catalog/storage error.
+    Storage(StorageError),
+    /// API misuse (e.g. calling `query` with a DDL statement).
+    Usage(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Exec(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;

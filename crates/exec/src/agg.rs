@@ -1,0 +1,456 @@
+//! Aggregate accumulators, including the element-wise LA aggregates of
+//! §3.2 and the construction aggregates of §3.3.
+//!
+//! Every accumulator supports **two-phase aggregation**: a partial phase
+//! per worker encodes its state as ordinary [`Value`]s (so it can travel
+//! through an exchange like any row), and a final phase decodes and merges
+//! those states. This is the combiner structure the paper's Hadoop
+//! substrate relies on; without it, the distributed `SUM` of Gram-matrix
+//! outer products would serialize on one worker.
+
+use lardb_la::{LabeledScalar, Matrix, RowMatrixBuilder, Vector, VectorizeBuilder};
+use lardb_planner::AggFunc;
+use lardb_storage::ops::{self, ArithOp};
+use lardb_storage::Value;
+use std::sync::Arc;
+
+use crate::{ExecError, Result};
+
+/// Number of state values a partial aggregate emits (fixed per function).
+pub fn state_arity(func: AggFunc) -> usize {
+    match func {
+        AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max => 1,
+        AggFunc::Avg => 2,
+        AggFunc::Vectorize => 2,
+        AggFunc::RowMatrix | AggFunc::ColMatrix => 2,
+    }
+}
+
+/// A running aggregate.
+#[derive(Debug)]
+pub enum Accumulator {
+    /// `SUM` — element-wise over LA values.
+    Sum(Option<Value>),
+    /// `COUNT`.
+    Count(i64),
+    /// `AVG`.
+    Avg(Option<Value>, i64),
+    /// `MIN` — element-wise over LA values.
+    Min(Option<Value>),
+    /// `MAX` — element-wise over LA values.
+    Max(Option<Value>),
+    /// `VECTORIZE`.
+    Vectorize(VectorizeBuilder),
+    /// `ROWMATRIX`.
+    RowMatrix(RowMatrixBuilder),
+    /// `COLMATRIX`.
+    ColMatrix(RowMatrixBuilder),
+}
+
+impl Accumulator {
+    /// Fresh accumulator for a function.
+    pub fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Sum => Accumulator::Sum(None),
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Avg => Accumulator::Avg(None, 0),
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Vectorize => Accumulator::Vectorize(VectorizeBuilder::new()),
+            AggFunc::RowMatrix => Accumulator::RowMatrix(RowMatrixBuilder::new()),
+            AggFunc::ColMatrix => Accumulator::ColMatrix(RowMatrixBuilder::new()),
+        }
+    }
+
+    /// Folds one input value. SQL semantics: NULL inputs are skipped
+    /// (`COUNT(*)` callers pass a non-null marker per row).
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            Accumulator::Count(n) => {
+                *n += 1;
+            }
+            Accumulator::Sum(acc) => add_into(acc, v)?,
+            Accumulator::Avg(acc, n) => {
+                add_into(acc, v)?;
+                *n += 1;
+            }
+            Accumulator::Min(acc) => minmax_into(acc, v, true)?,
+            Accumulator::Max(acc) => minmax_into(acc, v, false)?,
+            Accumulator::Vectorize(b) => {
+                let ls = v.as_labeled_scalar().ok_or_else(|| {
+                    ExecError::Runtime(format!(
+                        "VECTORIZE expects LABELED_SCALAR, got {}",
+                        v.data_type()
+                    ))
+                })?;
+                b.push(ls)?;
+            }
+            Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => {
+                let vec = v.as_vector().ok_or_else(|| {
+                    ExecError::Runtime(format!(
+                        "ROWMATRIX/COLMATRIX expects VECTOR, got {}",
+                        v.data_type()
+                    ))
+                })?;
+                b.push((**vec).clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the partial state as values (see [`state_arity`]).
+    pub fn state(&self) -> Vec<Value> {
+        match self {
+            Accumulator::Sum(acc) | Accumulator::Min(acc) | Accumulator::Max(acc) => {
+                vec![acc.clone().unwrap_or(Value::Null)]
+            }
+            Accumulator::Count(n) => vec![Value::Integer(*n)],
+            Accumulator::Avg(acc, n) => {
+                vec![acc.clone().unwrap_or(Value::Null), Value::Integer(*n)]
+            }
+            Accumulator::Vectorize(b) => encode_vectorize(b),
+            Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => encode_labeled_rows(b),
+        }
+    }
+
+    /// Merges a partial state produced by [`Accumulator::state`].
+    pub fn merge_state(&mut self, state: &[Value]) -> Result<()> {
+        let need = match self {
+            Accumulator::Avg(..) => 2,
+            Accumulator::Vectorize(_) | Accumulator::RowMatrix(_) | Accumulator::ColMatrix(_) => 2,
+            _ => 1,
+        };
+        if state.len() != need {
+            return Err(ExecError::Runtime(format!(
+                "aggregate state arity {} does not match expected {need}",
+                state.len()
+            )));
+        }
+        match self {
+            Accumulator::Sum(acc) => add_into(acc, &state[0])?,
+            Accumulator::Count(n) => {
+                if let Some(m) = state[0].as_integer() {
+                    *n += m;
+                }
+            }
+            Accumulator::Avg(acc, n) => {
+                add_into(acc, &state[0])?;
+                *n += state[1].as_integer().unwrap_or(0);
+            }
+            Accumulator::Min(acc) => minmax_into(acc, &state[0], true)?,
+            Accumulator::Max(acc) => minmax_into(acc, &state[0], false)?,
+            Accumulator::Vectorize(b) => decode_vectorize(b, state)?,
+            Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => {
+                decode_labeled_rows(b, state)?
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the final aggregate value.
+    pub fn finish(self) -> Value {
+        match self {
+            Accumulator::Sum(acc) | Accumulator::Min(acc) | Accumulator::Max(acc) => {
+                acc.unwrap_or(Value::Null)
+            }
+            Accumulator::Count(n) => Value::Integer(n),
+            Accumulator::Avg(acc, n) => match (acc, n) {
+                (Some(v), n) if n > 0 => {
+                    ops::arith(ArithOp::Div, &v, &Value::Double(n as f64))
+                        .unwrap_or(Value::Null)
+                }
+                _ => Value::Null,
+            },
+            Accumulator::Vectorize(b) => Value::vector(b.finish()),
+            Accumulator::RowMatrix(b) => Value::matrix(b.finish_rows()),
+            Accumulator::ColMatrix(b) => Value::matrix(b.finish_cols()),
+        }
+    }
+}
+
+/// `*acc += v` with in-place element-wise addition when the accumulator
+/// uniquely owns its payload (the common case), avoiding an allocation per
+/// input row — the hot path of the Gram-matrix `SUM`.
+fn add_into(acc: &mut Option<Value>, v: &Value) -> Result<()> {
+    if v.is_null() {
+        return Ok(());
+    }
+    match acc {
+        None => {
+            // Deep-copy LA payloads: the accumulator will mutate them.
+            *acc = Some(match v {
+                Value::Matrix(m) => Value::Matrix(Arc::new((**m).clone())),
+                Value::Vector(x) => Value::Vector(Arc::new((**x).clone())),
+                other => other.clone(),
+            });
+        }
+        Some(Value::Matrix(m)) => {
+            let rhs = v.as_matrix().ok_or_else(|| mix_err("SUM", v))?;
+            let lhs = Arc::get_mut(m).expect("accumulator uniquely owned");
+            lhs.add_in_place(rhs)?;
+        }
+        Some(Value::Vector(x)) => {
+            let rhs = v.as_vector().ok_or_else(|| mix_err("SUM", v))?;
+            let lhs = Arc::get_mut(x).expect("accumulator uniquely owned");
+            lhs.add_in_place(rhs)?;
+        }
+        Some(other) => {
+            *other = ops::arith(ArithOp::Add, other, v)?;
+        }
+    }
+    Ok(())
+}
+
+fn minmax_into(acc: &mut Option<Value>, v: &Value, is_min: bool) -> Result<()> {
+    if v.is_null() {
+        return Ok(());
+    }
+    match acc {
+        None => {
+            *acc = Some(match v {
+                Value::Matrix(m) => Value::Matrix(Arc::new((**m).clone())),
+                Value::Vector(x) => Value::Vector(Arc::new((**x).clone())),
+                other => other.clone(),
+            });
+        }
+        Some(Value::Matrix(m)) => {
+            let rhs = v.as_matrix().ok_or_else(|| mix_err("MIN/MAX", v))?;
+            let lhs = Arc::get_mut(m).expect("accumulator uniquely owned");
+            if is_min {
+                lhs.min_in_place(rhs)?;
+            } else {
+                lhs.max_in_place(rhs)?;
+            }
+        }
+        Some(Value::Vector(x)) => {
+            let rhs = v.as_vector().ok_or_else(|| mix_err("MIN/MAX", v))?;
+            let lhs = Arc::get_mut(x).expect("accumulator uniquely owned");
+            if is_min {
+                lhs.min_in_place(rhs)?;
+            } else {
+                lhs.max_in_place(rhs)?;
+            }
+        }
+        Some(other) => {
+            let ord = ops::compare(other, v);
+            let replace = match ord {
+                Some(std::cmp::Ordering::Greater) => is_min,
+                Some(std::cmp::Ordering::Less) => !is_min,
+                _ => false,
+            };
+            if replace {
+                *other = v.clone();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn mix_err(agg: &str, v: &Value) -> ExecError {
+    ExecError::Runtime(format!("{agg}: mixed aggregate input types (saw {})", v.data_type()))
+}
+
+/// Encodes a `VECTORIZE` partial as `[values VECTOR, labels VECTOR]`,
+/// shipping only the *sparse* entries actually seen — positions other
+/// workers filled must not be clobbered with zeros at merge time.
+fn encode_vectorize(b: &VectorizeBuilder) -> Vec<Value> {
+    let entries = b.entries();
+    let values = Vector::from_fn(entries.len(), |i| entries[i].1);
+    let labels = Vector::from_fn(entries.len(), |i| entries[i].0 as f64);
+    vec![Value::vector(values), Value::vector(labels)]
+}
+
+fn decode_vectorize(b: &mut VectorizeBuilder, state: &[Value]) -> Result<()> {
+    if state[0].is_null() {
+        return Ok(());
+    }
+    let values = state[0].as_vector().ok_or_else(|| bad_state("VECTORIZE"))?;
+    let labels = state[1].as_vector().ok_or_else(|| bad_state("VECTORIZE"))?;
+    for (&x, &l) in values.as_slice().iter().zip(labels.as_slice()) {
+        b.push(LabeledScalar::new(x, l as i64))?;
+    }
+    Ok(())
+}
+
+/// Encodes a `ROWMATRIX`/`COLMATRIX` partial as
+/// `[stacked rows MATRIX, labels VECTOR]` — one stacked row per vector
+/// actually folded (sparse), labels alongside.
+fn encode_labeled_rows(b: &RowMatrixBuilder) -> Vec<Value> {
+    let entries = b.entries();
+    if entries.is_empty() {
+        return vec![Value::Null, Value::Null];
+    }
+    let parts: Vec<Matrix> = entries.iter().map(|(_, v)| v.to_row_matrix()).collect();
+    let refs: Vec<&Matrix> = parts.iter().collect();
+    let stacked = Matrix::vstack(&refs).expect("uniform widths enforced on push");
+    let labels = Vector::from_fn(entries.len(), |i| entries[i].0 as f64);
+    vec![Value::matrix(stacked), Value::vector(labels)]
+}
+
+fn decode_labeled_rows(b: &mut RowMatrixBuilder, state: &[Value]) -> Result<()> {
+    if state[0].is_null() {
+        return Ok(());
+    }
+    let m: &Matrix = state[0].as_matrix().ok_or_else(|| bad_state("ROWMATRIX"))?;
+    let labels = state[1].as_vector().ok_or_else(|| bad_state("ROWMATRIX"))?;
+    for i in 0..m.rows() {
+        let label = labels.get(i)? as i64;
+        b.push(m.row_vector(i)?.with_label(label))?;
+    }
+    Ok(())
+}
+
+fn bad_state(agg: &str) -> ExecError {
+    ExecError::Runtime(format!("{agg}: malformed partial aggregate state"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_la::Vector;
+
+    #[test]
+    fn sum_scalars_and_vectors() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::Integer(2)).unwrap();
+        a.update(&Value::Integer(3)).unwrap();
+        a.update(&Value::Null).unwrap();
+        assert_eq!(a.finish(), Value::Integer(5));
+
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::vector(Vector::from_slice(&[1.0, 2.0]))).unwrap();
+        a.update(&Value::vector(Vector::from_slice(&[10.0, 20.0]))).unwrap();
+        assert_eq!(a.finish().as_vector().unwrap().as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn sum_does_not_mutate_shared_input() {
+        // The first input is Arc-shared with the "table"; the accumulator
+        // must deep-copy before mutating.
+        let original = Value::vector(Vector::from_slice(&[1.0, 1.0]));
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&original).unwrap();
+        a.update(&Value::vector(Vector::from_slice(&[1.0, 1.0]))).unwrap();
+        assert_eq!(original.as_vector().unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(a.finish().as_vector().unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn count_and_avg() {
+        let mut c = Accumulator::new(AggFunc::Count);
+        c.update(&Value::Integer(1)).unwrap();
+        c.update(&Value::Integer(1)).unwrap();
+        c.update(&Value::Null).unwrap(); // skipped
+        assert_eq!(c.finish(), Value::Integer(2));
+
+        let mut a = Accumulator::new(AggFunc::Avg);
+        a.update(&Value::Double(1.0)).unwrap();
+        a.update(&Value::Double(3.0)).unwrap();
+        assert_eq!(a.finish(), Value::Double(2.0));
+        assert!(Accumulator::new(AggFunc::Avg).finish().is_null());
+    }
+
+    #[test]
+    fn avg_of_vectors() {
+        let mut a = Accumulator::new(AggFunc::Avg);
+        a.update(&Value::vector(Vector::from_slice(&[2.0]))).unwrap();
+        a.update(&Value::vector(Vector::from_slice(&[4.0]))).unwrap();
+        assert_eq!(a.finish().as_vector().unwrap().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn min_max_scalars_and_elementwise() {
+        let mut mn = Accumulator::new(AggFunc::Min);
+        mn.update(&Value::Double(5.0)).unwrap();
+        mn.update(&Value::Double(2.0)).unwrap();
+        mn.update(&Value::Double(7.0)).unwrap();
+        assert_eq!(mn.finish(), Value::Double(2.0));
+
+        let mut mx = Accumulator::new(AggFunc::Max);
+        mx.update(&Value::vector(Vector::from_slice(&[1.0, 9.0]))).unwrap();
+        mx.update(&Value::vector(Vector::from_slice(&[5.0, 2.0]))).unwrap();
+        assert_eq!(mx.finish().as_vector().unwrap().as_slice(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn vectorize_roundtrip_through_state() {
+        let mut p1 = Accumulator::new(AggFunc::Vectorize);
+        p1.update(&Value::LabeledScalar(LabeledScalar::new(1.0, 0))).unwrap();
+        let mut p2 = Accumulator::new(AggFunc::Vectorize);
+        p2.update(&Value::LabeledScalar(LabeledScalar::new(9.0, 3))).unwrap();
+
+        let mut f = Accumulator::new(AggFunc::Vectorize);
+        f.merge_state(&p1.state()).unwrap();
+        f.merge_state(&p2.state()).unwrap();
+        let v = f.finish();
+        assert_eq!(v.as_vector().unwrap().as_slice(), &[1.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn rowmatrix_roundtrip_through_state() {
+        let mut p1 = Accumulator::new(AggFunc::RowMatrix);
+        p1.update(&Value::vector(Vector::from_slice(&[1.0, 2.0]).with_label(0)))
+            .unwrap();
+        let mut p2 = Accumulator::new(AggFunc::RowMatrix);
+        p2.update(&Value::vector(Vector::from_slice(&[3.0, 4.0]).with_label(1)))
+            .unwrap();
+        let mut f = Accumulator::new(AggFunc::RowMatrix);
+        f.merge_state(&p1.state()).unwrap();
+        f.merge_state(&p2.state()).unwrap();
+        let m = f.finish();
+        let m = m.as_matrix().unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn colmatrix_finish() {
+        let mut a = Accumulator::new(AggFunc::ColMatrix);
+        a.update(&Value::vector(Vector::from_slice(&[1.0, 2.0]).with_label(1)))
+            .unwrap();
+        let m = a.finish();
+        let m = m.as_matrix().unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 1).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn sum_state_roundtrip() {
+        let mut p = Accumulator::new(AggFunc::Sum);
+        p.update(&Value::Double(2.0)).unwrap();
+        let mut f = Accumulator::new(AggFunc::Sum);
+        f.merge_state(&p.state()).unwrap();
+        f.merge_state(&Accumulator::new(AggFunc::Sum).state()).unwrap(); // empty partial
+        assert_eq!(f.finish(), Value::Double(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut a = Accumulator::new(AggFunc::Vectorize);
+        assert!(a.update(&Value::Double(1.0)).is_err());
+        let mut b = Accumulator::new(AggFunc::RowMatrix);
+        assert!(b.update(&Value::Double(1.0)).is_err());
+        let mut s = Accumulator::new(AggFunc::Sum);
+        s.update(&Value::vector(Vector::zeros(2))).unwrap();
+        assert!(s.update(&Value::Double(1.0)).is_err());
+    }
+
+    #[test]
+    fn state_arity_consistency() {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Vectorize,
+            AggFunc::RowMatrix,
+            AggFunc::ColMatrix,
+        ] {
+            assert_eq!(Accumulator::new(f).state().len(), state_arity(f));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Row-at-a-time expression evaluation.
+
+use lardb_planner::{CmpOp, Expr};
+use lardb_storage::ops;
+use lardb_storage::{Row, Value};
+
+use crate::{ExecError, Result};
+
+/// Evaluates an expression against one input row.
+pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
+    match expr {
+        Expr::Column(i) => {
+            row.values().get(*i).cloned().ok_or_else(|| {
+                ExecError::Runtime(format!(
+                    "column #{i} out of range for row of arity {}",
+                    row.arity()
+                ))
+            })
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Arith { op, lhs, rhs } => {
+            let l = eval(lhs, row)?;
+            let r = eval(rhs, row)?;
+            Ok(ops::arith(*op, &l, &r)?)
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            let l = eval(lhs, row)?;
+            let r = eval(rhs, row)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = ops::compare(&l, &r).ok_or_else(|| {
+                ExecError::Runtime(format!(
+                    "cannot compare {} with {}",
+                    l.data_type(),
+                    r.data_type()
+                ))
+            })?;
+            let b = match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::GtEq => ord != std::cmp::Ordering::Less,
+            };
+            Ok(Value::Boolean(b))
+        }
+        Expr::And(a, b) => {
+            // SQL three-valued logic: FALSE dominates NULL.
+            let l = eval(a, row)?;
+            if l == Value::Boolean(false) {
+                return Ok(Value::Boolean(false));
+            }
+            let r = eval(b, row)?;
+            if r == Value::Boolean(false) {
+                return Ok(Value::Boolean(false));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Boolean(true))
+        }
+        Expr::Or(a, b) => {
+            let l = eval(a, row)?;
+            if l == Value::Boolean(true) {
+                return Ok(Value::Boolean(true));
+            }
+            let r = eval(b, row)?;
+            if r == Value::Boolean(true) {
+                return Ok(Value::Boolean(true));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Boolean(false))
+        }
+        Expr::Not(e) => match eval(e, row)? {
+            Value::Null => Ok(Value::Null),
+            Value::Boolean(b) => Ok(Value::Boolean(!b)),
+            other => Err(ExecError::Runtime(format!(
+                "NOT expects BOOLEAN, got {}",
+                other.data_type()
+            ))),
+        },
+        Expr::Negate(e) => {
+            let v = eval(e, row)?;
+            Ok(ops::negate(&v)?)
+        }
+        Expr::Call { func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, row)?);
+            }
+            Ok(func.evaluate(&vals)?)
+        }
+    }
+}
+
+/// Evaluates a predicate; NULL (unknown) filters the row out, per SQL.
+pub fn eval_predicate(expr: &Expr, row: &Row) -> Result<bool> {
+    match eval(expr, row)? {
+        Value::Boolean(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(ExecError::Runtime(format!(
+            "predicate evaluated to {}, expected BOOLEAN",
+            other.data_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_la::Vector;
+    use lardb_planner::Builtin;
+    use lardb_storage::ops::ArithOp;
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Integer(7),
+            Value::Double(2.5),
+            Value::vector(Vector::from_slice(&[1.0, 2.0])),
+            Value::Null,
+        ])
+    }
+
+    #[test]
+    fn columns_and_literals() {
+        assert_eq!(eval(&Expr::col(0), &row()).unwrap(), Value::Integer(7));
+        assert_eq!(eval(&Expr::lit(3.0), &row()).unwrap(), Value::Double(3.0));
+        assert!(eval(&Expr::col(9), &row()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_broadcast() {
+        let e = Expr::arith(ArithOp::Mul, Expr::col(2), Expr::col(1));
+        let v = eval(&e, &row()).unwrap();
+        assert_eq!(v.as_vector().unwrap().as_slice(), &[2.5, 5.0]);
+    }
+
+    #[test]
+    fn comparisons() {
+        let lt = Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::col(0));
+        assert_eq!(eval(&lt, &row()).unwrap(), Value::Boolean(true));
+        let ne = Expr::cmp(CmpOp::NotEq, Expr::col(0), Expr::lit(7i64));
+        assert_eq!(eval(&ne, &row()).unwrap(), Value::Boolean(false));
+        // NULL comparison is NULL, and a NULL predicate filters the row.
+        let nl = Expr::eq(Expr::col(3), Expr::lit(1i64));
+        assert!(eval(&nl, &row()).unwrap().is_null());
+        assert!(!eval_predicate(&nl, &row()).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = Expr::cmp(CmpOp::Eq, Expr::lit(1i64), Expr::lit(1i64));
+        let f = Expr::cmp(CmpOp::Eq, Expr::lit(1i64), Expr::lit(2i64));
+        let n = Expr::eq(Expr::col(3), Expr::lit(1i64));
+        // FALSE AND NULL = FALSE
+        let e = Expr::And(Box::new(f.clone()), Box::new(n.clone()));
+        assert_eq!(eval(&e, &row()).unwrap(), Value::Boolean(false));
+        // TRUE AND NULL = NULL
+        let e = Expr::And(Box::new(t.clone()), Box::new(n.clone()));
+        assert!(eval(&e, &row()).unwrap().is_null());
+        // TRUE OR NULL = TRUE
+        let e = Expr::Or(Box::new(n.clone()), Box::new(t.clone()));
+        assert_eq!(eval(&e, &row()).unwrap(), Value::Boolean(true));
+        // FALSE OR NULL = NULL
+        let e = Expr::Or(Box::new(f), Box::new(n));
+        assert!(eval(&e, &row()).unwrap().is_null());
+        // NOT
+        let e = Expr::Not(Box::new(t));
+        assert_eq!(eval(&e, &row()).unwrap(), Value::Boolean(false));
+    }
+
+    #[test]
+    fn builtin_calls() {
+        let e = Expr::call(Builtin::InnerProduct, vec![Expr::col(2), Expr::col(2)]);
+        assert_eq!(eval(&e, &row()).unwrap(), Value::Double(5.0));
+    }
+
+    #[test]
+    fn predicate_type_error() {
+        assert!(eval_predicate(&Expr::col(0), &row()).is_err());
+    }
+}

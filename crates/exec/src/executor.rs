@@ -1,0 +1,1058 @@
+//! The physical-plan interpreter.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use lardb_planner::physical::{AggMode, ExchangeKind, PhysicalPlan};
+use lardb_planner::{AggExpr, Expr};
+use lardb_storage::ops::CompositeKey;
+use lardb_storage::table::hash_partition;
+use lardb_storage::{Catalog, Partitioning, Row, Schema, Value};
+
+use crate::agg::{state_arity, Accumulator};
+use crate::cluster::Cluster;
+use crate::eval::{eval, eval_predicate};
+use crate::stats::{ExecStats, OperatorStats};
+use crate::{ExecError, Result};
+
+/// Partitioned rows: one `Vec<Row>` per worker.
+type Parts = Vec<Vec<Row>>;
+
+/// The result of executing a physical plan.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output rows, one vector per worker partition.
+    pub partitions: Parts,
+    /// Per-operator runtime statistics.
+    pub stats: ExecStats,
+}
+
+impl ExecutionResult {
+    /// All rows, concatenated in partition order.
+    pub fn rows(&self) -> Vec<Row> {
+        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+    }
+
+    /// Total row count.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Executes physical plans against a catalog on a simulated cluster.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    cluster: Cluster,
+    fuse: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor (join→aggregate fusion enabled).
+    pub fn new(catalog: &'a Catalog, cluster: Cluster) -> Self {
+        Executor { catalog, cluster, fuse: true }
+    }
+
+    /// Enables or disables pipelined join→aggregate fusion (the ablation
+    /// benchmark measures the difference).
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// The cluster this executor runs on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs a plan to completion, materializing its output.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
+        let mut stats = ExecStats::new();
+        let partitions = self.run(plan, &mut stats)?;
+        Ok(ExecutionResult { schema: plan.schema(), partitions, stats })
+    }
+
+    fn run(&self, plan: &PhysicalPlan, stats: &mut ExecStats) -> Result<Parts> {
+        // Evaluate children first so each operator's timer covers only its
+        // own work (stage-at-a-time, like the Hadoop substrate).
+        let out = match plan {
+            PhysicalPlan::TableScan { table, .. } => {
+                let t0 = Instant::now();
+                let out = self.scan(table)?;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::Filter { input, predicate, .. } => {
+                let child = self.run(input, stats)?;
+                let t0 = Instant::now();
+                let out = self.cluster.par_map(child, |_, rows| {
+                    let mut keep = Vec::new();
+                    for r in rows {
+                        if eval_predicate(predicate, &r)? {
+                            keep.push(r);
+                        }
+                    }
+                    Ok(keep)
+                })?;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let child = self.run(input, stats)?;
+                let t0 = Instant::now();
+                let out = self.cluster.par_map(child, |_, rows| {
+                    let mut mapped = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        let mut vals = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            vals.push(eval(e, &r)?);
+                        }
+                        mapped.push(Row::new(vals));
+                    }
+                    Ok(mapped)
+                })?;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::HashJoin {
+                left, right, left_keys, right_keys, residual, ..
+            } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                let t0 = Instant::now();
+                let pairs: Vec<(Vec<Row>, Vec<Row>)> = l.into_iter().zip(r).collect();
+                let out = self.cluster.par_map(pairs, |_, (lp, rp)| {
+                    hash_join_partition(lp, rp, left_keys, right_keys, residual.as_ref())
+                })?;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, residual, .. } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                let t0 = Instant::now();
+                let pairs: Vec<(Vec<Row>, Vec<Row>)> = l.into_iter().zip(r).collect();
+                let out = self.cluster.par_map(pairs, |_, (lp, rp)| {
+                    let mut rows = Vec::new();
+                    for lr in &lp {
+                        for rr in &rp {
+                            let joined = lr.concat(rr);
+                            if let Some(res) = residual {
+                                if !eval_predicate(res, &joined)? {
+                                    continue;
+                                }
+                            }
+                            rows.push(joined);
+                        }
+                    }
+                    Ok(rows)
+                })?;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::HashAggregate { input, group_by, aggs, mode, .. } => {
+                // Pipelined join→aggregate fusion: when the aggregate sits
+                // on a (possibly projected/filtered) join, stream joined
+                // rows straight into the aggregation hash table instead of
+                // materializing them — the combiner structure SimSQL's
+                // MapReduce substrate provides, and the only way the
+                // tuple-based workloads survive realistic scales.
+                if self.fuse
+                    && matches!(mode, AggMode::Partial | AggMode::Complete)
+                {
+                    if let Some((transforms, join)) = peel_fusable(input) {
+                        return self.run_fused_aggregate(
+                            plan, group_by, aggs, *mode, &transforms, join, stats,
+                        );
+                    }
+                }
+                let child = self.run(input, stats)?;
+                let t0 = Instant::now();
+                let out = self.cluster.par_map(child, |_, rows| {
+                    aggregate_partition(rows, group_by, aggs, *mode)
+                })?;
+                // Global aggregates produce exactly one row even over empty
+                // input — but only on partition 0 of a gathered stream.
+                let mut out = out;
+                if group_by.is_empty()
+                    && matches!(mode, AggMode::Final | AggMode::Complete)
+                    && out.iter().all(Vec::is_empty)
+                {
+                    out[0] = vec![empty_global_row(aggs)];
+                }
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::Exchange { input, kind, .. } => {
+                let child = self.run(input, stats)?;
+                let t0 = Instant::now();
+                let (out, rows_moved, bytes_moved) = self.exchange(child, kind)?;
+                self.record(plan, stats, t0, &out, rows_moved, bytes_moved);
+                out
+            }
+            PhysicalPlan::Sort { input, keys, .. } => {
+                let child = self.run(input, stats)?;
+                let t0 = Instant::now();
+                let w = child.len();
+                let mut all: Vec<Row> = child.into_iter().flatten().collect();
+                sort_rows(&mut all, keys)?;
+                let mut out = vec![Vec::new(); w];
+                out[0] = all;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+            PhysicalPlan::Limit { input, n, .. } => {
+                let child = self.run(input, stats)?;
+                let t0 = Instant::now();
+                let w = child.len();
+                let mut all: Vec<Row> = child.into_iter().flatten().collect();
+                all.truncate(*n);
+                let mut out = vec![Vec::new(); w];
+                out[0] = all;
+                self.record(plan, stats, t0, &out, 0, 0);
+                out
+            }
+        };
+        Ok(out)
+    }
+
+    /// Pipelined join→aggregate execution. Joined rows flow through the
+    /// projection/filter chain straight into the aggregation hash table,
+    /// in chunks so join time and aggregation time can still be attributed
+    /// separately (Figure 4's breakdown).
+    #[allow(clippy::too_many_arguments)]
+    fn run_fused_aggregate(
+        &self,
+        agg_plan: &PhysicalPlan,
+        group_by: &[Expr],
+        aggs: &[AggExpr],
+        mode: AggMode,
+        transforms: &[RowTransform<'_>],
+        join: &PhysicalPlan,
+        stats: &mut ExecStats,
+    ) -> Result<Parts> {
+        const CHUNK: usize = 1024;
+
+        struct PartOut {
+            rows: Vec<Row>,
+            joined_rows: usize,
+            join_ns: u64,
+            agg_ns: u64,
+        }
+
+        let fuse_partition = |lp: Vec<Row>,
+                              rp: Vec<Row>,
+                              join: &PhysicalPlan|
+         -> Result<PartOut> {
+            let t_start = Instant::now();
+            let mut agg = GroupedAgg::new(group_by, aggs, mode);
+            let mut buf: Vec<Row> = Vec::with_capacity(CHUNK);
+            let mut joined_rows = 0usize;
+            let mut agg_ns = 0u64;
+
+            let mut flush = |buf: &mut Vec<Row>, agg: &mut GroupedAgg| -> Result<()> {
+                let t = Instant::now();
+                for row in buf.drain(..) {
+                    agg.update_row(&row)?;
+                }
+                add_elapsed(&mut agg_ns, t);
+                Ok(())
+            };
+
+            let mut emit = |row: Row, buf: &mut Vec<Row>, agg: &mut GroupedAgg| -> Result<()> {
+                if let Some(row) = apply_transforms(row, transforms)? {
+                    joined_rows += 1;
+                    buf.push(row);
+                    if buf.len() >= CHUNK {
+                        flush(buf, agg)?;
+                    }
+                }
+                Ok(())
+            };
+
+            match join {
+                PhysicalPlan::HashJoin { left_keys, right_keys, residual, .. } => {
+                    let mut table: HashMap<CompositeKey, Vec<Row>> =
+                        HashMap::with_capacity(lp.len());
+                    'build: for r in lp {
+                        let mut vals = Vec::with_capacity(left_keys.len());
+                        for k in left_keys {
+                            let v = eval(k, &r)?;
+                            if v.is_null() {
+                                continue 'build;
+                            }
+                            vals.push(v);
+                        }
+                        table.entry(CompositeKey::from_values(vals)).or_default().push(r);
+                    }
+                    'probe: for r in rp {
+                        let mut vals = Vec::with_capacity(right_keys.len());
+                        for k in right_keys {
+                            let v = eval(k, &r)?;
+                            if v.is_null() {
+                                continue 'probe;
+                            }
+                            vals.push(v);
+                        }
+                        if let Some(matches) = table.get(&CompositeKey::from_values(vals)) {
+                            for l in matches {
+                                let joined = l.concat(&r);
+                                if let Some(res) = residual {
+                                    if !eval_predicate(res, &joined)? {
+                                        continue;
+                                    }
+                                }
+                                emit(joined, &mut buf, &mut agg)?;
+                            }
+                        }
+                    }
+                }
+                PhysicalPlan::NestedLoopJoin { residual, .. } => {
+                    for l in &lp {
+                        for r in &rp {
+                            let joined = l.concat(r);
+                            if let Some(res) = residual {
+                                if !eval_predicate(res, &joined)? {
+                                    continue;
+                                }
+                            }
+                            emit(joined, &mut buf, &mut agg)?;
+                        }
+                    }
+                }
+                _ => unreachable!("peel_fusable only yields joins"),
+            }
+            flush(&mut buf, &mut agg)?;
+            let total_ns = t_start.elapsed().as_nanos() as u64;
+            Ok(PartOut {
+                rows: agg.finish(),
+                joined_rows,
+                join_ns: total_ns.saturating_sub(agg_ns),
+                agg_ns,
+            })
+        };
+
+        let (left, right) = match join {
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => (left, right),
+            _ => unreachable!(),
+        };
+        let l = self.run(left, stats)?;
+        let r = self.run(right, stats)?;
+        let pairs: Vec<(Vec<Row>, Vec<Row>)> = l.into_iter().zip(r).collect();
+        let parts =
+            self.cluster.par_map(pairs, |_, (lp, rp)| fuse_partition(lp, rp, join))?;
+
+        // Attribute wall time across workers as the max (they ran in
+        // parallel), matching how the unfused operators are timed.
+        let join_ns = parts.iter().map(|p| p.join_ns).max().unwrap_or(0);
+        let agg_ns = parts.iter().map(|p| p.agg_ns).max().unwrap_or(0);
+        let joined_rows: usize = parts.iter().map(|p| p.joined_rows).sum();
+        let mut out: Parts = parts.into_iter().map(|p| p.rows).collect();
+
+        if group_by.is_empty()
+            && mode == AggMode::Complete
+            && out.iter().all(Vec::is_empty)
+        {
+            out[0] = vec![empty_global_row(aggs)];
+        }
+
+        stats.record(OperatorStats {
+            id: join.id(),
+            label: join.label(),
+            wall: std::time::Duration::from_nanos(join_ns),
+            rows_out: joined_rows,
+            rows_shuffled: 0,
+            bytes_shuffled: 0,
+        });
+        stats.record(OperatorStats {
+            id: agg_plan.id(),
+            label: agg_plan.label(),
+            wall: std::time::Duration::from_nanos(agg_ns),
+            rows_out: out.iter().map(Vec::len).sum(),
+            rows_shuffled: 0,
+            bytes_shuffled: 0,
+        });
+        Ok(out)
+    }
+
+    fn record(
+        &self,
+        plan: &PhysicalPlan,
+        stats: &mut ExecStats,
+        t0: Instant,
+        out: &Parts,
+        rows_shuffled: usize,
+        bytes_shuffled: usize,
+    ) {
+        stats.record(OperatorStats {
+            id: plan.id(),
+            label: plan.label(),
+            wall: t0.elapsed(),
+            rows_out: out.iter().map(Vec::len).sum(),
+            rows_shuffled,
+            bytes_shuffled,
+        });
+    }
+
+    /// Scans a table, normalizing to the cluster's partition count.
+    fn scan(&self, table: &str) -> Result<Parts> {
+        let w = self.cluster.workers();
+        let handle = self.catalog.table(table)?;
+        let t = handle.read();
+        let replicated = matches!(t.partitioning(), Partitioning::Replicated);
+        if replicated {
+            let copy: Vec<Row> = t.partition(0).to_vec();
+            return Ok((0..w).map(|_| copy.clone()).collect());
+        }
+        if t.num_partitions() == w {
+            return Ok((0..w).map(|p| t.partition(p).to_vec()).collect());
+        }
+        // Partition-count mismatch: re-deal round-robin.
+        let mut out = vec![Vec::new(); w];
+        for (i, row) in t.iter_rows().enumerate() {
+            out[i % w].push(row.clone());
+        }
+        Ok(out)
+    }
+
+    /// Moves rows between partitions, metering the traffic.
+    fn exchange(&self, input: Parts, kind: &ExchangeKind) -> Result<(Parts, usize, usize)> {
+        let w = input.len();
+        match kind {
+            ExchangeKind::Hash(keys) => {
+                // Bucket each source partition in parallel, then merge.
+                let bucketed: Vec<(Vec<Vec<Row>>, usize, usize)> =
+                    self.cluster.par_map(input.into_iter().enumerate().collect(), |_, (p, rows)| {
+                        let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); w];
+                        let mut moved_rows = 0;
+                        let mut moved_bytes = 0;
+                        for r in rows {
+                            let target = hash_route(&r, keys, w)?;
+                            if target != p {
+                                moved_rows += 1;
+                                moved_bytes += r.byte_size();
+                            }
+                            buckets[target].push(r);
+                        }
+                        Ok((buckets, moved_rows, moved_bytes))
+                    })?;
+                let mut out: Parts = vec![Vec::new(); w];
+                let mut rows_moved = 0;
+                let mut bytes_moved = 0;
+                for (buckets, mr, mb) in bucketed {
+                    rows_moved += mr;
+                    bytes_moved += mb;
+                    for (t, mut b) in buckets.into_iter().enumerate() {
+                        out[t].append(&mut b);
+                    }
+                }
+                Ok((out, rows_moved, bytes_moved))
+            }
+            ExchangeKind::Broadcast => {
+                let all: Vec<Row> = input.into_iter().flatten().collect();
+                let bytes: usize = all.iter().map(Row::byte_size).sum();
+                let rows = all.len();
+                let out: Parts = (0..w).map(|_| all.clone()).collect();
+                Ok((out, rows * (w - 1), bytes * (w.saturating_sub(1))))
+            }
+            ExchangeKind::Gather => {
+                let mut rows_moved = 0;
+                let mut bytes_moved = 0;
+                let mut first = Vec::new();
+                for (p, rows) in input.into_iter().enumerate() {
+                    if p != 0 {
+                        rows_moved += rows.len();
+                        bytes_moved += rows.iter().map(Row::byte_size).sum::<usize>();
+                    }
+                    first.extend(rows);
+                }
+                let mut out: Parts = vec![Vec::new(); w];
+                out[0] = first;
+                Ok((out, rows_moved, bytes_moved))
+            }
+            ExchangeKind::GatherReplica => {
+                let mut out: Parts = vec![Vec::new(); w];
+                if let Some(p0) = input.into_iter().next() {
+                    out[0] = p0;
+                }
+                Ok((out, 0, 0))
+            }
+        }
+    }
+}
+
+/// A row-level transform between a join and a fused aggregate.
+enum RowTransform<'p> {
+    /// Projection through these expressions.
+    Project(&'p [Expr]),
+    /// Keep rows passing this predicate.
+    Filter(&'p Expr),
+}
+
+/// Walks down a Project/Filter chain to a join, if one is there.
+/// Transforms are returned top-down; apply them bottom-up.
+fn peel_fusable(plan: &PhysicalPlan) -> Option<(Vec<RowTransform<'_>>, &PhysicalPlan)> {
+    let mut transforms = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            PhysicalPlan::Project { input, exprs, .. } => {
+                transforms.push(RowTransform::Project(exprs));
+                cur = input;
+            }
+            PhysicalPlan::Filter { input, predicate, .. } => {
+                transforms.push(RowTransform::Filter(predicate));
+                cur = input;
+            }
+            PhysicalPlan::HashJoin { .. } | PhysicalPlan::NestedLoopJoin { .. } => {
+                return Some((transforms, cur))
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Applies a transform chain (bottom-up) to one row; `None` = filtered out.
+fn apply_transforms(mut row: Row, transforms: &[RowTransform<'_>]) -> Result<Option<Row>> {
+    for t in transforms.iter().rev() {
+        match t {
+            RowTransform::Filter(p) => {
+                if !eval_predicate(p, &row)? {
+                    return Ok(None);
+                }
+            }
+            RowTransform::Project(exprs) => {
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in *exprs {
+                    vals.push(eval(e, &row)?);
+                }
+                row = Row::new(vals);
+            }
+        }
+    }
+    Ok(Some(row))
+}
+
+/// Adds the elapsed time since `t` to `acc` (nanoseconds; u64 covers
+/// 500+ years, no overflow concern).
+fn add_elapsed(acc: &mut u64, t: Instant) {
+    *acc += t.elapsed().as_nanos() as u64;
+}
+
+/// Routes a row to a partition by hashing its key expressions. Single-key
+/// routing matches the storage layer's [`hash_partition`] so that tables
+/// hash-partitioned at load time co-locate with exchanged streams.
+fn hash_route(row: &Row, keys: &[Expr], w: usize) -> Result<usize> {
+    if keys.len() == 1 {
+        let v = eval(&keys[0], row)?;
+        return Ok(hash_partition(&v, w));
+    }
+    let mut vals = Vec::with_capacity(keys.len());
+    for k in keys {
+        vals.push(eval(k, row)?);
+    }
+    let key = CompositeKey::from_values(vals);
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    Ok((h.finish() % w as u64) as usize)
+}
+
+/// Joins one co-partitioned pair of partitions by hash.
+fn hash_join_partition(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    residual: Option<&Expr>,
+) -> Result<Vec<Row>> {
+    let mut table: HashMap<CompositeKey, Vec<Row>> = HashMap::with_capacity(left.len());
+    'left: for r in left {
+        let mut vals = Vec::with_capacity(left_keys.len());
+        for k in left_keys {
+            let v = eval(k, &r)?;
+            if v.is_null() {
+                continue 'left; // NULL never joins
+            }
+            vals.push(v);
+        }
+        table.entry(CompositeKey::from_values(vals)).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    'right: for r in right {
+        let mut vals = Vec::with_capacity(right_keys.len());
+        for k in right_keys {
+            let v = eval(k, &r)?;
+            if v.is_null() {
+                continue 'right;
+            }
+            vals.push(v);
+        }
+        if let Some(matches) = table.get(&CompositeKey::from_values(vals)) {
+            for l in matches {
+                let joined = l.concat(&r);
+                if let Some(res) = residual {
+                    if !eval_predicate(res, &joined)? {
+                        continue;
+                    }
+                }
+                out.push(joined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A grouped-aggregation hash table, usable both batch-at-a-time and
+/// streamed (the fused join→aggregate path feeds it row by row).
+struct GroupedAgg<'a> {
+    group_by: &'a [Expr],
+    aggs: &'a [AggExpr],
+    mode: AggMode,
+    groups: HashMap<CompositeKey, usize>,
+    key_vals: Vec<Vec<Value>>,
+    accs: Vec<Vec<Accumulator>>,
+}
+
+impl<'a> GroupedAgg<'a> {
+    fn new(group_by: &'a [Expr], aggs: &'a [AggExpr], mode: AggMode) -> Self {
+        GroupedAgg {
+            group_by,
+            aggs,
+            mode,
+            groups: HashMap::new(),
+            key_vals: Vec::new(),
+            accs: Vec::new(),
+        }
+    }
+
+    fn update_row(&mut self, row: &Row) -> Result<()> {
+        let mut kv = Vec::with_capacity(self.group_by.len());
+        for g in self.group_by {
+            kv.push(eval(g, row)?);
+        }
+        let key = CompositeKey::from_values(kv.clone());
+        let idx = match self.groups.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.accs.len();
+                self.groups.insert(key, i);
+                self.key_vals.push(kv);
+                self.accs
+                    .push(self.aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+                i
+            }
+        };
+        match self.mode {
+            AggMode::Partial | AggMode::Complete => {
+                for (a, acc) in self.aggs.iter().zip(self.accs[idx].iter_mut()) {
+                    match &a.arg {
+                        Some(e) => acc.update(&eval(e, row)?)?,
+                        None => acc.update(&Value::Integer(1))?, // COUNT(*)
+                    }
+                }
+            }
+            AggMode::Final => {
+                // Row layout: [group cols][state cols per agg].
+                let mut off = self.group_by.len();
+                for (a, acc) in self.aggs.iter().zip(self.accs[idx].iter_mut()) {
+                    let n = state_arity(a.func);
+                    let state = &row.values()[off..off + n];
+                    acc.merge_state(state)?;
+                    off += n;
+                }
+                if off != row.arity() {
+                    return Err(ExecError::Runtime(format!(
+                        "partial row arity {} does not match states ({off})",
+                        row.arity()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits groups in first-seen order.
+    fn finish(self) -> Vec<Row> {
+        let mode = self.mode;
+        let mut out = Vec::with_capacity(self.accs.len());
+        for (kv, group_accs) in self.key_vals.into_iter().zip(self.accs) {
+            let mut vals = kv;
+            for acc in group_accs {
+                match mode {
+                    AggMode::Partial => vals.extend(acc.state()),
+                    AggMode::Final | AggMode::Complete => vals.push(acc.finish()),
+                }
+            }
+            out.push(Row::new(vals));
+        }
+        out
+    }
+}
+
+/// Aggregates one partition's rows.
+fn aggregate_partition(
+    rows: Vec<Row>,
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+    mode: AggMode,
+) -> Result<Vec<Row>> {
+    let mut agg = GroupedAgg::new(group_by, aggs, mode);
+    for row in &rows {
+        agg.update_row(row)?;
+    }
+    Ok(agg.finish())
+}
+
+/// The one row a global aggregate yields over an empty input
+/// (`SUM` → NULL, `COUNT` → 0, …).
+fn empty_global_row(aggs: &[AggExpr]) -> Row {
+    Row::new(aggs.iter().map(|a| Accumulator::new(a.func).finish()).collect())
+}
+
+/// Sorts rows by the key expressions (NULLs last).
+fn sort_rows(rows: &mut [Row], keys: &[(Expr, bool)]) -> Result<()> {
+    // Decorate with key values to avoid re-evaluating during comparisons.
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for r in rows.iter() {
+        let mut kv = Vec::with_capacity(keys.len());
+        for (e, _) in keys {
+            kv.push(eval(e, r)?);
+        }
+        decorated.push((kv, r.clone()));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            // NULLs sort last regardless of direction.
+            let ord = match (a[i].is_null(), b[i].is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => {
+                    let ord = lardb_storage::ops::compare(&a[i], &b[i])
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    if *asc {
+                        ord
+                    } else {
+                        ord.reverse()
+                    }
+                }
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for (slot, (_, r)) in rows.iter_mut().zip(decorated) {
+        *slot = r;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_planner::physical::PhysicalPlanner;
+    use lardb_planner::{AggFunc, CmpOp, JoinKind, LogicalPlan};
+    use lardb_storage::{Column, DataType, Partitioning, Table};
+
+    fn setup() -> Catalog {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("id", DataType::Integer), ("v", DataType::Double)]);
+        let mut t = Table::new("nums", schema, 4, Partitioning::RoundRobin);
+        for i in 0..20i64 {
+            t.insert(Row::new(vec![Value::Integer(i), Value::Double(i as f64)])).unwrap();
+        }
+        catalog.create_table(t).unwrap();
+        catalog
+    }
+
+    fn scan_plan(catalog: &Catalog, name: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: name.into(),
+            schema: catalog.table_schema(name).unwrap().with_qualifier(name),
+        }
+    }
+
+    fn run(catalog: &Catalog, logical: &LogicalPlan) -> ExecutionResult {
+        let stats: std::collections::HashMap<String, usize> = Default::default();
+        let mut pp = PhysicalPlanner::new(catalog, &stats);
+        let plan = pp.plan_gathered(logical).unwrap();
+        let exec = Executor::new(catalog, Cluster::new(4));
+        exec.execute(&plan).unwrap()
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let c = setup();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan_plan(&c, "nums")),
+            predicate: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(5i64)),
+        };
+        let out = run(&c, &plan);
+        assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn project_expressions() {
+        let c = setup();
+        let plan = LogicalPlan::project(
+            scan_plan(&c, "nums"),
+            vec![(
+                Expr::arith(lardb_storage::ops::ArithOp::Mul, Expr::col(1), Expr::lit(2.0)),
+                "d".into(),
+            )],
+        )
+        .unwrap();
+        let out = run(&c, &plan);
+        assert_eq!(out.num_rows(), 20);
+        let sum: f64 = out.rows().iter().map(|r| r.value(0).as_double().unwrap()).sum();
+        assert_eq!(sum, 2.0 * (0..20).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn self_equi_join_counts() {
+        let c = setup();
+        let join = LogicalPlan::Join {
+            left: Box::new(scan_plan(&c, "nums")),
+            right: Box::new(scan_plan(&c, "nums")),
+            kind: JoinKind::Inner,
+            equi: vec![(Expr::col(0), Expr::col(0))],
+            residual: None,
+        };
+        let out = run(&c, &join);
+        assert_eq!(out.num_rows(), 20); // each id matches exactly itself
+        // shuffles happened and were metered
+        assert!(out.stats.total_bytes_shuffled() > 0);
+    }
+
+    #[test]
+    fn cross_join_counts() {
+        let c = setup();
+        let join = LogicalPlan::Join {
+            left: Box::new(scan_plan(&c, "nums")),
+            right: Box::new(scan_plan(&c, "nums")),
+            kind: JoinKind::Cross,
+            equi: vec![],
+            residual: None,
+        };
+        let out = run(&c, &join);
+        assert_eq!(out.num_rows(), 400);
+    }
+
+    #[test]
+    fn global_sum_and_count() {
+        let c = setup();
+        let agg = LogicalPlan::aggregate(
+            scan_plan(&c, "nums"),
+            vec![],
+            vec![
+                AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() },
+                AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+            ],
+        )
+        .unwrap();
+        let out = run(&c, &agg);
+        assert_eq!(out.num_rows(), 1);
+        let row = &out.rows()[0];
+        assert_eq!(row.value(0).as_double().unwrap(), 190.0);
+        assert_eq!(row.value(1).as_integer().unwrap(), 20);
+    }
+
+    #[test]
+    fn grouped_aggregate() {
+        let c = setup();
+        // GROUP BY id % 2 — expressed as id - (id/2)*2
+        use lardb_storage::ops::ArithOp;
+        let parity = Expr::arith(
+            ArithOp::Sub,
+            Expr::col(0),
+            Expr::arith(
+                ArithOp::Mul,
+                Expr::arith(ArithOp::Div, Expr::col(0), Expr::lit(2i64)),
+                Expr::lit(2i64),
+            ),
+        );
+        let agg = LogicalPlan::aggregate(
+            scan_plan(&c, "nums"),
+            vec![(parity, "p".into())],
+            vec![AggExpr { func: AggFunc::Count, arg: None, name: "n".into() }],
+        )
+        .unwrap();
+        let out = run(&c, &agg);
+        assert_eq!(out.num_rows(), 2);
+        for r in out.rows() {
+            assert_eq!(r.value(1).as_integer().unwrap(), 10);
+        }
+    }
+
+    #[test]
+    fn empty_global_aggregate_yields_one_row() {
+        let c = setup();
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(scan_plan(&c, "nums")),
+            predicate: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(-1i64)),
+        };
+        let agg = LogicalPlan::aggregate(
+            filtered,
+            vec![],
+            vec![
+                AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() },
+                AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+            ],
+        )
+        .unwrap();
+        let out = run(&c, &agg);
+        assert_eq!(out.num_rows(), 1);
+        let row = &out.rows()[0];
+        assert!(row.value(0).is_null());
+        assert_eq!(row.value(1).as_integer().unwrap(), 0);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let c = setup();
+        let sorted = LogicalPlan::Sort {
+            input: Box::new(scan_plan(&c, "nums")),
+            keys: vec![(Expr::col(0), false)],
+        };
+        let limited = LogicalPlan::Limit { input: Box::new(sorted), n: 3 };
+        let out = run(&c, &limited);
+        let ids: Vec<i64> =
+            out.rows().iter().map(|r| r.value(0).as_integer().unwrap()).collect();
+        assert_eq!(ids, vec![19, 18, 17]);
+    }
+
+    #[test]
+    fn stats_record_operators() {
+        let c = setup();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan_plan(&c, "nums")),
+            predicate: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(100i64)),
+        };
+        let out = run(&c, &plan);
+        let labels: Vec<String> =
+            out.stats.operators().iter().map(|o| o.label.clone()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("TableScan")));
+        assert!(labels.iter().any(|l| l == "Filter"));
+    }
+
+    #[test]
+    fn fused_aggregate_matches_materialized() {
+        // The pipelined join→aggregate path must agree with the
+        // materialize-everything path, for hash joins and cross joins.
+        let c = setup();
+        let stats_src: std::collections::HashMap<String, usize> = Default::default();
+        let agg_over_join = |kind: JoinKind, equi: Vec<(Expr, Expr)>| {
+            LogicalPlan::aggregate(
+                LogicalPlan::Join {
+                    left: Box::new(scan_plan(&c, "nums")),
+                    right: Box::new(scan_plan(&c, "nums")),
+                    kind,
+                    equi,
+                    residual: None,
+                },
+                vec![],
+                vec![
+                    AggExpr {
+                        func: AggFunc::Sum,
+                        arg: Some(Expr::arith(
+                            lardb_storage::ops::ArithOp::Mul,
+                            Expr::col(1),
+                            Expr::col(3),
+                        )),
+                        name: "s".into(),
+                    },
+                    AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+                ],
+            )
+            .unwrap()
+        };
+        for (kind, equi) in [
+            (JoinKind::Inner, vec![(Expr::col(0), Expr::col(0))]),
+            (JoinKind::Cross, vec![]),
+        ] {
+            let logical = agg_over_join(kind, equi);
+            let mut pp = PhysicalPlanner::new(&c, &stats_src);
+            let plan = pp.plan_gathered(&logical).unwrap();
+            let fused = Executor::new(&c, Cluster::new(4))
+                .execute(&plan)
+                .unwrap();
+            let materialized = Executor::new(&c, Cluster::new(4))
+                .with_fusion(false)
+                .execute(&plan)
+                .unwrap();
+            assert_eq!(fused.rows()[0].value(0), materialized.rows()[0].value(0));
+            assert_eq!(fused.rows()[0].value(1), materialized.rows()[0].value(1));
+        }
+    }
+
+    #[test]
+    fn fused_stats_split_join_and_aggregation() {
+        let c = setup();
+        let stats_src: std::collections::HashMap<String, usize> = Default::default();
+        let logical = LogicalPlan::aggregate(
+            LogicalPlan::Join {
+                left: Box::new(scan_plan(&c, "nums")),
+                right: Box::new(scan_plan(&c, "nums")),
+                kind: JoinKind::Inner,
+                equi: vec![(Expr::col(0), Expr::col(0))],
+                residual: None,
+            },
+            vec![],
+            vec![AggExpr { func: AggFunc::Count, arg: None, name: "n".into() }],
+        )
+        .unwrap();
+        let mut pp = PhysicalPlanner::new(&c, &stats_src);
+        let plan = pp.plan_gathered(&logical).unwrap();
+        let out = Executor::new(&c, Cluster::new(4)).execute(&plan).unwrap();
+        let labels: Vec<String> =
+            out.stats.operators().iter().map(|o| o.label.clone()).collect();
+        assert!(labels.iter().any(|l| l == "HashJoin"), "{labels:?}");
+        assert!(
+            labels.iter().any(|l| l.starts_with("HashAggregate")),
+            "{labels:?}"
+        );
+        // The fused join record reports the joined-row count.
+        let join_stat = out
+            .stats
+            .operators()
+            .iter()
+            .find(|o| o.label == "HashJoin")
+            .unwrap();
+        assert_eq!(join_stat.rows_out, 20);
+    }
+
+    #[test]
+    fn sort_places_nulls_last() {
+        let mut rows = vec![
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Integer(2)]),
+            Row::new(vec![Value::Integer(1)]),
+        ];
+        sort_rows(&mut rows, &[(Expr::col(0), true)]).unwrap();
+        assert_eq!(rows[0].value(0), &Value::Integer(1));
+        assert!(rows[2].value(0).is_null());
+        // Descending still keeps NULLs last.
+        sort_rows(&mut rows, &[(Expr::col(0), false)]).unwrap();
+        assert_eq!(rows[0].value(0), &Value::Integer(2));
+        assert!(rows[2].value(0).is_null());
+    }
+
+    #[test]
+    fn replicated_scan_gathers_single_copy() {
+        let c = setup();
+        let schema = Schema::new(vec![Column::new("id", DataType::Integer)]);
+        let mut t = Table::new("rep", schema, 4, Partitioning::Replicated);
+        for i in 0..5i64 {
+            t.insert(Row::new(vec![Value::Integer(i)])).unwrap();
+        }
+        c.create_table(t).unwrap();
+        let out = run(&c, &scan_plan(&c, "rep"));
+        assert_eq!(out.num_rows(), 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! # lardb-exec — physical operators on a simulated shared-nothing cluster
+//!
+//! This crate is the execution substrate standing in for SimSQL's
+//! Hadoop-based runtime. A [`cluster::Cluster`] models `W` shared-nothing
+//! workers; every table and every intermediate result is split into `W`
+//! partitions, operators run partition-parallel on real threads
+//! (`crossbeam` scoped), and data only crosses partitions through explicit
+//! **exchange** operators, which meter every row and byte "shuffled" — the
+//! simulation's stand-in for network cost.
+//!
+//! Execution is operator-at-a-time materialized, mirroring the MapReduce
+//! stage structure of the paper's SimSQL/Hadoop substrate, which also makes
+//! per-operator wall-clock attribution trivial — that attribution is what
+//! regenerates Figure 4 (join vs aggregation cost in the tuple-based Gram
+//! computation).
+
+pub mod agg;
+pub mod cluster;
+pub mod eval;
+pub mod executor;
+pub mod stats;
+
+pub use cluster::Cluster;
+pub use executor::{ExecutionResult, Executor};
+pub use stats::{ExecStats, OperatorStats};
+
+use lardb_planner::PlanError;
+use lardb_storage::StorageError;
+
+/// Errors raised during query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A runtime type or dimension error (e.g. a `VECTOR[]` column holding
+    /// a vector of the wrong length for an operation, per §3.1).
+    Runtime(String),
+    /// Error from the storage layer.
+    Storage(StorageError),
+    /// Error from expression machinery shared with the planner.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Runtime(m) => write!(f, "runtime error: {m}"),
+            ExecError::Storage(e) => write!(f, "{e}"),
+            ExecError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
+    }
+}
+
+impl From<lardb_la::LaError> for ExecError {
+    fn from(e: lardb_la::LaError) -> Self {
+        ExecError::Storage(StorageError::La(e))
+    }
+}
+
+/// Result alias for the executor.
+pub type Result<T> = std::result::Result<T, ExecError>;

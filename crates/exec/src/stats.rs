@@ -1,0 +1,151 @@
+//! Per-operator runtime statistics.
+//!
+//! Figure 4 of the paper breaks the tuple-based vs vector-based Gram
+//! computation into per-operation running times (join vs aggregation).
+//! The executor records, for every physical operator instance: wall time,
+//! output rows, and — for exchanges — rows and bytes that crossed worker
+//! boundaries.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Statistics for one operator instance.
+#[derive(Debug, Clone)]
+pub struct OperatorStats {
+    /// Operator id from the physical plan.
+    pub id: usize,
+    /// Operator label (`HashJoin`, `Exchange(Hash)`, …).
+    pub label: String,
+    /// Wall-clock time spent in this operator (excluding children).
+    pub wall: Duration,
+    /// Rows produced.
+    pub rows_out: usize,
+    /// Rows that moved between partitions (exchanges only).
+    pub rows_shuffled: usize,
+    /// Bytes that moved between partitions (exchanges only).
+    pub bytes_shuffled: usize,
+}
+
+/// Statistics for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    ops: Vec<OperatorStats>,
+}
+
+impl ExecStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Records one operator's stats.
+    pub fn record(&mut self, op: OperatorStats) {
+        self.ops.push(op);
+    }
+
+    /// All operator records, in completion order (children first).
+    pub fn operators(&self) -> &[OperatorStats] {
+        &self.ops
+    }
+
+    /// Total wall time across operators (approximates query time; operators
+    /// run sequentially stage-by-stage).
+    pub fn total_time(&self) -> Duration {
+        self.ops.iter().map(|o| o.wall).sum()
+    }
+
+    /// Total bytes shuffled across all exchanges.
+    pub fn total_bytes_shuffled(&self) -> usize {
+        self.ops.iter().map(|o| o.bytes_shuffled).sum()
+    }
+
+    /// Total rows shuffled across all exchanges.
+    pub fn total_rows_shuffled(&self) -> usize {
+        self.ops.iter().map(|o| o.rows_shuffled).sum()
+    }
+
+    /// Wall time grouped by operator label — the Figure 4 breakdown.
+    pub fn time_by_label(&self) -> BTreeMap<String, Duration> {
+        let mut m = BTreeMap::new();
+        for o in &self.ops {
+            *m.entry(o.label.clone()).or_insert(Duration::ZERO) += o.wall;
+        }
+        m
+    }
+
+    /// Wall time for labels matching a predicate — e.g. all joins.
+    pub fn time_where(&self, pred: impl Fn(&str) -> bool) -> Duration {
+        self.ops.iter().filter(|o| pred(&o.label)).map(|o| o.wall).sum()
+    }
+
+    /// Merges another execution's stats into this one (multi-statement
+    /// workloads sum their queries).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.ops.extend(other.ops.iter().cloned());
+    }
+
+    /// Renders a human-readable table.
+    pub fn display_table(&self) -> String {
+        let mut out = String::from(
+            "id    operator                 time_ms      rows    shuffled_rows   shuffled_MB\n",
+        );
+        for o in &self.ops {
+            out.push_str(&format!(
+                "{:<5} {:<24} {:>9.3} {:>9} {:>15} {:>13.3}\n",
+                o.id,
+                o.label,
+                o.wall.as_secs_f64() * 1e3,
+                o.rows_out,
+                o.rows_shuffled,
+                o.bytes_shuffled as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(id: usize, label: &str, ms: u64, bytes: usize) -> OperatorStats {
+        OperatorStats {
+            id,
+            label: label.into(),
+            wall: Duration::from_millis(ms),
+            rows_out: id * 10,
+            rows_shuffled: id,
+            bytes_shuffled: bytes,
+        }
+    }
+
+    #[test]
+    fn totals_and_grouping() {
+        let mut s = ExecStats::new();
+        s.record(op(1, "HashJoin", 10, 0));
+        s.record(op(2, "HashJoin", 5, 0));
+        s.record(op(3, "Exchange(Hash)", 2, 100));
+        assert_eq!(s.total_time(), Duration::from_millis(17));
+        assert_eq!(s.total_bytes_shuffled(), 100);
+        assert_eq!(s.total_rows_shuffled(), 6);
+        let by = s.time_by_label();
+        assert_eq!(by["HashJoin"], Duration::from_millis(15));
+        assert_eq!(
+            s.time_where(|l| l.starts_with("Exchange")),
+            Duration::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn merge_and_display() {
+        let mut a = ExecStats::new();
+        a.record(op(1, "Filter", 1, 0));
+        let mut b = ExecStats::new();
+        b.record(op(2, "Project", 1, 0));
+        a.merge(&b);
+        assert_eq!(a.operators().len(), 2);
+        let table = a.display_table();
+        assert!(table.contains("Filter"));
+        assert!(table.contains("Project"));
+    }
+}

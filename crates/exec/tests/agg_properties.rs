@@ -1,0 +1,128 @@
+//! Property tests on the execution layer's central invariant: two-phase
+//! (partial → merge → final) aggregation must agree with single-phase
+//! aggregation for every aggregate function, for any partitioning of the
+//! input — this is what makes distribution invisible in query answers.
+
+use lardb_exec::agg::Accumulator;
+use lardb_la::{LabeledScalar, Vector};
+use lardb_planner::AggFunc;
+use lardb_storage::Value;
+use proptest::prelude::*;
+
+/// Applies `values` through `parts`-way two-phase aggregation.
+fn two_phase(func: AggFunc, values: &[Value], parts: usize) -> Value {
+    let mut partials = Vec::new();
+    for chunk in values.chunks(values.len().div_ceil(parts).max(1)) {
+        let mut acc = Accumulator::new(func);
+        for v in chunk {
+            acc.update(v).unwrap();
+        }
+        partials.push(acc.state());
+    }
+    let mut fin = Accumulator::new(func);
+    for s in partials {
+        fin.merge_state(&s).unwrap();
+    }
+    fin.finish()
+}
+
+fn one_phase(func: AggFunc, values: &[Value]) -> Value {
+    let mut acc = Accumulator::new(func);
+    for v in values {
+        acc.update(v).unwrap();
+    }
+    acc.finish()
+}
+
+fn assert_value_close(a: &Value, b: &Value) {
+    match (a, b) {
+        (Value::Double(x), Value::Double(y)) => {
+            assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}")
+        }
+        (Value::Vector(x), Value::Vector(y)) => assert!(x.approx_eq(y, 1e-9)),
+        (Value::Matrix(x), Value::Matrix(y)) => assert!(x.approx_eq(y, 1e-9)),
+        (a, b) => assert_eq!(a, b),
+    }
+}
+
+proptest! {
+    #[test]
+    fn scalar_aggs_two_phase_equals_one_phase(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..60),
+        parts in 1usize..6,
+    ) {
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let values: Vec<Value> = xs.iter().map(|&x| Value::Double(x)).collect();
+            let a = one_phase(func, &values);
+            let b = two_phase(func, &values, parts);
+            assert_value_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn vector_sum_min_max_two_phase(
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 5), 1..30),
+        parts in 1usize..5,
+    ) {
+        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let values: Vec<Value> = rows
+                .iter()
+                .map(|r| Value::vector(Vector::from_slice(r)))
+                .collect();
+            let a = one_phase(func, &values);
+            let b = two_phase(func, &values, parts);
+            assert_value_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn vectorize_two_phase(
+        pairs in proptest::collection::vec((0i64..30, -5.0f64..5.0), 1..40),
+        parts in 1usize..5,
+    ) {
+        // Unique labels so merge order cannot change which value wins.
+        let mut seen = std::collections::HashSet::new();
+        let values: Vec<Value> = pairs
+            .iter()
+            .filter(|(l, _)| seen.insert(*l))
+            .map(|&(l, v)| Value::LabeledScalar(LabeledScalar::new(v, l)))
+            .collect();
+        prop_assume!(!values.is_empty());
+        let a = one_phase(AggFunc::Vectorize, &values);
+        let b = two_phase(AggFunc::Vectorize, &values, parts);
+        assert_value_close(&a, &b);
+    }
+
+    #[test]
+    fn rowmatrix_two_phase(
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 1..20),
+        parts in 1usize..5,
+    ) {
+        let values: Vec<Value> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Value::vector(Vector::from_slice(r).with_label(i as i64)))
+            .collect();
+        for func in [AggFunc::RowMatrix, AggFunc::ColMatrix] {
+            let a = one_phase(func, &values);
+            let b = two_phase(func, &values, parts);
+            assert_value_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn nulls_are_skipped_consistently(
+        xs in proptest::collection::vec(proptest::option::of(-10.0f64..10.0), 1..40),
+        parts in 1usize..4,
+    ) {
+        let values: Vec<Value> = xs
+            .iter()
+            .map(|o| o.map(Value::Double).unwrap_or(Value::Null))
+            .collect();
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            let a = one_phase(func, &values);
+            let b = two_phase(func, &values, parts);
+            assert_value_close(&a, &b);
+        }
+    }
+}

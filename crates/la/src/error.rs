@@ -1,0 +1,116 @@
+//! Error type for all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernel.
+///
+/// Dimension errors correspond to the *runtime* errors the paper describes
+/// for operations over `VECTOR[]`/`MATRIX[][]` values whose sizes were left
+/// unspecified at table-creation time (§3.1); the SQL type checker catches
+/// the statically-known cases before execution ever reaches this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimMismatch {
+        /// Human-readable name of the operation, e.g. `"matrix_multiply"`.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`; vectors use
+        /// `(len, 1)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// An operation requiring a square matrix was given a rectangular one.
+    NotSquare {
+        /// Operation name.
+        op: &'static str,
+        /// Offending shape.
+        shape: (usize, usize),
+    },
+    /// The matrix was singular (or not positive definite, for Cholesky) to
+    /// working precision.
+    Singular {
+        /// Operation name.
+        op: &'static str,
+    },
+    /// An element access was out of bounds.
+    OutOfBounds {
+        /// Operation name.
+        op: &'static str,
+        /// The requested index.
+        index: (usize, usize),
+        /// The actual shape.
+        shape: (usize, usize),
+    },
+    /// A constructor was given inconsistent data (e.g. ragged rows).
+    InvalidConstruction {
+        /// Explanation of what was inconsistent.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch between {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LaError::NotSquare { op, shape } => {
+                write!(f, "{op}: requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LaError::Singular { op } => write!(f, "{op}: matrix is singular to working precision"),
+            LaError::OutOfBounds { op, index, shape } => write!(
+                f,
+                "{op}: index ({}, {}) out of bounds for shape {}x{}",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LaError::InvalidConstruction { reason } => {
+                write!(f, "invalid construction: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaError {}
+
+/// Convenient result alias used throughout the kernel.
+pub type Result<T> = std::result::Result<T, LaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dim_mismatch() {
+        let e = LaError::DimMismatch { op: "matrix_multiply", lhs: (10, 100), rhs: (10, 100) };
+        let s = e.to_string();
+        assert!(s.contains("matrix_multiply"));
+        assert!(s.contains("10x100"));
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LaError::Singular { op: "matrix_inverse" };
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LaError::NotSquare { op: "diag", shape: (3, 4) };
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = LaError::OutOfBounds { op: "get_entry", index: (5, 0), shape: (2, 2) };
+        assert!(e.to_string().contains("(5, 0)"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&LaError::Singular { op: "x" });
+    }
+}

@@ -1,0 +1,39 @@
+//! The `LABELED_SCALAR` type of §3.3 — "essentially a DOUBLE with a label".
+
+/// A double paired with an integer label, produced by the `label_scalar`
+/// built-in and consumed by the `VECTORIZE` aggregate, which places each
+/// value into a vector at the position indicated by its label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledScalar {
+    /// The payload value.
+    pub value: f64,
+    /// The position label. `VECTORIZE` uses this as a (1-based or 0-based,
+    /// see [`crate::builder::VectorizeBuilder`]) index into the result.
+    pub label: i64,
+}
+
+impl LabeledScalar {
+    /// Creates a labeled scalar — the `label_scalar(value, label)` built-in.
+    pub fn new(value: f64, label: i64) -> Self {
+        LabeledScalar { value, label }
+    }
+}
+
+impl std::fmt::Display for LabeledScalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.value, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let s = LabeledScalar::new(2.5, 7);
+        assert_eq!(s.value, 2.5);
+        assert_eq!(s.label, 7);
+        assert_eq!(s.to_string(), "2.5@7");
+    }
+}

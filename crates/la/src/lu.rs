@@ -1,0 +1,260 @@
+//! LU factorization with partial pivoting — the engine's LAPACK stand-in for
+//! `matrix_inverse`, `solve` and determinants.
+
+use crate::error::{LaError, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Pivot magnitudes below this (relative to the column scale) are treated as
+/// exact zeros, i.e. the matrix is reported singular.
+const SINGULARITY_EPS: f64 = 1e-13;
+
+/// An LU factorization `P·A = L·U` of a square matrix, with partial
+/// (row) pivoting.
+///
+/// The factorization is computed once and can then be reused for multiple
+/// solves — exactly how the least-squares workload (Figure 2) inverts the
+/// `XᵀX` normal matrix.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed L (unit lower, below diagonal) and U (upper, incl. diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// +1.0 or −1.0 depending on the parity of the permutation.
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes `a`. Fails with [`LaError::NotSquare`] for rectangular
+    /// input and [`LaError::Singular`] when a pivot collapses.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LaError::NotSquare { op: "lu", shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        // Scale of the whole matrix, for a relative singularity test.
+        let scale = lu.as_slice().iter().fold(0.0f64, |m, x| m.max(x.abs())).max(1.0);
+
+        for col in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.as_slice()[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = lu.as_slice()[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= SINGULARITY_EPS * scale {
+                return Err(LaError::Singular { op: "lu" });
+            }
+            if pivot_row != col {
+                swap_rows(&mut lu, col, pivot_row);
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.as_slice()[col * n + col];
+            // Eliminate below the pivot.
+            for r in (col + 1)..n {
+                let factor = lu.as_slice()[r * n + col] / pivot;
+                lu.as_mut_slice()[r * n + col] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                // Split the storage at row r so we can read the pivot row
+                // while writing row r.
+                let (upper, lower) = lu.as_mut_slice().split_at_mut(r * n);
+                let pivot_row_slice = &upper[col * n + col + 1..(col + 1) * n];
+                let target = &mut lower[col + 1..n];
+                for (t, &p) in target.iter_mut().zip(pivot_row_slice.iter()) {
+                    *t -= factor * p;
+                }
+            }
+        }
+
+        Ok(LuDecomposition { lu, perm, sign })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for one right-hand side.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LaError::DimMismatch { op: "solve", lhs: (n, n), rhs: (b.len(), 1) });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b.as_slice()[p]).collect();
+        self.solve_in_place(&mut x);
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Solves `A·X = B` column-by-column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LaError::DimMismatch {
+                op: "solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let cols = b.cols();
+        let mut out = Matrix::zeros(n, cols);
+        let mut work = vec![0.0; n];
+        for j in 0..cols {
+            for (i, &p) in self.perm.iter().enumerate() {
+                work[i] = b.as_slice()[p * cols + j];
+            }
+            self.solve_in_place(&mut work);
+            for i in 0..n {
+                out.as_mut_slice()[i * cols + j] = work[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Forward + back substitution on a permuted RHS.
+    fn solve_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        let lu = self.lu.as_slice();
+        // Forward: L·y = Pb (L has unit diagonal).
+        for i in 1..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= lu[i * n + k] * x[k];
+            }
+            x[i] = s;
+        }
+        // Back: U·x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= lu[i * n + k] * x[k];
+            }
+            x[i] = s / lu[i * n + i];
+        }
+    }
+
+    /// The matrix inverse, computed by solving against the identity.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant: product of U's diagonal times the permutation sign.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.lu.as_slice()[i * n + i];
+        }
+        det
+    }
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let n = m.cols();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (first, second) = m.as_mut_slice().split_at_mut(hi * n);
+    first[lo * n..(lo + 1) * n].swap_with_slice(&mut second[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_conditioned(n: usize) -> Matrix {
+        // Diagonally dominant => nonsingular.
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                n as f64 + 1.0
+            } else {
+                1.0 / ((i + 2 * j + 1) as f64)
+            }
+        })
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = well_conditioned(6);
+        let x_true = Vector::from_fn(6, |i| (i as f64) - 2.5);
+        let b = a.matrix_vector_multiply(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = well_conditioned(8);
+        let inv = a.inverse().unwrap();
+        let id = a.multiply(&inv).unwrap();
+        assert!(id.approx_eq(&Matrix::identity(8), 1e-9));
+        let id2 = inv.multiply(&a).unwrap();
+        assert!(id2.approx_eq(&Matrix::identity(8), 1e-9));
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(LuDecomposition::new(&a), Err(LaError::Singular { .. })));
+        assert!(a.inverse().is_err());
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        assert!(matches!(
+            LuDecomposition::new(&Matrix::zeros(2, 3)),
+            Err(LaError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]).unwrap();
+        assert!((a.determinant().unwrap() - (-14.0)).abs() < 1e-10);
+        assert!((Matrix::identity(5).determinant().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        // Requires a row swap: leading zero.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((a.determinant().unwrap() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = well_conditioned(5);
+        let b = Matrix::from_fn(5, 3, |i, j| (i + j) as f64);
+        let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
+        let back = a.multiply(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn solve_dim_mismatch() {
+        let a = well_conditioned(4);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[4.0]]).unwrap();
+        assert_eq!(a.solve(&Vector::from_slice(&[8.0])).unwrap().as_slice(), &[2.0]);
+        assert!((a.determinant().unwrap() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Householder QR factorization.
+//!
+//! An extension beyond the paper's built-in list: the least-squares
+//! estimator `β̂ = (XᵀX)⁻¹Xᵀy` the paper computes through the normal
+//! equations squares the condition number of `X`; QR solves the same
+//! problem directly from `X` with much better numerical behaviour. The SQL
+//! surface exposes it as `solve_ls(MATRIX[a][b], VECTOR[a]) -> VECTOR[b]`.
+
+use crate::error::{LaError, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// A compact Householder QR factorization of an `m × n` matrix with
+/// `m ≥ n`: `A = Q·R` with `Q` orthonormal (m × n, applied implicitly) and
+/// `R` upper triangular (n × n).
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Householder vectors packed below the diagonal; `R` on and above it.
+    qr: Matrix,
+    /// The scalar factors of the Householder reflectors.
+    tau: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorizes `a` (requires rows ≥ cols). Fails with
+    /// [`LaError::Singular`] when a diagonal of `R` collapses (rank
+    /// deficiency to working precision).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LaError::DimMismatch { op: "qr", lhs: (m, n), rhs: (n, n) });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder reflector for column k, rows k..m.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let v = qr.at(i, k);
+                norm2 += v * v;
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                return Err(LaError::Singular { op: "qr" });
+            }
+            let akk = qr.at(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // v = x - alpha·e1, normalized so v[0] = 1.
+            let v0 = akk - alpha;
+            tau[k] = -v0 / alpha;
+            let inv_v0 = 1.0 / v0;
+            for i in (k + 1)..m {
+                let v = qr.at(i, k) * inv_v0;
+                qr.set(i, k, v).expect("in range");
+            }
+            qr.set(k, k, alpha).expect("in range");
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = qr.at(k, j);
+                for i in (k + 1)..m {
+                    dot += qr.at(i, k) * qr.at(i, j);
+                }
+                let t = tau[k] * dot;
+                let new_kj = qr.at(k, j) - t;
+                qr.set(k, j, new_kj).expect("in range");
+                for i in (k + 1)..m {
+                    let v = qr.at(i, j) - t * qr.at(i, k);
+                    qr.set(i, j, v).expect("in range");
+                }
+            }
+        }
+        Ok(QrDecomposition { qr, tau })
+    }
+
+    /// Input shape.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// The upper-triangular factor `R` (n × n).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr.at(i, j) } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector of length m (in place on a copy).
+    fn qt_apply(&self, b: &Vector) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        let mut x = b.as_slice().to_vec();
+        for k in 0..n {
+            let mut dot = x[k];
+            for i in (k + 1)..m {
+                dot += self.qr.at(i, k) * x[i];
+            }
+            let t = self.tau[k] * dot;
+            x[k] -= t;
+            for i in (k + 1)..m {
+                x[i] -= t * self.qr.at(i, k);
+            }
+        }
+        x
+    }
+
+    /// Least-squares solve: minimizes `‖A·x − b‖₂`.
+    pub fn solve_ls(&self, b: &Vector) -> Result<Vector> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LaError::DimMismatch { op: "solve_ls", lhs: (m, n), rhs: (b.len(), 1) });
+        }
+        let qtb = self.qt_apply(b);
+        // Back-substitute R·x = (Qᵀb)[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.qr.at(i, j) * x[j];
+            }
+            let d = self.qr.at(i, i);
+            if d.abs() < 1e-13 {
+                return Err(LaError::Singular { op: "solve_ls" });
+            }
+            x[i] = s / d;
+        }
+        Ok(Vector::from_vec(x))
+    }
+}
+
+impl Matrix {
+    /// Least-squares solve via Householder QR — the `solve_ls` built-in.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        QrDecomposition::new(self)?.solve_ls(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0 + if i == j { 10.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_reconstructs_normal_matrix() {
+        let a = tall(10, 4);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let r = qr.r();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j).unwrap(), 0.0);
+            }
+        }
+        // RᵀR = AᵀA (since Q is orthonormal)
+        let rtr = r.transpose().multiply(&r).unwrap();
+        let ata = a.gram();
+        assert!(rtr.approx_eq(&ata, 1e-8), "{rtr:?} vs {ata:?}");
+    }
+
+    #[test]
+    fn exact_system_recovered() {
+        let a = tall(6, 6);
+        let x_true = Vector::from_fn(6, |i| (i as f64) - 2.0);
+        let b = a.matrix_vector_multiply(&x_true).unwrap();
+        let x = a.solve_least_squares(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn overdetermined_matches_normal_equations() {
+        let a = tall(20, 5);
+        let b = Vector::from_fn(20, |i| (i % 7) as f64 - 3.0);
+        let x_qr = a.solve_least_squares(&b).unwrap();
+        // Normal equations: (AᵀA)x = Aᵀb
+        let ata = a.gram();
+        let atb = b.vector_matrix_multiply(&a).unwrap();
+        let x_ne = ata.solve(&atb).unwrap();
+        assert!(x_qr.approx_eq(&x_ne, 1e-7));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(QrDecomposition::new(&Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let a = Matrix::from_fn(5, 2, |i, _| i as f64 + 1.0);
+        assert!(a.solve_least_squares(&Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = tall(6, 3);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve_ls(&Vector::zeros(5)).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the linear-algebra kernel's core invariants.
+
+use lardb_la::{LabeledScalar, Matrix, RowMatrixBuilder, Vector, VectorizeBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dimensions in [1, maxdim] and entries in a
+/// numerically tame range.
+fn matrix(maxdim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=maxdim, 1..=maxdim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+/// Strategy: square matrix.
+fn square(maxdim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=maxdim).prop_flat_map(|n| {
+        proptest::collection::vec(-10.0f64..10.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+    })
+}
+
+fn vector(len: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0f64..10.0, len).prop_map(Vector::from_vec)
+}
+
+/// Strategy: a multiplication-compatible chain A (m×k), B (k×n), C (n×p).
+fn chain3(maxdim: usize) -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
+    (1..=maxdim, 1..=maxdim, 1..=maxdim, 1..=maxdim).prop_flat_map(|(m, k, n, pp)| {
+        (
+            proptest::collection::vec(-10.0f64..10.0, m * k),
+            proptest::collection::vec(-10.0f64..10.0, k * n),
+            proptest::collection::vec(-10.0f64..10.0, n * pp),
+        )
+            .prop_map(move |(a, b, c)| {
+                (
+                    Matrix::from_vec(m, k, a).unwrap(),
+                    Matrix::from_vec(k, n, b).unwrap(),
+                    Matrix::from_vec(n, pp, c).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix(12)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn transpose_distributes_over_product((a, b, _) in chain3(8)) {
+        let lhs = a.multiply(&b).unwrap().transpose();
+        let rhs = b.transpose().multiply(&a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn matmul_is_associative((a, b, c) in chain3(6)) {
+        let l = a.multiply(&b).unwrap().multiply(&c).unwrap();
+        let r = a.multiply(&b.multiply(&c).unwrap()).unwrap();
+        prop_assert!(l.approx_eq(&r, 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b, _) in chain3(6), scale in -3.0f64..3.0) {
+        let c = b.scalar_mul(scale); // same shape as b by construction
+        let l = a.multiply(&b.add(&c).unwrap()).unwrap();
+        let r = a.multiply(&b).unwrap().add(&a.multiply(&c).unwrap()).unwrap();
+        prop_assert!(l.approx_eq(&r, 1e-7));
+    }
+
+    #[test]
+    fn identity_is_neutral(m in matrix(10)) {
+        let li = Matrix::identity(m.rows()).multiply(&m).unwrap();
+        let ri = m.multiply(&Matrix::identity(m.cols())).unwrap();
+        prop_assert!(li.approx_eq(&m, 1e-12));
+        prop_assert!(ri.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(m in matrix(8)) {
+        let g = m.gram();
+        prop_assert!(lardb_la::chol::is_symmetric(&g, 1e-9));
+        // diagonal entries are column norms² ≥ 0
+        for i in 0..g.rows() {
+            prop_assert!(g.get(i, i).unwrap() >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(a in square(8), xs in proptest::collection::vec(-5.0f64..5.0, 8)) {
+        // Make it comfortably nonsingular: A + (n+scale)·I
+        let n = a.rows();
+        let scale = a.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let a = a.add(&Matrix::identity(n).scalar_mul(10.0 * (scale + 1.0))).unwrap();
+        let x_true = Vector::from_slice(&xs[..n]);
+        let b = a.matrix_vector_multiply(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        prop_assert!(x.approx_eq(&x_true, 1e-6));
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in square(7)) {
+        let n = a.rows();
+        let scale = a.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let a = a.add(&Matrix::identity(n).scalar_mul(10.0 * (scale + 1.0))).unwrap();
+        let inv = a.inverse().unwrap();
+        prop_assert!(a.multiply(&inv).unwrap().approx_eq(&Matrix::identity(n), 1e-7));
+    }
+
+    #[test]
+    fn outer_product_matches_matrix_form(v in vector(9), w in vector(7)) {
+        let op = v.outer_product(&w);
+        let mat = v.to_col_matrix().multiply(&w.to_row_matrix()).unwrap();
+        prop_assert!(op.approx_eq(&mat, 1e-12));
+    }
+
+    #[test]
+    fn inner_product_is_symmetric_and_cauchy_schwarz(v in vector(16), w in vector(16)) {
+        let vw = v.inner_product(&w).unwrap();
+        let wv = w.inner_product(&v).unwrap();
+        prop_assert!((vw - wv).abs() < 1e-12);
+        prop_assert!(vw.abs() <= v.norm2() * w.norm2() + 1e-9);
+    }
+
+    #[test]
+    fn elementwise_add_commutes_sub_inverts(v in vector(12), w in vector(12)) {
+        prop_assert!(v.add(&w).unwrap().approx_eq(&w.add(&v).unwrap(), 0.0));
+        prop_assert!(v.add(&w).unwrap().sub(&w).unwrap().approx_eq(&v, 1e-9));
+    }
+
+    #[test]
+    fn vectorize_places_every_label(pairs in proptest::collection::vec((0i64..50, -10.0f64..10.0), 1..40)) {
+        let mut b = VectorizeBuilder::new();
+        for &(l, v) in &pairs {
+            b.push(LabeledScalar::new(v, l)).unwrap();
+        }
+        let out = b.finish();
+        let max_label = pairs.iter().map(|(l, _)| *l).max().unwrap();
+        prop_assert_eq!(out.len() as i64, max_label + 1);
+        // last write per label wins
+        for &(l, _) in &pairs {
+            let expected = pairs.iter().rev().find(|(l2, _)| *l2 == l).unwrap().1;
+            prop_assert_eq!(out.get(l as usize).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn rowmatrix_roundtrips_rows(
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 4), 1..12)
+    ) {
+        let mut b = RowMatrixBuilder::new();
+        for (i, r) in rows.iter().enumerate() {
+            b.push(Vector::from_slice(r).with_label(i as i64)).unwrap();
+        }
+        let m = b.finish_rows();
+        prop_assert_eq!(m.shape(), (rows.len(), 4));
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(m.row(i), &r[..]);
+        }
+    }
+
+    #[test]
+    fn scalar_broadcast_agrees_with_map(m in matrix(8), s in -5.0f64..5.0) {
+        let broadcast = m.scalar_mul(s);
+        let mapped = m.map(|x| x * s);
+        prop_assert!(broadcast.approx_eq(&mapped, 0.0));
+    }
+
+    #[test]
+    fn row_col_sums_consistent_with_total(m in matrix(9)) {
+        let total = m.sum_elements();
+        prop_assert!((m.row_sums().sum_elements() - total).abs() < 1e-8);
+        prop_assert!((m.col_sums().sum_elements() - total).abs() < 1e-8);
+    }
+}

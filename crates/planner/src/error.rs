@@ -1,0 +1,47 @@
+//! Planner errors.
+
+use std::fmt;
+
+use lardb_storage::StorageError;
+
+/// Errors raised while type checking, planning or optimizing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A static type error, including the dimension mismatches the
+    /// templated signatures of §4.2 detect at compile time.
+    Type(String),
+    /// The query shape is valid SQL but not supported by this engine.
+    Unsupported(String),
+    /// Catalog or schema resolution failure.
+    Storage(StorageError),
+    /// Internal invariant violation — a planner bug, surfaced loudly.
+    Internal(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Type(m) => write!(f, "type error: {m}"),
+            PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PlanError::Storage(e) => write!(f, "{e}"),
+            PlanError::Internal(m) => write!(f, "internal planner error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<StorageError> for PlanError {
+    fn from(e: StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+
+impl From<lardb_la::LaError> for PlanError {
+    fn from(e: lardb_la::LaError) -> Self {
+        PlanError::Storage(StorageError::La(e))
+    }
+}
+
+/// Result alias for the planner.
+pub type Result<T> = std::result::Result<T, PlanError>;

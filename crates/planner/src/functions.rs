@@ -1,0 +1,786 @@
+//! The built-in function suite of §3.1–§3.3, with templated type
+//! signatures (§4.2) and runtime evaluation.
+//!
+//! Each scalar built-in knows two things:
+//!
+//! 1. **Its templated signature** — [`Builtin::infer_type`] takes the
+//!    (possibly dimension-annotated) argument types and *unifies* the
+//!    signature's dimension parameters against them, exactly as §4.2
+//!    describes: binding `a`/`b`/`c` to known sizes, failing at compile
+//!    time when a parameter would bind to two different values, and
+//!    leaving parameters unknown (runtime-checked) when the input size is
+//!    unknown. The inferred output size is what the cost model prices.
+//! 2. **Its runtime semantics** — [`Builtin::evaluate`] over [`Value`]s.
+//!
+//! Aggregates ([`AggFunc`]) follow the same pattern; their accumulators
+//! live in `lardb-exec`, but result-type inference is here.
+
+use lardb_la::{LabeledScalar, Matrix, Vector};
+use lardb_storage::{DataType, Value};
+
+use crate::error::{PlanError, Result};
+
+/// Type information for one function argument at planning time: its data
+/// type plus, when the argument is an integer literal, its value — needed
+/// by constructors like `identity(10)` whose *output type* depends on an
+/// argument *value*.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgType {
+    /// The argument's inferred type.
+    pub dtype: DataType,
+    /// The constant value, when statically known.
+    pub const_int: Option<i64>,
+}
+
+impl ArgType {
+    /// Plain (non-constant) argument.
+    pub fn of(dtype: DataType) -> Self {
+        ArgType { dtype, const_int: None }
+    }
+
+    /// Integer-literal argument.
+    pub fn const_int(v: i64) -> Self {
+        ArgType { dtype: DataType::Integer, const_int: Some(v) }
+    }
+}
+
+/// The scalar built-in functions over `LABELED_SCALAR`, `VECTOR` and
+/// `MATRIX`. The paper reports 22 built-ins; this implementation has 28
+/// (the paper's suite plus `solve_ls`, `min_element`, `max_element` and a
+/// few constructors its examples imply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]`
+    MatrixMultiply,
+    /// `matrix_vector_multiply(MATRIX[a][b], VECTOR[b]) -> VECTOR[a]`
+    MatrixVectorMultiply,
+    /// `vector_matrix_multiply(VECTOR[a], MATRIX[a][b]) -> VECTOR[b]`
+    VectorMatrixMultiply,
+    /// `outer_product(VECTOR[a], VECTOR[b]) -> MATRIX[a][b]`
+    OuterProduct,
+    /// `inner_product(VECTOR[a], VECTOR[a]) -> DOUBLE`
+    InnerProduct,
+    /// `trans_matrix(MATRIX[a][b]) -> MATRIX[b][a]`
+    TransMatrix,
+    /// `matrix_inverse(MATRIX[a][a]) -> MATRIX[a][a]`
+    MatrixInverse,
+    /// `diag(MATRIX[a][a]) -> VECTOR[a]`
+    Diag,
+    /// `diag_matrix(VECTOR[a]) -> MATRIX[a][a]`
+    DiagMatrix,
+    /// `identity(n) -> MATRIX[n][n]`
+    Identity,
+    /// `zero_matrix(r, c) -> MATRIX[r][c]`
+    ZeroMatrix,
+    /// `zero_vector(n) -> VECTOR[n]`
+    ZeroVector,
+    /// `trace(MATRIX[a][a]) -> DOUBLE`
+    Trace,
+    /// `frobenius_norm(MATRIX[a][b]) -> DOUBLE`
+    FrobeniusNorm,
+    /// `norm2(VECTOR[a]) -> DOUBLE`
+    Norm2,
+    /// `sum_elements(MATRIX[a][b] | VECTOR[a]) -> DOUBLE`
+    SumElements,
+    /// `row_sums(MATRIX[a][b]) -> VECTOR[a]`
+    RowSums,
+    /// `col_sums(MATRIX[a][b]) -> VECTOR[b]`
+    ColSums,
+    /// `row_min(MATRIX[a][b]) -> VECTOR[a]`
+    RowMin,
+    /// `row_max(MATRIX[a][b]) -> VECTOR[a]`
+    RowMax,
+    /// `get_scalar(VECTOR[a], i) -> DOUBLE`
+    GetScalar,
+    /// `get_entry(MATRIX[a][b], i, j) -> DOUBLE`
+    GetEntry,
+    /// `label_scalar(DOUBLE, i) -> LABELED_SCALAR`
+    LabelScalar,
+    /// `label_vector(VECTOR[a], i) -> VECTOR[a]` (attaches the label)
+    LabelVector,
+    /// `solve(MATRIX[a][a], VECTOR[a]) -> VECTOR[a]`
+    Solve,
+    /// `solve_ls(MATRIX[a][b], VECTOR[a]) -> VECTOR[b]` — least squares via
+    /// Householder QR (extension beyond the paper's list).
+    SolveLs,
+    /// `min_element(MATRIX[a][b] | VECTOR[a]) -> DOUBLE`
+    MinElement,
+    /// `max_element(MATRIX[a][b] | VECTOR[a]) -> DOUBLE`
+    MaxElement,
+}
+
+/// All built-ins, for registry listings and docs.
+pub const ALL_BUILTINS: &[Builtin] = &[
+    Builtin::MatrixMultiply,
+    Builtin::MatrixVectorMultiply,
+    Builtin::VectorMatrixMultiply,
+    Builtin::OuterProduct,
+    Builtin::InnerProduct,
+    Builtin::TransMatrix,
+    Builtin::MatrixInverse,
+    Builtin::Diag,
+    Builtin::DiagMatrix,
+    Builtin::Identity,
+    Builtin::ZeroMatrix,
+    Builtin::ZeroVector,
+    Builtin::Trace,
+    Builtin::FrobeniusNorm,
+    Builtin::Norm2,
+    Builtin::SumElements,
+    Builtin::RowSums,
+    Builtin::ColSums,
+    Builtin::RowMin,
+    Builtin::RowMax,
+    Builtin::GetScalar,
+    Builtin::GetEntry,
+    Builtin::LabelScalar,
+    Builtin::LabelVector,
+    Builtin::Solve,
+    Builtin::SolveLs,
+    Builtin::MinElement,
+    Builtin::MaxElement,
+];
+
+impl Builtin {
+    /// SQL-visible name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Builtin::MatrixMultiply => "matrix_multiply",
+            Builtin::MatrixVectorMultiply => "matrix_vector_multiply",
+            Builtin::VectorMatrixMultiply => "vector_matrix_multiply",
+            Builtin::OuterProduct => "outer_product",
+            Builtin::InnerProduct => "inner_product",
+            Builtin::TransMatrix => "trans_matrix",
+            Builtin::MatrixInverse => "matrix_inverse",
+            Builtin::Diag => "diag",
+            Builtin::DiagMatrix => "diag_matrix",
+            Builtin::Identity => "identity",
+            Builtin::ZeroMatrix => "zero_matrix",
+            Builtin::ZeroVector => "zero_vector",
+            Builtin::Trace => "trace",
+            Builtin::FrobeniusNorm => "frobenius_norm",
+            Builtin::Norm2 => "norm2",
+            Builtin::SumElements => "sum_elements",
+            Builtin::RowSums => "row_sums",
+            Builtin::ColSums => "col_sums",
+            Builtin::RowMin => "row_min",
+            Builtin::RowMax => "row_max",
+            Builtin::GetScalar => "get_scalar",
+            Builtin::GetEntry => "get_entry",
+            Builtin::LabelScalar => "label_scalar",
+            Builtin::LabelVector => "label_vector",
+            Builtin::Solve => "solve",
+            Builtin::SolveLs => "solve_ls",
+            Builtin::MinElement => "min_element",
+            Builtin::MaxElement => "max_element",
+        }
+    }
+
+    /// Case-insensitive lookup by SQL name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        let lower = name.to_ascii_lowercase();
+        ALL_BUILTINS.iter().copied().find(|b| b.name() == lower)
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Builtin::TransMatrix
+            | Builtin::MatrixInverse
+            | Builtin::Diag
+            | Builtin::DiagMatrix
+            | Builtin::Identity
+            | Builtin::ZeroVector
+            | Builtin::Trace
+            | Builtin::FrobeniusNorm
+            | Builtin::Norm2
+            | Builtin::SumElements
+            | Builtin::RowSums
+            | Builtin::ColSums
+            | Builtin::RowMin
+            | Builtin::RowMax
+            | Builtin::MinElement
+            | Builtin::MaxElement => 1,
+            Builtin::GetEntry => 3,
+            _ => 2,
+        }
+    }
+
+    /// Templated-signature type inference (§4.2). Binds the signature's
+    /// dimension parameters against the argument types, failing on
+    /// impossible bindings and producing the exact output type when the
+    /// inputs' sizes are known.
+    pub fn infer_type(&self, args: &[ArgType]) -> Result<DataType> {
+        if args.len() != self.arity() {
+            return Err(PlanError::Type(format!(
+                "{} takes {} argument(s), got {}",
+                self.name(),
+                self.arity(),
+                args.len()
+            )));
+        }
+        let t = |i: usize| args[i].dtype;
+        match self {
+            Builtin::MatrixMultiply => {
+                let (a, b) = expect_matrix(self.name(), t(0))?;
+                let (b2, c) = expect_matrix(self.name(), t(1))?;
+                unify(self.name(), "b", b, b2)?;
+                Ok(DataType::Matrix(a, c))
+            }
+            Builtin::MatrixVectorMultiply => {
+                let (a, b) = expect_matrix(self.name(), t(0))?;
+                let b2 = expect_vector(self.name(), t(1))?;
+                unify(self.name(), "b", b, b2)?;
+                Ok(DataType::Vector(a))
+            }
+            Builtin::VectorMatrixMultiply => {
+                let a = expect_vector(self.name(), t(0))?;
+                let (a2, b) = expect_matrix(self.name(), t(1))?;
+                unify(self.name(), "a", a, a2)?;
+                Ok(DataType::Vector(b))
+            }
+            Builtin::OuterProduct => {
+                let a = expect_vector(self.name(), t(0))?;
+                let b = expect_vector(self.name(), t(1))?;
+                Ok(DataType::Matrix(a, b))
+            }
+            Builtin::InnerProduct => {
+                let a = expect_vector(self.name(), t(0))?;
+                let b = expect_vector(self.name(), t(1))?;
+                unify(self.name(), "a", a, b)?;
+                Ok(DataType::Double)
+            }
+            Builtin::TransMatrix => {
+                let (a, b) = expect_matrix(self.name(), t(0))?;
+                Ok(DataType::Matrix(b, a))
+            }
+            Builtin::MatrixInverse => {
+                let (a, b) = expect_square(self.name(), t(0))?;
+                Ok(DataType::Matrix(a.or(b), a.or(b)))
+            }
+            Builtin::Diag => {
+                let (a, b) = expect_square(self.name(), t(0))?;
+                Ok(DataType::Vector(a.or(b)))
+            }
+            Builtin::DiagMatrix => {
+                let a = expect_vector(self.name(), t(0))?;
+                Ok(DataType::Matrix(a, a))
+            }
+            Builtin::Identity => {
+                expect_integer(self.name(), t(0))?;
+                let n = args[0].const_int.map(|v| v as usize);
+                Ok(DataType::Matrix(n, n))
+            }
+            Builtin::ZeroMatrix => {
+                expect_integer(self.name(), t(0))?;
+                expect_integer(self.name(), t(1))?;
+                Ok(DataType::Matrix(
+                    args[0].const_int.map(|v| v as usize),
+                    args[1].const_int.map(|v| v as usize),
+                ))
+            }
+            Builtin::ZeroVector => {
+                expect_integer(self.name(), t(0))?;
+                Ok(DataType::Vector(args[0].const_int.map(|v| v as usize)))
+            }
+            Builtin::Trace => {
+                expect_square(self.name(), t(0))?;
+                Ok(DataType::Double)
+            }
+            Builtin::FrobeniusNorm => {
+                expect_matrix(self.name(), t(0))?;
+                Ok(DataType::Double)
+            }
+            Builtin::Norm2 => {
+                expect_vector(self.name(), t(0))?;
+                Ok(DataType::Double)
+            }
+            Builtin::SumElements => match t(0) {
+                DataType::Matrix(_, _) | DataType::Vector(_) => Ok(DataType::Double),
+                other => Err(PlanError::Type(format!(
+                    "sum_elements expects MATRIX or VECTOR, got {other}"
+                ))),
+            },
+            Builtin::RowSums | Builtin::RowMin | Builtin::RowMax => {
+                let (a, _) = expect_matrix(self.name(), t(0))?;
+                Ok(DataType::Vector(a))
+            }
+            Builtin::ColSums => {
+                let (_, b) = expect_matrix(self.name(), t(0))?;
+                Ok(DataType::Vector(b))
+            }
+            Builtin::GetScalar => {
+                expect_vector(self.name(), t(0))?;
+                expect_integer(self.name(), t(1))?;
+                Ok(DataType::Double)
+            }
+            Builtin::GetEntry => {
+                expect_matrix(self.name(), t(0))?;
+                expect_integer(self.name(), t(1))?;
+                expect_integer(self.name(), t(2))?;
+                Ok(DataType::Double)
+            }
+            Builtin::LabelScalar => {
+                expect_numeric_scalar(self.name(), t(0))?;
+                expect_integer(self.name(), t(1))?;
+                Ok(DataType::LabeledScalar)
+            }
+            Builtin::LabelVector => {
+                let a = expect_vector(self.name(), t(0))?;
+                expect_integer(self.name(), t(1))?;
+                Ok(DataType::Vector(a))
+            }
+            Builtin::Solve => {
+                let (a, a2) = expect_square(self.name(), t(0))?;
+                let b = expect_vector(self.name(), t(1))?;
+                let n = unify(self.name(), "a", a.or(a2), b)?;
+                Ok(DataType::Vector(n))
+            }
+            Builtin::SolveLs => {
+                let (rows, cols) = expect_matrix(self.name(), t(0))?;
+                let b = expect_vector(self.name(), t(1))?;
+                unify(self.name(), "a", rows, b)?;
+                Ok(DataType::Vector(cols))
+            }
+            Builtin::MinElement | Builtin::MaxElement => match t(0) {
+                DataType::Matrix(_, _) | DataType::Vector(_) => Ok(DataType::Double),
+                other => Err(PlanError::Type(format!(
+                    "{} expects MATRIX or VECTOR, got {other}",
+                    self.name()
+                ))),
+            },
+        }
+    }
+
+    /// Runtime evaluation. NULL inputs yield NULL (SQL semantics). Size
+    /// errors that the static checker could not rule out (unknown dims)
+    /// surface here as runtime errors, per §3.1.
+    pub fn evaluate(&self, args: &[Value]) -> Result<Value> {
+        if args.iter().any(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        let bad = |i: usize| -> PlanError {
+            PlanError::Type(format!(
+                "{}: argument {} has unsupported runtime type {}",
+                self.name(),
+                i + 1,
+                args[i].data_type()
+            ))
+        };
+        let mat = |i: usize| args[i].as_matrix().ok_or_else(|| bad(i));
+        let vec = |i: usize| args[i].as_vector().ok_or_else(|| bad(i));
+        let int = |i: usize| args[i].as_integer().ok_or_else(|| bad(i));
+        let dbl = |i: usize| args[i].as_double().ok_or_else(|| bad(i));
+
+        Ok(match self {
+            Builtin::MatrixMultiply => Value::matrix(mat(0)?.multiply(mat(1)?)?),
+            Builtin::MatrixVectorMultiply => {
+                Value::vector(mat(0)?.matrix_vector_multiply(vec(1)?)?)
+            }
+            Builtin::VectorMatrixMultiply => {
+                Value::vector(vec(0)?.vector_matrix_multiply(mat(1)?)?)
+            }
+            Builtin::OuterProduct => Value::matrix(vec(0)?.outer_product(vec(1)?)),
+            Builtin::InnerProduct => Value::Double(vec(0)?.inner_product(vec(1)?)?),
+            Builtin::TransMatrix => Value::matrix(mat(0)?.transpose()),
+            Builtin::MatrixInverse => Value::matrix(mat(0)?.inverse()?),
+            Builtin::Diag => Value::vector(mat(0)?.diag()?),
+            Builtin::DiagMatrix => Value::matrix(Matrix::from_diag(vec(0)?)),
+            Builtin::Identity => Value::matrix(Matrix::identity(usize_arg(self, int(0)?)?)),
+            Builtin::ZeroMatrix => Value::matrix(Matrix::zeros(
+                usize_arg(self, int(0)?)?,
+                usize_arg(self, int(1)?)?,
+            )),
+            Builtin::ZeroVector => Value::vector(Vector::zeros(usize_arg(self, int(0)?)?)),
+            Builtin::Trace => Value::Double(mat(0)?.trace()?),
+            Builtin::FrobeniusNorm => Value::Double(mat(0)?.frobenius_norm()),
+            Builtin::Norm2 => Value::Double(vec(0)?.norm2()),
+            Builtin::SumElements => match &args[0] {
+                Value::Matrix(m) => Value::Double(m.sum_elements()),
+                Value::Vector(v) => Value::Double(v.sum_elements()),
+                _ => return Err(bad(0)),
+            },
+            Builtin::RowSums => Value::vector(mat(0)?.row_sums()),
+            Builtin::ColSums => Value::vector(mat(0)?.col_sums()),
+            Builtin::RowMin => Value::vector(mat(0)?.row_mins()),
+            Builtin::RowMax => Value::vector(mat(0)?.row_maxs()),
+            Builtin::GetScalar => Value::Double(vec(0)?.get(usize_arg(self, int(1)?)?)?),
+            Builtin::GetEntry => Value::Double(
+                mat(0)?.get(usize_arg(self, int(1)?)?, usize_arg(self, int(2)?)?)?,
+            ),
+            Builtin::LabelScalar => {
+                Value::LabeledScalar(LabeledScalar::new(dbl(0)?, int(1)?))
+            }
+            Builtin::LabelVector => Value::vector(vec(0)?.with_label(int(1)?)),
+            Builtin::Solve => Value::vector(mat(0)?.solve(vec(1)?)?),
+            Builtin::SolveLs => Value::vector(mat(0)?.solve_least_squares(vec(1)?)?),
+            Builtin::MinElement => match &args[0] {
+                Value::Matrix(m) => Value::Double(
+                    m.as_slice().iter().copied().fold(f64::INFINITY, f64::min),
+                ),
+                Value::Vector(v) => Value::Double(v.min_element()),
+                _ => return Err(bad(0)),
+            },
+            Builtin::MaxElement => match &args[0] {
+                Value::Matrix(m) => Value::Double(
+                    m.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                ),
+                Value::Vector(v) => Value::Double(v.max_element()),
+                _ => return Err(bad(0)),
+            },
+        })
+    }
+}
+
+fn usize_arg(b: &Builtin, v: i64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| {
+        PlanError::Type(format!("{}: negative size/index argument {v}", b.name()))
+    })
+}
+
+fn expect_matrix(
+    func: &str,
+    t: DataType,
+) -> Result<(Option<usize>, Option<usize>)> {
+    match t {
+        DataType::Matrix(r, c) => Ok((r, c)),
+        other => Err(PlanError::Type(format!("{func} expects MATRIX, got {other}"))),
+    }
+}
+
+fn expect_square(func: &str, t: DataType) -> Result<(Option<usize>, Option<usize>)> {
+    let (r, c) = expect_matrix(func, t)?;
+    if let (Some(r), Some(c)) = (r, c) {
+        if r != c {
+            return Err(PlanError::Type(format!(
+                "{func} expects a square matrix, got MATRIX[{r}][{c}]"
+            )));
+        }
+    }
+    Ok((r, c))
+}
+
+fn expect_vector(func: &str, t: DataType) -> Result<Option<usize>> {
+    match t {
+        DataType::Vector(n) => Ok(n),
+        other => Err(PlanError::Type(format!("{func} expects VECTOR, got {other}"))),
+    }
+}
+
+fn expect_integer(func: &str, t: DataType) -> Result<()> {
+    match t {
+        DataType::Integer => Ok(()),
+        other => Err(PlanError::Type(format!("{func} expects INTEGER, got {other}"))),
+    }
+}
+
+fn expect_numeric_scalar(func: &str, t: DataType) -> Result<()> {
+    match t {
+        DataType::Integer | DataType::Double | DataType::LabeledScalar => Ok(()),
+        other => Err(PlanError::Type(format!("{func} expects a numeric scalar, got {other}"))),
+    }
+}
+
+/// Unifies one dimension parameter across two occurrences, per §4.2: two
+/// known values must agree ("a different value for b would cause a
+/// compile-time error"); an unknown occurrence adopts the known one.
+fn unify(
+    func: &str,
+    param: &str,
+    a: Option<usize>,
+    b: Option<usize>,
+) -> Result<Option<usize>> {
+    match (a, b) {
+        (Some(x), Some(y)) if x != y => Err(PlanError::Type(format!(
+            "{func}: dimension parameter '{param}' bound to both {x} and {y}"
+        ))),
+        (Some(x), _) => Ok(Some(x)),
+        (_, y) => Ok(y),
+    }
+}
+
+/// Public dimension unification used by element-wise arithmetic type
+/// inference (`VECTOR[a] + VECTOR[a]` and friends).
+pub fn unify_dims_public(
+    op: &str,
+    a: Option<usize>,
+    b: Option<usize>,
+) -> Result<Option<usize>> {
+    match (a, b) {
+        (Some(x), Some(y)) if x != y => Err(PlanError::Type(format!(
+            "element-wise {op}: operand sizes {x} and {y} differ"
+        ))),
+        (Some(x), _) => Ok(Some(x)),
+        (_, y) => Ok(y),
+    }
+}
+
+/// SQL aggregate functions, including the three LA construction aggregates
+/// of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `SUM` — element-wise over vectors/matrices (§3.2).
+    Sum,
+    /// `COUNT`
+    Count,
+    /// `AVG`
+    Avg,
+    /// `MIN` — element-wise over vectors/matrices.
+    Min,
+    /// `MAX` — element-wise over vectors/matrices.
+    Max,
+    /// `VECTORIZE(LABELED_SCALAR) -> VECTOR` (§3.3)
+    Vectorize,
+    /// `ROWMATRIX(VECTOR) -> MATRIX` (§3.3)
+    RowMatrix,
+    /// `COLMATRIX(VECTOR) -> MATRIX` (§3.3)
+    ColMatrix,
+}
+
+impl AggFunc {
+    /// SQL-visible name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Vectorize => "VECTORIZE",
+            AggFunc::RowMatrix => "ROWMATRIX",
+            AggFunc::ColMatrix => "COLMATRIX",
+        }
+    }
+
+    /// Case-insensitive lookup by SQL name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "COUNT" => Some(AggFunc::Count),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "VECTORIZE" => Some(AggFunc::Vectorize),
+            "ROWMATRIX" => Some(AggFunc::RowMatrix),
+            "COLMATRIX" => Some(AggFunc::ColMatrix),
+            _ => None,
+        }
+    }
+
+    /// Result type of the aggregate over an input of type `input`.
+    pub fn infer_type(&self, input: DataType) -> Result<DataType> {
+        match self {
+            AggFunc::Count => Ok(DataType::Integer),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                if input.is_numeric() && input != DataType::LabeledScalar {
+                    Ok(input)
+                } else {
+                    Err(PlanError::Type(format!(
+                        "{} cannot aggregate values of type {input}",
+                        self.name()
+                    )))
+                }
+            }
+            AggFunc::Avg => match input {
+                DataType::Integer | DataType::Double => Ok(DataType::Double),
+                DataType::Vector(n) => Ok(DataType::Vector(n)),
+                DataType::Matrix(r, c) => Ok(DataType::Matrix(r, c)),
+                other => Err(PlanError::Type(format!("AVG cannot aggregate {other}"))),
+            },
+            AggFunc::Vectorize => match input {
+                DataType::LabeledScalar => Ok(DataType::Vector(None)),
+                other => Err(PlanError::Type(format!(
+                    "VECTORIZE expects LABELED_SCALAR, got {other}"
+                ))),
+            },
+            AggFunc::RowMatrix | AggFunc::ColMatrix => match input {
+                // The assembled size depends on the labels present, so it
+                // is unknown statically.
+                DataType::Vector(_) => Ok(DataType::Matrix(None, None)),
+                other => Err(PlanError::Type(format!(
+                    "{} expects VECTOR, got {other}",
+                    self.name()
+                ))),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(r: usize, c: usize) -> ArgType {
+        ArgType::of(DataType::Matrix(Some(r), Some(c)))
+    }
+
+    fn v(n: usize) -> ArgType {
+        ArgType::of(DataType::Vector(Some(n)))
+    }
+
+    #[test]
+    fn all_builtins_roundtrip_names() {
+        for b in ALL_BUILTINS {
+            assert_eq!(Builtin::from_name(b.name()), Some(*b));
+            assert_eq!(Builtin::from_name(&b.name().to_uppercase()), Some(*b));
+        }
+        assert_eq!(Builtin::from_name("nope"), None);
+        assert_eq!(ALL_BUILTINS.len(), 28);
+    }
+
+    #[test]
+    fn matrix_multiply_signature_binds_dims() {
+        // the paper's §4.2 example: U MATRIX[1000][100] × V MATRIX[100][10000]
+        let out = Builtin::MatrixMultiply.infer_type(&[m(1000, 100), m(100, 10000)]).unwrap();
+        assert_eq!(out, DataType::Matrix(Some(1000), Some(10000)));
+    }
+
+    #[test]
+    fn matrix_multiply_conflicting_binding_is_compile_error() {
+        // "a different value for b would cause a compile-time error"
+        let err = Builtin::MatrixMultiply.infer_type(&[m(10, 100), m(99, 5)]);
+        assert!(matches!(err, Err(PlanError::Type(_))));
+    }
+
+    #[test]
+    fn unknown_dims_flow_through() {
+        let unk = ArgType::of(DataType::Matrix(Some(10), None));
+        let out = Builtin::MatrixMultiply.infer_type(&[unk, m(100, 5)]).unwrap();
+        assert_eq!(out, DataType::Matrix(Some(10), Some(5)));
+    }
+
+    #[test]
+    fn matrix_vector_multiply_size_check() {
+        // the paper's §3.1 example: MATRIX[10][10] × VECTOR[100] must not compile
+        let err = Builtin::MatrixVectorMultiply.infer_type(&[m(10, 10), v(100)]);
+        assert!(err.is_err());
+        let ok = Builtin::MatrixVectorMultiply.infer_type(&[m(10, 10), v(10)]).unwrap();
+        assert_eq!(ok, DataType::Vector(Some(10)));
+    }
+
+    #[test]
+    fn diag_requires_square() {
+        assert!(Builtin::Diag.infer_type(&[m(3, 4)]).is_err());
+        assert_eq!(Builtin::Diag.infer_type(&[m(4, 4)]).unwrap(), DataType::Vector(Some(4)));
+    }
+
+    #[test]
+    fn constructors_use_const_args() {
+        let out = Builtin::Identity.infer_type(&[ArgType::const_int(10)]).unwrap();
+        assert_eq!(out, DataType::Matrix(Some(10), Some(10)));
+        // non-constant integer argument: output dims unknown
+        let out = Builtin::Identity.infer_type(&[ArgType::of(DataType::Integer)]).unwrap();
+        assert_eq!(out, DataType::Matrix(None, None));
+        let out = Builtin::ZeroMatrix
+            .infer_type(&[ArgType::const_int(2), ArgType::const_int(3)])
+            .unwrap();
+        assert_eq!(out, DataType::Matrix(Some(2), Some(3)));
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(Builtin::Trace.infer_type(&[m(2, 2), m(2, 2)]).is_err());
+    }
+
+    #[test]
+    fn evaluate_core_functions() {
+        let a = Value::matrix(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap());
+        let x = Value::vector(Vector::from_slice(&[1.0, 1.0]));
+        let mv = Builtin::MatrixVectorMultiply.evaluate(&[a.clone(), x.clone()]).unwrap();
+        assert_eq!(mv.as_vector().unwrap().as_slice(), &[3.0, 7.0]);
+        let ip = Builtin::InnerProduct.evaluate(&[x.clone(), x.clone()]).unwrap();
+        assert_eq!(ip, Value::Double(2.0));
+        let tr = Builtin::Trace.evaluate(&[a.clone()]).unwrap();
+        assert_eq!(tr, Value::Double(5.0));
+        let op = Builtin::OuterProduct.evaluate(&[x.clone(), x.clone()]).unwrap();
+        assert_eq!(op.as_matrix().unwrap().shape(), (2, 2));
+        let inv = Builtin::MatrixInverse.evaluate(&[a.clone()]).unwrap();
+        let prod = Builtin::MatrixMultiply.evaluate(&[a.clone(), inv]).unwrap();
+        assert!(prod.as_matrix().unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn evaluate_labels() {
+        let ls = Builtin::LabelScalar
+            .evaluate(&[Value::Double(3.5), Value::Integer(2)])
+            .unwrap();
+        assert_eq!(ls.as_labeled_scalar().unwrap(), LabeledScalar::new(3.5, 2));
+        let lv = Builtin::LabelVector
+            .evaluate(&[Value::vector(Vector::zeros(2)), Value::Integer(5)])
+            .unwrap();
+        assert_eq!(lv.as_vector().unwrap().label(), 5);
+    }
+
+    #[test]
+    fn evaluate_null_propagates() {
+        let out = Builtin::Trace.evaluate(&[Value::Null]).unwrap();
+        assert!(out.is_null());
+    }
+
+    #[test]
+    fn evaluate_runtime_dim_error() {
+        // VECTOR[] columns defer checks to runtime (§3.1)
+        let a = Value::matrix(Matrix::zeros(2, 2));
+        let x = Value::vector(Vector::zeros(3));
+        assert!(Builtin::MatrixVectorMultiply.evaluate(&[a, x]).is_err());
+    }
+
+    #[test]
+    fn evaluate_constructors_and_accessors() {
+        let id = Builtin::Identity.evaluate(&[Value::Integer(3)]).unwrap();
+        assert_eq!(id.as_matrix().unwrap().trace().unwrap(), 3.0);
+        assert!(Builtin::Identity.evaluate(&[Value::Integer(-1)]).is_err());
+        let z = Builtin::ZeroVector.evaluate(&[Value::Integer(4)]).unwrap();
+        assert_eq!(z.as_vector().unwrap().len(), 4);
+        let gs = Builtin::GetScalar
+            .evaluate(&[Value::vector(Vector::from_slice(&[7.0, 8.0])), Value::Integer(1)])
+            .unwrap();
+        assert_eq!(gs, Value::Double(8.0));
+        let ge = Builtin::GetEntry
+            .evaluate(&[
+                Value::matrix(Matrix::identity(2)),
+                Value::Integer(0),
+                Value::Integer(1),
+            ])
+            .unwrap();
+        assert_eq!(ge, Value::Double(0.0));
+    }
+
+    #[test]
+    fn agg_type_inference() {
+        assert_eq!(
+            AggFunc::Sum.infer_type(DataType::Matrix(Some(2), Some(2))).unwrap(),
+            DataType::Matrix(Some(2), Some(2))
+        );
+        assert_eq!(AggFunc::Count.infer_type(DataType::Varchar).unwrap(), DataType::Integer);
+        assert_eq!(AggFunc::Avg.infer_type(DataType::Integer).unwrap(), DataType::Double);
+        assert_eq!(
+            AggFunc::Vectorize.infer_type(DataType::LabeledScalar).unwrap(),
+            DataType::Vector(None)
+        );
+        assert!(AggFunc::Vectorize.infer_type(DataType::Double).is_err());
+        assert_eq!(
+            AggFunc::RowMatrix.infer_type(DataType::Vector(Some(5))).unwrap(),
+            DataType::Matrix(None, None)
+        );
+        assert!(AggFunc::Sum.infer_type(DataType::Varchar).is_err());
+        assert!(AggFunc::Sum.infer_type(DataType::LabeledScalar).is_err());
+    }
+
+    #[test]
+    fn agg_names_roundtrip() {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Vectorize,
+            AggFunc::RowMatrix,
+            AggFunc::ColMatrix,
+        ] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,381 @@
+//! Logical relational-algebra plans.
+
+use lardb_storage::{Column, DataType, Schema};
+
+use crate::error::{PlanError, Result};
+use crate::expr::Expr;
+use crate::functions::AggFunc;
+
+/// Join kinds. The engine is inner-join only (the paper's workloads need
+/// nothing else); `Cross` is an inner join with no predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Cartesian product.
+    Cross,
+}
+
+/// One aggregate in an `Aggregate` node, e.g.
+/// `SUM(outer_product(x.value, x.value)) AS g`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The argument (`None` only for `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A logical query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// The table schema, qualified with the FROM-clause alias.
+        schema: Schema,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Projection / computation of new columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+        /// Output schema (names from SELECT aliases, types inferred).
+        schema: Schema,
+    },
+    /// An unordered n-way join: the binder emits this for the FROM list,
+    /// and the optimizer turns it into a [`LogicalPlan::Join`] tree.
+    /// Predicates are expressed over the concatenation of all input
+    /// schemas, in input order ("global" column positions).
+    MultiJoin {
+        /// The relations being joined.
+        inputs: Vec<LogicalPlan>,
+        /// Conjunctive predicates over the global column space.
+        predicates: Vec<Expr>,
+    },
+    /// A concrete binary join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Kind.
+        kind: JoinKind,
+        /// Equi-join key pairs `(left expr, right expr)`, each expression
+        /// local to its own side. Expressions (not just columns) are
+        /// allowed: the paper's blocking query joins on
+        /// `x.id/1000 = ind.mi`.
+        equi: Vec<(Expr, Expr)>,
+        /// Any residual (non-equi) predicate, over the concatenated output.
+        residual: Option<Expr>,
+    },
+    /// Grouped or global aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions (empty for a global aggregate).
+        group_by: Vec<Expr>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+        /// Output schema: group columns then aggregate columns.
+        schema: Schema,
+    },
+    /// Sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys with ascending flags.
+        keys: Vec<(Expr, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum number of rows.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// The node's output schema.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema.clone(),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema.clone(),
+            LogicalPlan::MultiJoin { inputs, .. } => {
+                let mut s = Schema::default();
+                for i in inputs {
+                    s = s.concat(&i.schema());
+                }
+                s
+            }
+            LogicalPlan::Join { left, right, .. } => left.schema().concat(&right.schema()),
+            LogicalPlan::Aggregate { schema, .. } => schema.clone(),
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Builds a `Project`, inferring output types (and therefore LA
+    /// dimensions) from the expressions.
+    pub fn project(input: LogicalPlan, exprs: Vec<(Expr, String)>) -> Result<LogicalPlan> {
+        let in_schema = input.schema();
+        let mut columns = Vec::with_capacity(exprs.len());
+        let mut out_exprs = Vec::with_capacity(exprs.len());
+        for (e, name) in exprs {
+            let dtype = e.infer_type(&in_schema)?;
+            // Plain column references keep their qualifier so later
+            // resolution of `x1.value` in outer queries still works.
+            let column = match &e {
+                Expr::Column(i) => {
+                    let c = in_schema.column(*i);
+                    Column { qualifier: c.qualifier.clone(), name, dtype }
+                }
+                _ => Column { qualifier: None, name, dtype },
+            };
+            columns.push(column);
+            out_exprs.push(e);
+        }
+        Ok(LogicalPlan::Project {
+            input: Box::new(input),
+            exprs: out_exprs,
+            schema: Schema::new(columns),
+        })
+    }
+
+    /// Builds an `Aggregate`, inferring the output schema.
+    pub fn aggregate(
+        input: LogicalPlan,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggExpr>,
+    ) -> Result<LogicalPlan> {
+        let in_schema = input.schema();
+        let mut columns = Vec::new();
+        let mut group_exprs = Vec::new();
+        for (e, name) in group_by {
+            let dtype = e.infer_type(&in_schema)?;
+            if dtype.is_linear_algebra() && !matches!(dtype, DataType::LabeledScalar) {
+                return Err(PlanError::Type(format!(
+                    "cannot GROUP BY a value of type {dtype}"
+                )));
+            }
+            let column = match &e {
+                Expr::Column(i) => {
+                    let c = in_schema.column(*i);
+                    Column { qualifier: c.qualifier.clone(), name, dtype }
+                }
+                _ => Column { qualifier: None, name, dtype },
+            };
+            columns.push(column);
+            group_exprs.push(e);
+        }
+        for a in &aggs {
+            let in_type = match &a.arg {
+                Some(e) => e.infer_type(&in_schema)?,
+                None => DataType::Integer, // COUNT(*)
+            };
+            let dtype = a.func.infer_type(in_type)?;
+            columns.push(Column::new(a.name.clone(), dtype));
+        }
+        Ok(LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_by: group_exprs,
+            aggs,
+            schema: Schema::new(columns),
+        })
+    }
+
+    /// Children of this node.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::MultiJoin { inputs, .. } => inputs.iter().collect(),
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Pretty-prints the plan as an indented tree (EXPLAIN).
+    pub fn display_tree(&self) -> String {
+        let mut out = String::new();
+        self.fmt_tree(0, &mut out);
+        out
+    }
+
+    fn fmt_tree(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let schema = self.children().first().map(|c| c.schema());
+        match self {
+            LogicalPlan::Scan { table, schema } => {
+                out.push_str(&format!("{pad}Scan: {table} {schema}\n"));
+            }
+            LogicalPlan::Filter { predicate, .. } => {
+                out.push_str(&format!(
+                    "{pad}Filter: {}\n",
+                    predicate.display(schema.as_ref())
+                ));
+            }
+            LogicalPlan::Project { exprs, schema: s, .. } => {
+                let items: Vec<String> = exprs
+                    .iter()
+                    .zip(s.columns())
+                    .map(|(e, c)| format!("{} AS {}", e.display(schema.as_ref()), c.name))
+                    .collect();
+                out.push_str(&format!("{pad}Project: {}\n", items.join(", ")));
+            }
+            LogicalPlan::MultiJoin { predicates, .. } => {
+                let full = self.schema();
+                let preds: Vec<String> =
+                    predicates.iter().map(|p| p.display(Some(&full))).collect();
+                out.push_str(&format!("{pad}MultiJoin: on {}\n", preds.join(" AND ")));
+            }
+            LogicalPlan::Join { kind, equi, residual, .. } => {
+                let full = self.schema();
+                let mut desc = match kind {
+                    JoinKind::Inner => "Join".to_string(),
+                    JoinKind::Cross => "CrossJoin".to_string(),
+                };
+                if !equi.is_empty() {
+                    let keys: Vec<String> = equi
+                        .iter()
+                        .map(|(l, r)| format!("{}={}", l.display(None), r.display(None)))
+                        .collect();
+                    desc.push_str(&format!(" on {}", keys.join(", ")));
+                }
+                if let Some(r) = residual {
+                    desc.push_str(&format!(" filter {}", r.display(Some(&full))));
+                }
+                out.push_str(&format!("{pad}{desc}\n"));
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let gb: Vec<String> =
+                    group_by.iter().map(|g| g.display(schema.as_ref())).collect();
+                let ags: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        let arg = a
+                            .arg
+                            .as_ref()
+                            .map(|e| e.display(schema.as_ref()))
+                            .unwrap_or_else(|| "*".into());
+                        format!("{}({}) AS {}", a.func.name(), arg, a.name)
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate: group=[{}] aggs=[{}]\n",
+                    gb.join(", "),
+                    ags.join(", ")
+                ));
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| {
+                        format!("{} {}", e.display(schema.as_ref()), if *asc { "ASC" } else { "DESC" })
+                    })
+                    .collect();
+                out.push_str(&format!("{pad}Sort: {}\n", ks.join(", ")));
+            }
+            LogicalPlan::Limit { n, .. } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+            }
+        }
+        for c in self.children() {
+            c.fmt_tree(indent + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_storage::DataType;
+
+    fn scan(name: &str, cols: &[(&str, DataType)]) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: name.to_string(),
+            schema: Schema::from_pairs(cols).with_qualifier(name),
+        }
+    }
+
+    #[test]
+    fn project_infers_schema() {
+        let s = scan("t", &[("id", DataType::Integer), ("v", DataType::Vector(Some(5)))]);
+        let p = LogicalPlan::project(
+            s,
+            vec![
+                (Expr::col(1), "vec".into()),
+                (
+                    Expr::call(crate::functions::Builtin::Norm2, vec![Expr::col(1)]),
+                    "n".into(),
+                ),
+            ],
+        )
+        .unwrap();
+        let schema = p.schema();
+        assert_eq!(schema.column(0).dtype, DataType::Vector(Some(5)));
+        assert_eq!(schema.column(0).name, "vec");
+        // bare column keeps its qualifier
+        assert_eq!(schema.column(0).qualifier.as_deref(), Some("t"));
+        assert_eq!(schema.column(1).dtype, DataType::Double);
+        assert_eq!(schema.column(1).qualifier, None);
+    }
+
+    #[test]
+    fn aggregate_infers_schema() {
+        let s = scan("t", &[("g", DataType::Integer), ("v", DataType::Vector(Some(3)))]);
+        let a = LogicalPlan::aggregate(
+            s,
+            vec![(Expr::col(0), "g".into())],
+            vec![AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() }],
+        )
+        .unwrap();
+        let schema = a.schema();
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(schema.column(1).dtype, DataType::Vector(Some(3)));
+    }
+
+    #[test]
+    fn aggregate_rejects_group_by_matrix() {
+        let s = scan("t", &[("m", DataType::Matrix(Some(2), Some(2)))]);
+        let err = LogicalPlan::aggregate(s, vec![(Expr::col(0), "m".into())], vec![]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn multijoin_schema_concatenates() {
+        let a = scan("a", &[("x", DataType::Integer)]);
+        let b = scan("b", &[("y", DataType::Integer)]);
+        let mj = LogicalPlan::MultiJoin { inputs: vec![a, b], predicates: vec![] };
+        assert_eq!(mj.schema().arity(), 2);
+        assert_eq!(mj.schema().resolve_str("b.y").unwrap(), 1);
+    }
+
+    #[test]
+    fn display_tree_smoke() {
+        let s = scan("t", &[("id", DataType::Integer)]);
+        let f = LogicalPlan::Filter {
+            input: Box::new(s),
+            predicate: Expr::eq(Expr::col(0), Expr::lit(1i64)),
+        };
+        let tree = f.display_tree();
+        assert!(tree.contains("Filter: (t.id = 1)"));
+        assert!(tree.contains("Scan: t"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Tokenizer for the extended SQL dialect.
+
+use crate::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; the lexer keeps the original spelling).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+/// Tokenizes `input`. Supports `--` line comments.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let push = |out: &mut Vec<Spanned>, t: Token| {
+            out.push(Spanned { token: t, position: start })
+        };
+        match c {
+            '(' => {
+                push(&mut out, Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                push(&mut out, Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push(&mut out, Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                push(&mut out, Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                push(&mut out, Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Token::Star);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                push(&mut out, Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        position: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    push(&mut out, Token::LtEq);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    push(&mut out, Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::GtEq);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push(&mut out, Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                // Fractional part: a dot followed by a digit (a bare dot is
+                // left alone so `x.id/1000` lexes correctly).
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // Exponent
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &input[i..j];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?;
+                    push(&mut out, Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?;
+                    push(&mut out, Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = bytes[j] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, Token::Ident(input[i..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let t = toks("SELECT x.id, 3.5 FROM t WHERE a <> b AND c <= 2");
+        assert!(t.contains(&Token::Ident("SELECT".into())));
+        assert!(t.contains(&Token::Float(3.5)));
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::LtEq));
+    }
+
+    #[test]
+    fn qualified_and_integer_division() {
+        // `x.id/1000` must lex as ident dot ident slash int
+        let t = toks("x.id/1000");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("x".into()),
+                Token::Dot,
+                Token::Ident("id".into()),
+                Token::Slash,
+                Token::Int(1000),
+            ]
+        );
+    }
+
+    #[test]
+    fn matrix_type_brackets() {
+        let t = toks("MATRIX[10][10]");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("MATRIX".into()),
+                Token::LBracket,
+                Token::Int(10),
+                Token::RBracket,
+                Token::LBracket,
+                Token::Int(10),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("SELECT 1 -- trailing comment\n, 2");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn float_with_exponent() {
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn negative_numbers_lex_as_minus_then_literal() {
+        assert_eq!(
+            toks("-3.5"),
+            vec![Token::Minus, Token::Float(3.5)]
+        );
+    }
+
+    #[test]
+    fn adjacent_operators() {
+        assert_eq!(
+            toks("a<=b>=c<>d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LtEq,
+                Token::Ident("b".into()),
+                Token::GtEq,
+                Token::Ident("c".into()),
+                Token::NotEq,
+                Token::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(tokenize("a ? b"), Err(SqlError::Lex { .. })));
+    }
+}

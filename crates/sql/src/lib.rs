@@ -1,0 +1,88 @@
+//! # lardb-sql — the extended-SQL front end
+//!
+//! Implements the SQL surface of the paper: ordinary `SELECT`-`FROM`-
+//! `WHERE`-`GROUP BY` SQL extended with
+//!
+//! * the `LABELED_SCALAR`, `VECTOR[n]` and `MATRIX[r][c]` column types in
+//!   `CREATE TABLE` (§3.1),
+//! * the built-in linear-algebra functions and the overloaded arithmetic
+//!   operators (§3.2),
+//! * the construction aggregates `VECTORIZE`, `ROWMATRIX`, `COLMATRIX` and
+//!   the label functions (§3.3),
+//! * views and subqueries in `FROM` (the paper's examples lean on both).
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`binder`]. The binder resolves
+//! names, expands views, and produces a [`lardb_planner::LogicalPlan`]
+//! whose construction runs the templated-signature type checker — so a
+//! query like `matrix_vector_multiply(m.mat, m.vec)` over `MATRIX[10][10]`
+//! and `VECTOR[100]` **fails to compile**, exactly as §3.1 prescribes.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, SelectItem, SelectStatement, Statement, TableRef};
+pub use binder::Binder;
+pub use parser::parse_statement;
+
+use lardb_planner::PlanError;
+use lardb_storage::StorageError;
+
+/// Errors raised by the SQL front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error (bad character, unterminated string, …).
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic error (unknown name, type error, misuse of aggregates…).
+    Bind(String),
+    /// Error from planning machinery (includes §4.2 dimension errors).
+    Plan(PlanError),
+    /// Error from the catalog.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
+            SqlError::Plan(e) => write!(f, "{e}"),
+            SqlError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<PlanError> for SqlError {
+    fn from(e: PlanError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Result alias for the SQL front end.
+pub type Result<T> = std::result::Result<T, SqlError>;

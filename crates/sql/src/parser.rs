@@ -1,0 +1,656 @@
+//! Recursive-descent parser for the extended SQL dialect.
+
+use lardb_storage::DataType;
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::{Result, SqlError};
+
+/// Parses exactly one statement (an optional trailing `;` is allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { input, tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept(&Token::Semicolon);
+    if let Some(t) = p.peek() {
+        return Err(p.err_at(t.position, "unexpected trailing tokens"));
+    }
+    Ok(stmt)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: &str) -> SqlError {
+        let position = self.peek().map(|t| t.position).unwrap_or(self.input.len());
+        SqlError::Parse { position, message: message.into() }
+    }
+
+    fn err_at(&self, position: usize, message: &str) -> SqlError {
+        SqlError::Parse { position, message: message.into() }
+    }
+
+    /// Consumes `t` if it is next; returns whether it did.
+    fn accept(&mut self, t: &Token) -> bool {
+        if self.peek().map(|s| &s.token) == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<()> {
+        if self.accept(t) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {what}")))
+        }
+    }
+
+    /// Case-insensitive keyword check without consuming.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { token: Token::Ident(s), .. })
+            if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes a keyword if present.
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {kw}")))
+        }
+    }
+
+    /// Consumes any identifier (keywords allowed as names except a few
+    /// reserved ones in expression position).
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Spanned { token: Token::Ident(s), .. }) => Ok(s),
+            Some(Spanned { position, .. }) => {
+                Err(self.err_at(position, &format!("expected {what}")))
+            }
+            None => Err(self.err_here(&format!("expected {what}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.accept_kw("EXPLAIN") {
+            return Ok(Statement::Explain(self.select()?));
+        }
+        if self.accept_kw("CREATE") {
+            if self.accept_kw("TABLE") {
+                let name = self.ident("table name")?;
+                if self.accept_kw("AS") {
+                    return Ok(Statement::CreateTableAs { name, query: self.select()? });
+                }
+                self.expect(&Token::LParen, "'('")?;
+                let mut columns = Vec::new();
+                loop {
+                    let col = self.ident("column name")?;
+                    let dtype = self.type_decl()?;
+                    columns.push((col, dtype));
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen, "')'")?;
+                return Ok(Statement::CreateTable { name, columns });
+            }
+            if self.accept_kw("VIEW") {
+                let name = self.ident("view name")?;
+                let columns = if self.accept(&Token::LParen) {
+                    let mut cols = Vec::new();
+                    loop {
+                        cols.push(self.ident("column name")?);
+                        if !self.accept(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen, "')'")?;
+                    Some(cols)
+                } else {
+                    None
+                };
+                self.expect_kw("AS")?;
+                // Record the body's original SQL for the catalog.
+                let body_start =
+                    self.peek().map(|t| t.position).unwrap_or(self.input.len());
+                let query = self.select()?;
+                let body_end = self
+                    .peek()
+                    .map(|t| t.position)
+                    .unwrap_or(self.input.len());
+                let sql = self.input[body_start..body_end].trim().to_string();
+                return Ok(Statement::CreateView { name, columns, query, sql });
+            }
+            return Err(self.err_here("expected TABLE or VIEW after CREATE"));
+        }
+        if self.accept_kw("DROP") {
+            if self.accept_kw("TABLE") {
+                return Ok(Statement::DropTable { name: self.ident("table name")? });
+            }
+            if self.accept_kw("VIEW") {
+                return Ok(Statement::DropView { name: self.ident("view name")? });
+            }
+            return Err(self.err_here("expected TABLE or VIEW after DROP"));
+        }
+        if self.accept_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident("table name")?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen, "'('")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen, "')'")?;
+                rows.push(row);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        Err(self.err_here("expected a statement"))
+    }
+
+    fn type_decl(&mut self) -> Result<DataType> {
+        let name = self.ident("type name")?.to_ascii_uppercase();
+        match name.as_str() {
+            "INTEGER" | "INT" => Ok(DataType::Integer),
+            "DOUBLE" | "FLOAT" | "REAL" => Ok(DataType::Double),
+            "BOOLEAN" | "BOOL" => Ok(DataType::Boolean),
+            "VARCHAR" | "TEXT" | "STRING" => Ok(DataType::Varchar),
+            "LABELED_SCALAR" => Ok(DataType::LabeledScalar),
+            "VECTOR" => {
+                let n = self.bracket_dim()?;
+                Ok(DataType::Vector(n))
+            }
+            "MATRIX" => {
+                let r = self.bracket_dim()?;
+                let c = self.bracket_dim()?;
+                Ok(DataType::Matrix(r, c))
+            }
+            other => Err(self.err_here(&format!("unknown type '{other}'"))),
+        }
+    }
+
+    /// Parses `[n]` or `[]`.
+    fn bracket_dim(&mut self) -> Result<Option<usize>> {
+        self.expect(&Token::LBracket, "'['")?;
+        let n = match self.peek() {
+            Some(Spanned { token: Token::Int(v), .. }) => {
+                let v = *v;
+                self.pos += 1;
+                if v < 0 {
+                    return Err(self.err_here("negative dimension"));
+                }
+                Some(v as usize)
+            }
+            _ => None,
+        };
+        self.expect(&Token::RBracket, "']'")?;
+        Ok(n)
+    }
+
+    fn select(&mut self) -> Result<SelectStatement> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.accept_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.accept(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.accept_kw("AS") {
+                    Some(self.ident("alias")?)
+                } else if let Some(Spanned { token: Token::Ident(s), .. }) = self.peek() {
+                    // bare alias, unless it's a clause keyword
+                    if is_clause_keyword(s) {
+                        None
+                    } else {
+                        let a = s.clone();
+                        self.pos += 1;
+                        Some(a)
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.table_ref()?);
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause =
+            if self.accept_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.accept_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.accept_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.accept_kw("DESC") {
+                    false
+                } else {
+                    self.accept_kw("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_kw("LIMIT") {
+            match self.next() {
+                Some(Spanned { token: Token::Int(n), .. }) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err_here("expected row count after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement { distinct, items, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.accept(&Token::LParen) {
+            let query = Box::new(self.select()?);
+            self.expect(&Token::RParen, "')'")?;
+            self.accept_kw("AS");
+            let alias = self.ident("subquery alias")?;
+            return Ok(TableRef::Subquery { query, alias });
+        }
+        let name = self.ident("table name")?;
+        let alias = if self.accept_kw("AS") {
+            Some(self.ident("alias")?)
+        } else if let Some(Spanned { token: Token::Ident(s), .. }) = self.peek() {
+            if is_clause_keyword(s) {
+                None
+            } else {
+                let a = s.clone();
+                self.pos += 1;
+                Some(a)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < add < mul < unary.
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = AstExpr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.not_expr()?;
+        while self.accept_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = AstExpr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.accept_kw("NOT") {
+            return Ok(AstExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().map(|s| &s.token) {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|s| &s.token) {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().map(|s| &s.token) {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr> {
+        if self.accept(&Token::Minus) {
+            return Ok(AstExpr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.accept(&Token::Plus) {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.next() {
+            Some(Spanned { token: Token::Int(v), .. }) => Ok(AstExpr::Int(v)),
+            Some(Spanned { token: Token::Float(v), .. }) => Ok(AstExpr::Float(v)),
+            Some(Spanned { token: Token::Str(s), .. }) => Ok(AstExpr::Str(s)),
+            Some(Spanned { token: Token::LParen, .. }) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Spanned { token: Token::Ident(name), position }) => {
+                // Function call?
+                if self.accept(&Token::LParen) {
+                    if self.accept(&Token::Star) {
+                        self.expect(&Token::RParen, "')'")?;
+                        return Ok(AstExpr::Call { name, args: vec![], star: true });
+                    }
+                    let mut args = Vec::new();
+                    if !self.accept(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.accept(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen, "')'")?;
+                    }
+                    return Ok(AstExpr::Call { name, args, star: false });
+                }
+                // Qualified column?
+                if self.accept(&Token::Dot) {
+                    let col = self.ident("column name")?;
+                    return Ok(AstExpr::Column { qualifier: Some(name), name: col });
+                }
+                if is_clause_keyword(&name) {
+                    return Err(self.err_at(position, "unexpected keyword in expression"));
+                }
+                Ok(AstExpr::Column { qualifier: None, name })
+            }
+            Some(Spanned { position, .. }) => Err(self.err_at(position, "expected expression")),
+            None => Err(self.err_here("expected expression")),
+        }
+    }
+}
+
+/// Keywords that end an expression / alias position.
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AND", "OR", "NOT",
+        "AS", "ASC", "DESC", "INTO", "VALUES", "CREATE", "DROP", "TABLE", "VIEW",
+        "INSERT", "EXPLAIN", "HAVING", "DISTINCT",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let s = parse_statement("SELECT a, b AS bee FROM t WHERE a = 1;").unwrap();
+        let Statement::Select(sel) = s else { panic!("expected select") };
+        assert_eq!(sel.items.len(), 2);
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.from.len(), 1);
+    }
+
+    #[test]
+    fn parse_paper_gram_query() {
+        // Directly from §5's tuple-based Gram matrix code.
+        let sql = "SELECT x1.col_index, x2.col_index, SUM(x1.value * x2.value)
+                   FROM x AS x1, x AS x2
+                   WHERE x1.row_index = x2.row_index
+                   GROUP BY x1.col_index, x2.col_index";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.group_by.len(), 2);
+        assert!(matches!(
+            &sel.items[2],
+            SelectItem::Expr { expr: AstExpr::Call { name, .. }, .. } if name == "SUM"
+        ));
+    }
+
+    #[test]
+    fn parse_create_table_with_la_types() {
+        // §3.1's example declaration.
+        let s = parse_statement("CREATE TABLE m (mat MATRIX[10][10], vec VECTOR[100])")
+            .unwrap();
+        let Statement::CreateTable { name, columns } = s else { panic!() };
+        assert_eq!(name, "m");
+        assert_eq!(columns[0].1, DataType::Matrix(Some(10), Some(10)));
+        assert_eq!(columns[1].1, DataType::Vector(Some(100)));
+    }
+
+    #[test]
+    fn parse_unsized_types() {
+        let s = parse_statement("CREATE TABLE x (v VECTOR[], m MATRIX[10][])").unwrap();
+        let Statement::CreateTable { columns, .. } = s else { panic!() };
+        assert_eq!(columns[0].1, DataType::Vector(None));
+        assert_eq!(columns[1].1, DataType::Matrix(Some(10), None));
+    }
+
+    #[test]
+    fn parse_view_with_group_by() {
+        // §3.3's vecs view.
+        let sql = "CREATE VIEW vecs AS
+                   SELECT VECTORIZE(label_scalar(val, col)) AS vec, row
+                   FROM mat
+                   GROUP BY row";
+        let Statement::CreateView { name, query, sql: body, .. } =
+            parse_statement(sql).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(name, "vecs");
+        assert_eq!(query.group_by.len(), 1);
+        assert!(body.starts_with("SELECT"));
+    }
+
+    #[test]
+    fn parse_subquery_in_from() {
+        // The shape of §2.2's nested distance query.
+        let sql = "SELECT x.pointID, SUM(firstPart.value * x.value)
+                   FROM (SELECT pointID AS pointID FROM xDiff) AS firstPart, xDiff AS x
+                   WHERE firstPart.pointID = x.pointID
+                   GROUP BY x.pointID";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        assert!(matches!(&sel.from[0], TableRef::Subquery { alias, .. } if alias == "firstPart"));
+    }
+
+    #[test]
+    fn parse_count_star_and_order() {
+        let sql = "SELECT COUNT(*) FROM t ORDER BY 1 DESC LIMIT 5";
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        assert!(matches!(&sel.items[0], SelectItem::Expr { expr: AstExpr::Call { star: true, .. }, .. }));
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(!sel.order_by[0].1);
+        assert_eq!(sel.limit, Some(5));
+    }
+
+    #[test]
+    fn parse_insert() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 2.5), (2, -3.0)").unwrap();
+        let Statement::Insert { table, rows } = s else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert!(matches!(rows[1][1], AstExpr::Neg(_)));
+    }
+
+    #[test]
+    fn parse_create_table_as_and_explain() {
+        assert!(matches!(
+            parse_statement("CREATE TABLE g AS SELECT a FROM t").unwrap(),
+            Statement::CreateTableAs { .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT a FROM t").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(
+            parse_statement("DROP VIEW v").unwrap(),
+            Statement::DropView { .. }
+        ));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT a + b * c FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        // a + (b * c)
+        let AstExpr::Binary { op: BinOp::Add, rhs, .. } = expr else { panic!("{expr:?}") };
+        assert!(matches!(**rhs, AstExpr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parse_having_and_distinct() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT DISTINCT g FROM t GROUP BY g HAVING COUNT(*) > 2").unwrap()
+        else {
+            panic!()
+        };
+        assert!(sel.distinct);
+        assert!(sel.having.is_some());
+        let Statement::Select(sel) = parse_statement("SELECT g FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(!sel.distinct);
+        assert!(sel.having.is_none());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_statement("select a from t where a = 1 group by a").is_ok());
+        assert!(parse_statement("CrEaTe TaBlE t (x InTeGeR)").is_ok());
+    }
+
+    #[test]
+    fn nested_function_calls_parse() {
+        let sql = "SELECT matrix_vector_multiply(matrix_inverse(SUM(outer_product(x, x))), SUM(x * y)) FROM t";
+        assert!(parse_statement(sql).is_ok());
+    }
+
+    #[test]
+    fn deeply_parenthesized_expression() {
+        let sql = "SELECT ((((a + 1)))) FROM t WHERE ((a > 0) AND (NOT (a = 3)))";
+        assert!(parse_statement(sql).is_ok());
+    }
+
+    #[test]
+    fn empty_arg_function_call() {
+        let Statement::Select(sel) = parse_statement("SELECT f() FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            &sel.items[0],
+            SelectItem::Expr { expr: AstExpr::Call { args, star: false, .. }, .. } if args.is_empty()
+        ));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_statement("SELECT FROM t").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        let err = parse_statement("SELECT a FROM t WHERE").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        let err = parse_statement("SELECT a FROM t extra garbage ,").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic synthetic data generators for the paper's workloads.
+//!
+//! The paper's experiments run on dense synthetic data ("there is likely no
+//! practical difference between synthetic and real data" — §5). These
+//! helpers produce the same data in each of the three representations the
+//! paper compares:
+//!
+//! * **tuple form** — `(row_index, col_index, value)` triples, one tuple per
+//!   matrix entry (what the unmodified RDBMS must use);
+//! * **vector form** — `(id, VECTOR)` rows;
+//! * **block form** is built *by the engine itself* from vector form using
+//!   the `ROWMATRIX(label_vector(...))` query, since the paper counts
+//!   blocking as part of the computation.
+
+use lardb_la::{Matrix, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::row::Row;
+use crate::value::Value;
+
+/// Uniform(-1, 1) dense vector.
+pub fn random_vector(rng: &mut StdRng, dims: usize) -> Vector {
+    Vector::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+}
+
+/// Uniform(-1, 1) dense matrix.
+pub fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// A symmetric positive-definite `dims × dims` matrix (`B·Bᵀ + dims·I`) —
+/// the Riemannian metric `A` of the distance workload.
+pub fn spd_matrix(seed: u64, dims: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = random_matrix(&mut rng, dims, dims);
+    let bbt = b.multiply(&b.transpose()).expect("square");
+    bbt.add(&Matrix::identity(dims).scalar_mul(dims as f64)).expect("same shape")
+}
+
+/// Vector-form data set: rows `(id INTEGER, value VECTOR[dims])`,
+/// ids `0..n`.
+pub fn vector_rows(seed: u64, n: usize, dims: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Integer(i as i64),
+                Value::vector(random_vector(&mut rng, dims)),
+            ])
+        })
+        .collect()
+}
+
+/// Tuple-form of the *same* data as [`vector_rows`] with the same seed:
+/// rows `(row_index INTEGER, col_index INTEGER, value DOUBLE)`. One data
+/// point becomes `dims` tuples — the blow-up at the heart of Figure 4.
+pub fn tuple_rows(seed: u64, n: usize, dims: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n * dims);
+    for i in 0..n {
+        let v = random_vector(&mut rng, dims);
+        for (j, &x) in v.as_slice().iter().enumerate() {
+            out.push(Row::new(vec![
+                Value::Integer(i as i64),
+                Value::Integer(j as i64),
+                Value::Double(x),
+            ]));
+        }
+    }
+    out
+}
+
+/// Regression targets: `y_i = x_i · β* + ε`, with a fixed true coefficient
+/// vector `β*` derived from the seed. Returns rows `(i INTEGER, y_i
+/// DOUBLE)` aligned with [`vector_rows`] of the same seed/n/dims.
+pub fn regression_targets(seed: u64, n: usize, dims: usize, noise: f64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Noise comes from an independent stream so the x-sequence here stays
+    // bit-identical to `vector_rows(seed, ..)` regardless of noise level.
+    let mut noise_rng = StdRng::seed_from_u64(seed ^ 0x5eed_0f00_d5ee_d0f0);
+    let beta = true_beta(seed, dims);
+    (0..n)
+        .map(|i| {
+            let x = random_vector(&mut rng, dims);
+            let mut y = x.inner_product(&beta).expect("same dims");
+            if noise > 0.0 {
+                y += noise_rng.gen_range(-noise..noise);
+            }
+            Row::new(vec![Value::Integer(i as i64), Value::Double(y)])
+        })
+        .collect()
+}
+
+/// The true coefficient vector used by [`regression_targets`]; exposed so
+/// tests can check recovered coefficients.
+pub fn true_beta(seed: u64, dims: usize) -> Vector {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbe7a_caf3);
+    random_vector(&mut rng, dims)
+}
+
+/// Dense matrix in tile form: rows `(tileRow INTEGER, tileCol INTEGER,
+/// mat MATRIX[tile][tile])` — the `bigMatrix` layout of §3.4.
+pub fn tiled_matrix_rows(seed: u64, tiles_per_side: usize, tile: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(tiles_per_side * tiles_per_side);
+    for tr in 0..tiles_per_side {
+        for tc in 0..tiles_per_side {
+            out.push(Row::new(vec![
+                Value::Integer(tr as i64),
+                Value::Integer(tc as i64),
+                Value::matrix(random_matrix(&mut rng, tile, tile)),
+            ]));
+        }
+    }
+    out
+}
+
+/// Assembles the full dense matrix that a tile-form data set represents;
+/// test helper for checking distributed tile arithmetic against a serial
+/// kernel.
+pub fn assemble_tiles(rows: &[Row], tiles_per_side: usize, tile: usize) -> Matrix {
+    let n = tiles_per_side * tile;
+    let mut full = Matrix::zeros(n, n);
+    for row in rows {
+        let tr = row.value(0).as_integer().expect("tileRow") as usize;
+        let tc = row.value(1).as_integer().expect("tileCol") as usize;
+        let m = row.value(2).as_matrix().expect("mat");
+        for i in 0..tile {
+            for j in 0..tile {
+                full.set(tr * tile + i, tc * tile + j, m.get(i, j).expect("in range"))
+                    .expect("in range");
+            }
+        }
+    }
+    full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_and_tuple_forms_agree() {
+        let vecs = vector_rows(7, 5, 4);
+        let tups = tuple_rows(7, 5, 4);
+        assert_eq!(tups.len(), 20);
+        // entry (i, j) of the tuple form equals entry j of vector i
+        for t in &tups {
+            let i = t.value(0).as_integer().unwrap() as usize;
+            let j = t.value(1).as_integer().unwrap() as usize;
+            let x = t.value(2).as_double().unwrap();
+            let v = vecs[i].value(1).as_vector().unwrap();
+            assert_eq!(v.get(j).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(vector_rows(1, 3, 2), vector_rows(1, 3, 2));
+        assert_ne!(vector_rows(1, 3, 2), vector_rows(2, 3, 2));
+    }
+
+    #[test]
+    fn spd_matrix_is_spd() {
+        let a = spd_matrix(3, 6);
+        assert!(lardb_la::chol::is_symmetric(&a, 1e-12));
+        assert!(lardb_la::CholeskyDecomposition::new(&a).is_ok());
+    }
+
+    #[test]
+    fn regression_targets_follow_beta_when_noiseless() {
+        let n = 10;
+        let dims = 4;
+        let xs = vector_rows(11, n, dims);
+        let ys = regression_targets(11, n, dims, 0.0);
+        let beta = true_beta(11, dims);
+        for i in 0..n {
+            let x = xs[i].value(1).as_vector().unwrap();
+            let y = ys[i].value(1).as_double().unwrap();
+            assert!((x.inner_product(&beta).unwrap() - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noisy_targets_stay_aligned_with_vector_rows() {
+        // Regression test: noise must come from an independent RNG stream,
+        // or targets desynchronize from the x vectors.
+        let n = 20;
+        let dims = 5;
+        let xs = vector_rows(3, n, dims);
+        let ys = regression_targets(3, n, dims, 0.5);
+        let beta = true_beta(3, dims);
+        for i in 0..n {
+            let x = xs[i].value(1).as_vector().unwrap();
+            let y = ys[i].value(1).as_double().unwrap();
+            let clean = x.inner_product(&beta).unwrap();
+            assert!((clean - y).abs() <= 0.5, "row {i}: |{clean} - {y}| > noise bound");
+        }
+    }
+
+    #[test]
+    fn tiles_roundtrip() {
+        let rows = tiled_matrix_rows(5, 3, 4);
+        assert_eq!(rows.len(), 9);
+        let full = assemble_tiles(&rows, 3, 4);
+        assert_eq!(full.shape(), (12, 12));
+        // spot-check one tile
+        let m = rows[4].value(2).as_matrix().unwrap(); // tile (1,1)
+        assert_eq!(full.get(4, 4).unwrap(), m.get(0, 0).unwrap());
+    }
+}

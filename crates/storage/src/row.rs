@@ -1,0 +1,105 @@
+//! Tuples.
+
+use crate::value::Value;
+
+/// One tuple. Cloning a row is cheap: LA payloads are `Arc`-shared.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Builds a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Attribute at position `i`; panics when out of range (the planner
+    /// guarantees positions are valid by construction).
+    #[inline]
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All attributes.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Appends the attributes of `other` — the row-level concatenation a
+    /// join performs.
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row { values }
+    }
+
+    /// Projects positions `indices` into a fresh row.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row { values: indices.iter().map(|&i| self.values[i].clone()).collect() }
+    }
+
+    /// Total payload size in bytes (what a shuffle of this row would cost).
+    pub fn byte_size(&self) -> usize {
+        self.values.iter().map(Value::byte_size).sum()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row::new(vec![Value::Integer(1), Value::Integer(2)]);
+        let b = Row::new(vec![Value::Integer(3)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.value(2), &Value::Integer(3));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Integer(3), Value::Integer(1)]);
+    }
+
+    #[test]
+    fn byte_size_sums_values() {
+        let r = Row::new(vec![Value::Integer(1), Value::Boolean(true)]);
+        assert_eq!(r.byte_size(), 9);
+    }
+
+    #[test]
+    fn display_row() {
+        let r = Row::new(vec![Value::Integer(1), Value::varchar("hi")]);
+        assert_eq!(r.to_string(), "(1, hi)");
+    }
+}

@@ -1,0 +1,207 @@
+//! Schemas: named, optionally table-qualified, typed columns.
+
+use crate::types::DataType;
+use crate::{Result, StorageError};
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Table alias or name this column belongs to, when known. Join outputs
+    /// keep each side's qualifier so `x1.value` and `x2.value` stay
+    /// distinguishable, as in the paper's self-join queries.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Declared or inferred type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Unqualified column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { qualifier: None, name: name.into(), dtype }
+    }
+
+    /// Qualified column.
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        dtype: DataType,
+    ) -> Self {
+        Column { qualifier: Some(qualifier.into()), name: name.into(), dtype }
+    }
+
+    /// `qualifier.name`, or just `name` when unqualified.
+    pub fn full_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Returns a copy with every column's qualifier replaced by `alias` —
+    /// what `FROM data AS x1` does to the base table's schema.
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column::qualified(alias, c.name.clone(), c.dtype))
+                .collect(),
+        }
+    }
+
+    /// Concatenation, as a join produces.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend_from_slice(&other.columns);
+        Schema { columns }
+    }
+
+    /// Resolves a possibly-qualified column reference to its position.
+    ///
+    /// A qualified reference (`x1.value`) matches only on qualifier+name; a
+    /// bare reference matches on name alone, failing with
+    /// [`StorageError::AmbiguousColumn`] when several columns share the
+    /// name (the situation the paper's self-joins create).
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            let matches = match qualifier {
+                Some(q) => {
+                    c.name.eq_ignore_ascii_case(name)
+                        && c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))
+                }
+                None => c.name.eq_ignore_ascii_case(name),
+            };
+            if matches {
+                if found.is_some() {
+                    let display = match qualifier {
+                        Some(q) => format!("{q}.{name}"),
+                        None => name.to_string(),
+                    };
+                    return Err(StorageError::AmbiguousColumn(display));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let display = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            };
+            StorageError::NoSuchColumn(display)
+        })
+    }
+
+    /// Parses `"alias.name"` or `"name"` and resolves it.
+    pub fn resolve_str(&self, reference: &str) -> Result<usize> {
+        match reference.split_once('.') {
+            Some((q, n)) => self.resolve(Some(q), n),
+            None => self.resolve(None, reference),
+        }
+    }
+
+    /// Estimated width of one row in bytes, from declared types — the basis
+    /// of the optimizer's data-volume costing (§4.1).
+    pub fn estimated_row_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.dtype.estimated_byte_width()).sum()
+    }
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.full_name(), c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pointID", DataType::Integer),
+            ("val", DataType::Vector(Some(10))),
+        ])
+    }
+
+    #[test]
+    fn resolve_bare_and_qualified() {
+        let s = data_schema().with_qualifier("x1");
+        assert_eq!(s.resolve(None, "pointID").unwrap(), 0);
+        assert_eq!(s.resolve(Some("x1"), "val").unwrap(), 1);
+        assert!(matches!(s.resolve(Some("x2"), "val"), Err(StorageError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn self_join_ambiguity() {
+        let joined = data_schema()
+            .with_qualifier("x1")
+            .concat(&data_schema().with_qualifier("x2"));
+        assert!(matches!(joined.resolve(None, "val"), Err(StorageError::AmbiguousColumn(_))));
+        assert_eq!(joined.resolve(Some("x2"), "val").unwrap(), 3);
+        assert_eq!(joined.resolve_str("x1.pointID").unwrap(), 0);
+    }
+
+    #[test]
+    fn case_insensitive_resolution() {
+        let s = data_schema();
+        assert_eq!(s.resolve(None, "POINTID").unwrap(), 0);
+    }
+
+    #[test]
+    fn row_byte_estimate() {
+        assert_eq!(data_schema().estimated_row_bytes(), 8 + 88);
+    }
+
+    #[test]
+    fn display_schema() {
+        let s = data_schema().with_qualifier("t");
+        let d = s.to_string();
+        assert!(d.contains("t.pointID INTEGER"));
+        assert!(d.contains("t.val VECTOR[10]"));
+    }
+}

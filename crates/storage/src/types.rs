@@ -1,0 +1,167 @@
+//! The extended SQL type lattice: classical types plus `LABELED_SCALAR`,
+//! `VECTOR[n]` and `MATRIX[r][c]` (§3.1).
+
+use std::fmt;
+
+/// A column data type.
+///
+/// For `Vector` and `Matrix`, the dimension parameters follow the paper's
+/// declaration syntax: `VECTOR[100]` is `Vector(Some(100))`, `VECTOR[]` is
+/// `Vector(None)`, `MATRIX[10][]` is `Matrix(Some(10), None)`. Known
+/// dimensions let the type checker reject size mismatches at compile time
+/// and — crucially — let the optimizer compute the byte width of
+/// intermediate results (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (SQL `INTEGER`).
+    Integer,
+    /// 64-bit float (SQL `DOUBLE`).
+    Double,
+    /// SQL `BOOLEAN`.
+    Boolean,
+    /// Variable-length string (SQL `VARCHAR`).
+    Varchar,
+    /// The paper's `LABELED_SCALAR`: a double plus an integer label.
+    LabeledScalar,
+    /// `VECTOR[n]`; `None` means the length is unknown until runtime.
+    Vector(Option<usize>),
+    /// `MATRIX[r][c]`; each dimension may independently be unknown.
+    Matrix(Option<usize>, Option<usize>),
+}
+
+impl DataType {
+    /// True for the three types the paper adds to the relational model.
+    pub fn is_linear_algebra(&self) -> bool {
+        matches!(self, DataType::LabeledScalar | DataType::Vector(_) | DataType::Matrix(_, _))
+    }
+
+    /// True for types that participate in numeric arithmetic.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            DataType::Integer
+                | DataType::Double
+                | DataType::LabeledScalar
+                | DataType::Vector(_)
+                | DataType::Matrix(_, _)
+        )
+    }
+
+    /// True when `value` of this type could be bound to a column declared as
+    /// `decl`. Unknown dimensions accept anything; known dimensions must
+    /// match exactly. This is the paper's static/dynamic split: a
+    /// `VECTOR[]` column admits any vector and defers size errors to
+    /// runtime (§3.1).
+    pub fn accepts(&self, value: &DataType) -> bool {
+        match (self, value) {
+            (DataType::Vector(None), DataType::Vector(_)) => true,
+            (DataType::Vector(Some(a)), DataType::Vector(Some(b))) => a == b,
+            // A sized column does not accept a value of statically-unknown
+            // size at planning time; runtime re-checks actual sizes.
+            (DataType::Vector(Some(_)), DataType::Vector(None)) => true,
+            (DataType::Matrix(r1, c1), DataType::Matrix(r2, c2)) => {
+                dim_compatible(*r1, *r2) && dim_compatible(*c1, *c2)
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Estimated width of one value of this type, in bytes — the quantity
+    /// the paper's optimizer uses to cost plans (§4.1: an intermediate
+    /// `MATRIX[100000][100]` weighs `8 × 100000 × 100` bytes). Unknown
+    /// dimensions fall back to a deliberately pessimistic default so the
+    /// optimizer does not underestimate them.
+    pub fn estimated_byte_width(&self) -> usize {
+        const UNKNOWN_DIM_GUESS: usize = 1000;
+        match self {
+            DataType::Integer | DataType::Double => 8,
+            DataType::Boolean => 1,
+            DataType::Varchar => 16,
+            DataType::LabeledScalar => 16,
+            DataType::Vector(n) => 8 * n.unwrap_or(UNKNOWN_DIM_GUESS) + 8,
+            DataType::Matrix(r, c) => {
+                8 * r.unwrap_or(UNKNOWN_DIM_GUESS) * c.unwrap_or(UNKNOWN_DIM_GUESS)
+            }
+        }
+    }
+}
+
+fn dim_compatible(decl: Option<usize>, val: Option<usize>) -> bool {
+    match (decl, val) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Boolean => write!(f, "BOOLEAN"),
+            DataType::Varchar => write!(f, "VARCHAR"),
+            DataType::LabeledScalar => write!(f, "LABELED_SCALAR"),
+            DataType::Vector(None) => write!(f, "VECTOR[]"),
+            DataType::Vector(Some(n)) => write!(f, "VECTOR[{n}]"),
+            DataType::Matrix(r, c) => {
+                write!(f, "MATRIX[")?;
+                if let Some(r) = r {
+                    write!(f, "{r}")?;
+                }
+                write!(f, "][")?;
+                if let Some(c) = c {
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_sql_syntax() {
+        assert_eq!(DataType::Vector(Some(100)).to_string(), "VECTOR[100]");
+        assert_eq!(DataType::Vector(None).to_string(), "VECTOR[]");
+        assert_eq!(DataType::Matrix(Some(10), None).to_string(), "MATRIX[10][]");
+        assert_eq!(DataType::Matrix(Some(10), Some(20)).to_string(), "MATRIX[10][20]");
+        assert_eq!(DataType::LabeledScalar.to_string(), "LABELED_SCALAR");
+    }
+
+    #[test]
+    fn la_classification() {
+        assert!(DataType::Vector(None).is_linear_algebra());
+        assert!(DataType::Matrix(None, None).is_linear_algebra());
+        assert!(DataType::LabeledScalar.is_linear_algebra());
+        assert!(!DataType::Double.is_linear_algebra());
+        assert!(DataType::Double.is_numeric());
+        assert!(!DataType::Varchar.is_numeric());
+    }
+
+    #[test]
+    fn accepts_unknown_dims() {
+        let decl = DataType::Vector(None);
+        assert!(decl.accepts(&DataType::Vector(Some(7))));
+        let sized = DataType::Vector(Some(10));
+        assert!(sized.accepts(&DataType::Vector(Some(10))));
+        assert!(!sized.accepts(&DataType::Vector(Some(11))));
+        let m = DataType::Matrix(Some(10), None);
+        assert!(m.accepts(&DataType::Matrix(Some(10), Some(5))));
+        assert!(!m.accepts(&DataType::Matrix(Some(9), Some(5))));
+        assert!(!DataType::Integer.accepts(&DataType::Double));
+    }
+
+    #[test]
+    fn byte_width_estimates() {
+        assert_eq!(DataType::Double.estimated_byte_width(), 8);
+        assert_eq!(DataType::Vector(Some(100)).estimated_byte_width(), 808);
+        // the paper's §4.1 example: MATRIX[100000][100] ≈ 80 MB
+        assert_eq!(
+            DataType::Matrix(Some(100_000), Some(100)).estimated_byte_width(),
+            80_000_000
+        );
+    }
+}

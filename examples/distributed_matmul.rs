@@ -1,0 +1,74 @@
+//! §3.4 — a matrix too big for one "machine", stored as a relation of
+//! tiles, multiplied with plain SQL (join + GROUP BY aggregation), and the
+//! effect of tile placement on shuffle volume.
+//!
+//! ```text
+//! cargo run --release -p lardb --example distributed_matmul
+//! ```
+
+use lardb::{DataType, Database, Partitioning, Schema};
+use lardb_storage::gen;
+
+const TILES: usize = 4; // 4×4 grid of tiles
+const TILE: usize = 100; // each tile 100×100 → full matrix 400×400
+
+const MULTIPLY: &str = "SELECT lhs.tileRow, rhs.tileCol,
+        SUM(matrix_multiply(lhs.mat, rhs.mat)) AS mat
+ FROM bigMatrix AS lhs, anotherBigMat AS rhs
+ WHERE lhs.tileCol = rhs.tileRow
+ GROUP BY lhs.tileRow, rhs.tileCol";
+
+fn tile_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("tileRow", DataType::Integer),
+        ("tileCol", DataType::Integer),
+        ("mat", DataType::Matrix(Some(TILE), Some(TILE))),
+    ])
+}
+
+fn run(left_part: Partitioning, right_part: Partitioning, label: &str) {
+    let db = Database::new(8);
+    db.create_table("bigMatrix", tile_schema(), left_part).unwrap();
+    db.create_table("anotherBigMat", tile_schema(), right_part).unwrap();
+    let a_rows = gen::tiled_matrix_rows(41, TILES, TILE);
+    let b_rows = gen::tiled_matrix_rows(42, TILES, TILE);
+    let a = gen::assemble_tiles(&a_rows, TILES, TILE);
+    let b = gen::assemble_tiles(&b_rows, TILES, TILE);
+    db.insert_rows("bigMatrix", a_rows).unwrap();
+    db.insert_rows("anotherBigMat", b_rows).unwrap();
+
+    let t0 = std::time::Instant::now();
+    let result = db.query(MULTIPLY).unwrap();
+    let elapsed = t0.elapsed();
+
+    // Verify every output tile against a serial kernel multiply.
+    let expected = a.multiply(&b).unwrap();
+    for row in &result.rows {
+        let tr = row.value(0).as_integer().unwrap() as usize;
+        let tc = row.value(1).as_integer().unwrap() as usize;
+        let m = row.value(2).as_matrix().unwrap();
+        let sub = expected.submatrix(tr * TILE, tc * TILE, TILE, TILE).unwrap();
+        assert!(m.approx_eq(&sub, 1e-9), "tile ({tr},{tc}) wrong");
+    }
+    println!(
+        "{label:<40} {:>4} tiles  {:>8.1} ms  {:>8.2} MB shuffled   ✓ matches kernel",
+        result.rows.len(),
+        elapsed.as_secs_f64() * 1e3,
+        result.stats.total_bytes_shuffled() as f64 / 1e6
+    );
+}
+
+fn main() {
+    println!(
+        "multiplying two {n}×{n} dense matrices stored as {TILES}×{TILES} grids of \
+         {TILE}×{TILE} tiles, on 8 workers\n",
+        n = TILES * TILE
+    );
+    // Random placement: both joins sides must shuffle (the §2.1 scenario
+    // where neither input is pre-partitioned).
+    run(Partitioning::RoundRobin, Partitioning::RoundRobin, "round-robin placement (both shuffle)");
+    // The paper's §2.1 setup: R round-robin on its *row* id — partition the
+    // left on its join key (tileCol) and the right on tileRow; the
+    // optimizer detects co-location and skips both exchanges.
+    run(Partitioning::Hash(1), Partitioning::Hash(0), "join-key placement (no join shuffle)");
+}

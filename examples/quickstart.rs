@@ -1,0 +1,101 @@
+//! Quickstart: the extended relational model in five minutes.
+//!
+//! ```text
+//! cargo run --release -p lardb --example quickstart
+//! ```
+//!
+//! Walks through the paper's §3: declaring VECTOR/MATRIX columns, the
+//! overloaded arithmetic, the label machinery (`VECTORIZE`, `ROWMATRIX`),
+//! and a first aggregate over linear-algebra values.
+
+use lardb::{DataType, Database, Partitioning, Row, Schema, Value, Vector};
+
+fn main() {
+    // A database over 4 simulated shared-nothing workers.
+    let db = Database::new(4);
+
+    // --- §3.1: new column types -----------------------------------------
+    db.execute("CREATE TABLE m (mat MATRIX[3][3], vec VECTOR[3])").unwrap();
+    println!("created table m (mat MATRIX[3][3], vec VECTOR[3])");
+
+    // Vectors and matrices are loaded programmatically (there is no SQL
+    // literal syntax for them, same as SimSQL).
+    db.insert_rows(
+        "m",
+        [Row::new(vec![
+            Value::matrix(lardb::Matrix::identity(3).scalar_mul(2.0)),
+            Value::vector(Vector::from_slice(&[1.0, 2.0, 3.0])),
+        ])],
+    )
+    .unwrap();
+
+    // --- §3.2: built-ins and overloaded arithmetic ----------------------
+    let r = db
+        .query(
+            "SELECT matrix_vector_multiply(mat, vec) AS mv,
+                    vec * 10.0 + vec AS scaled,
+                    inner_product(vec, vec) AS nn
+             FROM m",
+        )
+        .unwrap();
+    println!("matrix_vector_multiply(2·I, v) = {}", r.rows[0].value(0));
+    println!("v * 10 + v                     = {}", r.rows[0].value(1));
+    println!("inner_product(v, v)            = {}", r.rows[0].value(2));
+
+    // A size mismatch is a *compile-time* error (§3.1):
+    db.execute("CREATE TABLE bad (mat MATRIX[3][3], vec VECTOR[7])").unwrap();
+    let err = db.query("SELECT matrix_vector_multiply(mat, vec) AS no FROM bad");
+    println!("\nMATRIX[3][3] × VECTOR[7] fails to compile:\n  {}", err.unwrap_err());
+
+    // --- §3.3: from rows to vectors to matrices -------------------------
+    db.execute("CREATE TABLE triples (row INTEGER, col INTEGER, value DOUBLE)").unwrap();
+    for r in 0..3i64 {
+        for c in 0..3i64 {
+            db.execute(&format!(
+                "INSERT INTO triples VALUES ({r}, {c}, {})",
+                (r * 3 + c) as f64
+            ))
+            .unwrap();
+        }
+    }
+    db.execute(
+        "CREATE VIEW vecs AS
+         SELECT VECTORIZE(label_scalar(value, col)) AS vec, row
+         FROM triples GROUP BY row",
+    )
+    .unwrap();
+    let r = db.query("SELECT ROWMATRIX(label_vector(vec, row)) AS m FROM vecs").unwrap();
+    println!("\nROWMATRIX over VECTORIZEd rows: {}", r.rows[0].value(0));
+
+    // --- a first LA aggregate: the Gram matrix --------------------------
+    db.create_table(
+        "points",
+        Schema::from_pairs(&[("id", DataType::Integer), ("x", DataType::Vector(Some(3)))]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    for i in 0..100i64 {
+        db.insert_rows(
+            "points",
+            [Row::new(vec![
+                Value::Integer(i),
+                Value::vector(Vector::from_fn(3, |j| ((i + j as i64) % 5) as f64)),
+            ])],
+        )
+        .unwrap();
+    }
+    let r = db
+        .query("SELECT SUM(outer_product(x, x)) AS gram FROM points")
+        .unwrap();
+    println!("\nGram matrix of 100 points: {}", r.rows[0].value(0));
+    println!(
+        "\nquery ran on {} workers; {} bytes crossed worker boundaries",
+        db.workers(),
+        r.stats.total_bytes_shuffled()
+    );
+
+    // EXPLAIN shows the optimized logical plan and the physical plan with
+    // exchange operators.
+    println!("\nEXPLAIN SELECT SUM(outer_product(x, x)) FROM points:");
+    println!("{}", db.explain("SELECT SUM(outer_product(x, x)) AS g FROM points").unwrap());
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Splices results/figures.txt into EXPERIMENTS.md's {{FIGn}} placeholders."""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+figures = (root / "results" / "figures.txt").read_text()
+fig23 = root / "results" / "fig23.txt"
+if fig23.exists():
+    # Figures 2–3 were rerun after fixes; prefer the rerun output.
+    figures += "\n" + fig23.read_text()
+
+sections = {}
+current = None
+for line in figures.splitlines():
+    m = re.match(r"=== (\w+) ===", line)
+    if m:
+        current = m.group(1)
+        sections[current] = []
+    elif current and not line.startswith("running "):
+        sections[current].append(line)
+
+exp = root / "EXPERIMENTS.md"
+text = exp.read_text()
+for key in ["FIG1", "FIG2", "FIG3", "FIG4", "PLAN"]:
+    body = "\n".join(sections.get(key, ["(not recorded)"])).strip()
+    text = text.replace("{{" + key + "}}", body)
+exp.write_text(text)
+print("spliced", list(sections))

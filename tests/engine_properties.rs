@@ -1,0 +1,136 @@
+//! Engine-level property tests: for random data, random worker counts and
+//! random optimizer configurations, the engine must return the same answer
+//! as a direct in-memory computation. This is the top-level invariant that
+//! makes everything else (plans, exchanges, fusion) an implementation
+//! detail.
+
+use lardb::{
+    Database, DatabaseConfig, DataType, OptimizerConfig, Partitioning, Row, Schema, Value,
+    Vector,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn db_with(workers: usize, size_inference: bool, early_projection: bool) -> Database {
+    Database::with_config(DatabaseConfig {
+        workers,
+        optimizer: OptimizerConfig { size_inference, early_projection, ..Default::default() },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grouped_sum_matches_reference(
+        rows in proptest::collection::vec((0i64..8, -100i64..100), 1..80),
+        workers in 1usize..5,
+        part in 0usize..3,
+    ) {
+        let partitioning = match part {
+            0 => Partitioning::RoundRobin,
+            1 => Partitioning::Hash(0),
+            _ => Partitioning::Replicated,
+        };
+        let db = Database::new(workers);
+        db.create_table(
+            "t",
+            Schema::from_pairs(&[("g", DataType::Integer), ("v", DataType::Integer)]),
+            partitioning,
+        )
+        .unwrap();
+        db.insert_rows(
+            "t",
+            rows.iter().map(|&(g, v)| Row::new(vec![Value::Integer(g), Value::Integer(v)])),
+        )
+        .unwrap();
+
+        let r = db.query("SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g").unwrap();
+
+        let mut expected: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for &(g, v) in &rows {
+            let e = expected.entry(g).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let mut got: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for row in &r.rows {
+            got.insert(
+                row.value(0).as_integer().unwrap(),
+                (row.value(1).as_integer().unwrap(), row.value(2).as_integer().unwrap()),
+            );
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_cardinality_matches_reference(
+        left in proptest::collection::vec(0i64..10, 1..40),
+        right in proptest::collection::vec(0i64..10, 1..40),
+        workers in 1usize..5,
+    ) {
+        let db = Database::new(workers);
+        db.execute("CREATE TABLE l (k INTEGER)").unwrap();
+        db.execute("CREATE TABLE r (k INTEGER)").unwrap();
+        db.insert_rows("l", left.iter().map(|&k| Row::new(vec![Value::Integer(k)]))).unwrap();
+        db.insert_rows("r", right.iter().map(|&k| Row::new(vec![Value::Integer(k)]))).unwrap();
+
+        let q = db.query("SELECT COUNT(*) AS n FROM l, r WHERE l.k = r.k").unwrap();
+        let expected: usize = left
+            .iter()
+            .map(|lk| right.iter().filter(|rk| *rk == lk).count())
+            .sum();
+        prop_assert_eq!(q.scalar().unwrap().as_integer(), Some(expected as i64));
+    }
+
+    #[test]
+    fn gram_invariant_under_optimizer_and_workers(
+        data in proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, 4), 2..30),
+        workers in 1usize..5,
+        size_inference in proptest::bool::ANY,
+        early_projection in proptest::bool::ANY,
+    ) {
+        let db = db_with(workers, size_inference, early_projection);
+        db.create_table(
+            "x",
+            Schema::from_pairs(&[("id", DataType::Integer), ("v", DataType::Vector(Some(4)))]),
+            Partitioning::RoundRobin,
+        )
+        .unwrap();
+        db.insert_rows(
+            "x",
+            data.iter().enumerate().map(|(i, v)| {
+                Row::new(vec![Value::Integer(i as i64), Value::vector(Vector::from_slice(v))])
+            }),
+        )
+        .unwrap();
+        let r = db.query("SELECT SUM(outer_product(v, v)) AS g FROM x").unwrap();
+        let got = r.scalar().unwrap().as_matrix().unwrap().clone();
+
+        let mut expected = lardb::Matrix::zeros(4, 4);
+        for v in &data {
+            let vv = Vector::from_slice(v);
+            vv.outer_product_into(&vv, &mut expected).unwrap();
+        }
+        prop_assert!(got.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn vectorize_roundtrip_through_sql(
+        values in proptest::collection::vec(-50.0f64..50.0, 1..40),
+        workers in 1usize..5,
+    ) {
+        let db = Database::new(workers);
+        db.execute("CREATE TABLE y (i INTEGER, v DOUBLE)").unwrap();
+        db.insert_rows(
+            "y",
+            values.iter().enumerate().map(|(i, &v)| {
+                Row::new(vec![Value::Integer(i as i64), Value::Double(v)])
+            }),
+        )
+        .unwrap();
+        let r = db.query("SELECT VECTORIZE(label_scalar(v, i)) AS vec FROM y").unwrap();
+        let vec = r.scalar().unwrap().as_vector().unwrap().clone();
+        prop_assert_eq!(vec.as_slice(), &values[..]);
+    }
+}
