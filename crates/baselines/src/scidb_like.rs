@@ -163,14 +163,14 @@ impl Engine {
             for (j, piece) in mxt.iter().enumerate() {
                 let col_off = offsets[j];
                 let tile = xc.multiply(piece).expect("inner dims");
-                for i in 0..tile.rows() {
+                for (i, best) in row_min.iter_mut().enumerate().take(tile.rows()) {
                     let global_i = row_off + i;
                     for (jj, &v) in tile.row(i).iter().enumerate() {
                         if col_off + jj == global_i {
                             continue; // the t1 <> t2 filter
                         }
-                        if v < row_min[i] {
-                            row_min[i] = v;
+                        if v < *best {
+                            *best = v;
                         }
                     }
                 }

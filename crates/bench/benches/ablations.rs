@@ -12,7 +12,11 @@ use lardb_sql::{parse_statement, Binder, Statement};
 use lardb_storage::gen;
 
 fn rst_db(config: OptimizerConfig) -> Database {
-    let db = Database::with_config(DatabaseConfig { workers: 4, optimizer: config });
+    let db = Database::with_config(DatabaseConfig {
+        workers: 4,
+        optimizer: config,
+        ..DatabaseConfig::default()
+    });
     db.create_table(
         "R",
         Schema::from_pairs(&[

@@ -1,5 +1,7 @@
 //! Tiny argument parser for the harness binaries (no external deps).
 
+use lardb::TransportMode;
+
 /// Common harness options.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -17,6 +19,10 @@ pub struct Args {
     pub seed: u64,
     /// Quick mode: tiny sizes, for smoke-testing the harness.
     pub quick: bool,
+    /// Exchange transport: `pointer` (estimated shuffle bytes),
+    /// `serialized` (wire-encoded over channels), or `tcp` (loopback
+    /// sockets).
+    pub transport: TransportMode,
 }
 
 impl Default for Args {
@@ -29,6 +35,7 @@ impl Default for Args {
             block: 1000,
             seed: 20170419, // ICDE 2017
             quick: false,
+            transport: TransportMode::Pointer,
         }
     }
 }
@@ -58,10 +65,17 @@ impl Args {
                 "--block" => args.block = parse_num(&value("--block")),
                 "--seed" => args.seed = parse_num(&value("--seed")) as u64,
                 "--quick" => args.quick = true,
+                "--transport" => {
+                    let v = value("--transport");
+                    args.transport = TransportMode::parse(&v).unwrap_or_else(|| {
+                        eprintln!("bad --transport '{v}' (pointer|serialized|tcp)");
+                        std::process::exit(2);
+                    });
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --n N --n-dist N --dims 10,100,1000 --workers W \
-                         --block B --seed S --quick"
+                         --block B --seed S --transport pointer|serialized|tcp --quick"
                     );
                     std::process::exit(0);
                 }
@@ -124,6 +138,16 @@ mod tests {
         assert_eq!(a.dims, vec![10, 50]);
         assert_eq!(a.workers, 4);
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn transport_flag() {
+        assert_eq!(parse(&[]).transport, TransportMode::Pointer);
+        assert_eq!(
+            parse(&["--transport", "serialized"]).transport,
+            TransportMode::Serialized
+        );
+        assert_eq!(parse(&["--transport", "TCP"]).transport, TransportMode::Tcp);
     }
 
     #[test]

@@ -20,7 +20,16 @@ fn main() {
                 .iter()
                 .map(|&d| {
                     eprintln!("running {:?} at {d} dims …", p);
-                    platforms::run(p, Workload::Gram, args.n, d, args.block, args.workers, args.seed)
+                    platforms::run_with_transport(
+                        p,
+                        Workload::Gram,
+                        args.n,
+                        d,
+                        args.block,
+                        args.workers,
+                        args.seed,
+                        args.transport,
+                    )
                 })
                 .collect();
             (p, outcomes)

@@ -20,7 +20,7 @@ fn main() {
                 .iter()
                 .map(|&d| {
                     eprintln!("running {:?} at {d} dims …", p);
-                    platforms::run(
+                    platforms::run_with_transport(
                         p,
                         Workload::Regression,
                         args.n,
@@ -28,6 +28,7 @@ fn main() {
                         args.block,
                         args.workers,
                         args.seed,
+                        args.transport,
                     )
                 })
                 .collect();

@@ -29,7 +29,7 @@ fn main() {
                 .iter()
                 .map(|&d| {
                     eprintln!("running {:?} at {d} dims …", p);
-                    platforms::run(
+                    platforms::run_with_transport(
                         p,
                         Workload::Distance,
                         args.n_dist,
@@ -37,6 +37,7 @@ fn main() {
                         block,
                         args.workers,
                         args.seed,
+                        args.transport,
                     )
                 })
                 .collect();

@@ -41,7 +41,7 @@ fn main() {
     );
 
     for platform in [Platform::TupleSimSql, Platform::VectorSimSql] {
-        let out = platforms::run(
+        let out = platforms::run_with_transport(
             platform,
             Workload::Gram,
             args.n,
@@ -49,6 +49,7 @@ fn main() {
             args.block,
             args.workers,
             args.seed,
+            args.transport,
         );
         let Some(total) = out.duration else {
             println!("\n{}: Fail ({:?})", platform.label(), out.note);

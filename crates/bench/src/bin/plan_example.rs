@@ -81,6 +81,7 @@ fn main() {
         let db = Database::with_config(DatabaseConfig {
             workers: 8,
             optimizer: OptimizerConfig { size_inference, ..Default::default() },
+            ..DatabaseConfig::default()
         });
         setup(&db, r_cols);
         println!("=== {name} ===");

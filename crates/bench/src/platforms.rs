@@ -2,7 +2,10 @@
 
 use std::time::{Duration, Instant};
 
-use lardb::{DataType, Database, ExecStats, Matrix, Partitioning, Row, Schema, Value};
+use lardb::{
+    DataType, Database, ExecStats, Matrix, Partitioning, Row, Schema, TransportMode,
+    Value,
+};
 use lardb_baselines::{scidb_like, spark_like, systemml_like, WorkloadData};
 use lardb_storage::gen;
 
@@ -86,7 +89,7 @@ impl RunOutcome {
 /// set of the exchanged tuple streams well inside a 16 GB machine.
 const TUPLE_ROW_BUDGET: usize = 40_000_000;
 
-/// Runs one cell of Figures 1–3.
+/// Runs one cell of Figures 1–3 with the default (pointer) transport.
 pub fn run(
     platform: Platform,
     workload: Workload,
@@ -96,9 +99,35 @@ pub fn run(
     workers: usize,
     seed: u64,
 ) -> RunOutcome {
+    run_with_transport(
+        platform,
+        workload,
+        n,
+        dims,
+        block,
+        workers,
+        seed,
+        TransportMode::Pointer,
+    )
+}
+
+/// Runs one cell of Figures 1–3 under an explicit exchange transport.
+/// The transport only affects the lardb platforms; baselines ignore it
+/// (they have no exchange operators).
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_transport(
+    platform: Platform,
+    workload: Workload,
+    n: usize,
+    dims: usize,
+    block: usize,
+    workers: usize,
+    seed: u64,
+    transport: TransportMode,
+) -> RunOutcome {
     match platform {
         Platform::TupleSimSql | Platform::VectorSimSql | Platform::BlockSimSql => {
-            run_lardb(platform, workload, n, dims, block, workers, seed)
+            run_lardb(platform, workload, n, dims, block, workers, seed, transport)
         }
         _ => run_baseline(platform, workload, n, dims, block, workers, seed),
     }
@@ -174,6 +203,7 @@ fn run_baseline(
 
 // ----------------------------------------------------------------- lardb
 
+#[allow(clippy::too_many_arguments)]
 fn run_lardb(
     platform: Platform,
     workload: Workload,
@@ -182,6 +212,7 @@ fn run_lardb(
     block: usize,
     workers: usize,
     seed: u64,
+    transport: TransportMode,
 ) -> RunOutcome {
     // Budget check for tuple-based plans; rerun at reduced n when needed.
     let (n_used, note) = if platform == Platform::TupleSimSql {
@@ -190,7 +221,7 @@ fn run_lardb(
         (n, None)
     };
 
-    let db = Database::new(workers);
+    let db = Database::new(workers).with_transport(transport);
     load_lardb_data(&db, platform, workload, n_used, dims, block, seed);
 
     let result = match (platform, workload) {
@@ -531,6 +562,32 @@ mod tests {
                     "{platform:?}/{workload:?} failed: {:?}",
                     out.note
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lardb_cells_run_under_every_transport() {
+        for transport in TransportMode::ALL {
+            let out = run_with_transport(
+                Platform::VectorSimSql,
+                Workload::Gram,
+                40,
+                4,
+                8,
+                2,
+                99,
+                transport,
+            );
+            assert!(out.duration.is_some(), "{transport:?} failed: {:?}", out.note);
+            let stats = out.stats.expect("lardb platforms report stats");
+            if transport.is_serialized() {
+                assert!(
+                    stats.total_frames() > 0,
+                    "{transport:?} should ship encoded frames"
+                );
+            } else {
+                assert_eq!(stats.total_frames(), 0);
             }
         }
     }

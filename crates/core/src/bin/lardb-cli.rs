@@ -10,10 +10,11 @@
 
 use std::io::{BufRead, Write};
 
-use lardb::{Database, Response};
+use lardb::{Database, Response, TransportMode};
 
 fn main() {
     let mut workers = 4usize;
+    let mut transport = TransportMode::Pointer;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -23,11 +24,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--transport" => {
+                transport = argv
+                    .next()
+                    .and_then(|v| TransportMode::parse(&v))
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
 
-    let db = Database::new(workers);
+    let db = Database::new(workers).with_transport(transport);
     let mut timing = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -114,6 +121,6 @@ fn prompt(fresh: bool) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: lardb-cli [--workers N]");
+    eprintln!("usage: lardb-cli [--workers N] [--transport pointer|serialized|tcp]");
     std::process::exit(2);
 }

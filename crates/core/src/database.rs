@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lardb_exec::{Cluster, ExecStats, Executor};
+use lardb_exec::{Cluster, ExecStats, Executor, TransportMode};
 use lardb_planner::physical::PhysicalPlanner;
 use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig};
 use lardb_sql::ast::Statement;
@@ -19,11 +19,20 @@ pub struct DatabaseConfig {
     pub workers: usize,
     /// Optimizer switches (size inference, early projection, DP budget).
     pub optimizer: OptimizerConfig,
+    /// How exchange operators move batches between workers: `Pointer`
+    /// (in-memory hand-off, estimated bytes), `Serialized` (wire-encoded
+    /// over bounded channels, actual bytes), or `Tcp` (wire-encoded over
+    /// loopback sockets).
+    pub transport: TransportMode,
 }
 
 impl Default for DatabaseConfig {
     fn default() -> Self {
-        DatabaseConfig { workers: 4, optimizer: OptimizerConfig::default() }
+        DatabaseConfig {
+            workers: 4,
+            optimizer: OptimizerConfig::default(),
+            transport: TransportMode::Pointer,
+        }
     }
 }
 
@@ -127,6 +136,24 @@ impl Database {
         self.config.workers
     }
 
+    /// Sets the exchange transport mode (builder style). `Serialized` and
+    /// `Tcp` encode every boundary-crossing batch through the `lardb-net`
+    /// wire codec and meter actual encoded bytes.
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Mutates the exchange transport mode in place.
+    pub fn set_transport(&mut self, transport: TransportMode) {
+        self.config.transport = transport;
+    }
+
+    /// The configured exchange transport mode.
+    pub fn transport(&self) -> TransportMode {
+        self.config.transport
+    }
+
     /// Mutates the optimizer configuration (ablation benchmarks flip
     /// [`OptimizerConfig::size_inference`] here).
     pub fn set_optimizer_config(&mut self, cfg: OptimizerConfig) {
@@ -218,9 +245,26 @@ impl Database {
                 let plan = Binder::new(&self.catalog).bind_select(&sel)?;
                 Ok(Response::Rows(self.run_logical(plan, true)?))
             }
-            Statement::Explain(sel) => {
-                let plan = Binder::new(&self.catalog).bind_select(&sel)?;
-                Ok(Response::Explained(self.explain_logical(plan)?))
+            Statement::Explain { query, analyze } => {
+                let plan = Binder::new(&self.catalog).bind_select(&query)?;
+                let mut text = self.explain_logical(plan.clone())?;
+                if analyze {
+                    let result = self.run_logical(plan, true)?;
+                    if !text.ends_with('\n') {
+                        text.push('\n');
+                    }
+                    text.push_str(&format!(
+                        "== Execution Statistics ==\n{}\
+                         total: {} rows shuffled, {} bytes shuffled, \
+                         {} frames, blocked {:.3} ms\n",
+                        result.stats.display_table(),
+                        result.stats.total_rows_shuffled(),
+                        result.stats.total_bytes_shuffled(),
+                        result.stats.total_frames(),
+                        result.stats.total_enqueue_block().as_secs_f64() * 1e3,
+                    ));
+                }
+                Ok(Response::Explained(text))
             }
         }
     }
@@ -234,7 +278,7 @@ impl Database {
     /// exchanges.
     pub fn explain(&self, sql: &str) -> Result<String> {
         match parse_statement(sql)? {
-            Statement::Select(sel) | Statement::Explain(sel) => {
+            Statement::Select(sel) | Statement::Explain { query: sel, .. } => {
                 let plan = Binder::new(&self.catalog).bind_select(&sel)?;
                 self.explain_logical(plan)
             }
@@ -267,7 +311,8 @@ impl Database {
         } else {
             pp.plan(&optimized)?
         };
-        let executor = Executor::new(&self.catalog, Cluster::new(self.config.workers));
+        let executor = Executor::new(&self.catalog, Cluster::new(self.config.workers))
+            .with_transport(self.config.transport);
         let result = executor.execute(&physical)?;
         Ok(QueryResult {
             schema: result.schema.clone(),

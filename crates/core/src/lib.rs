@@ -39,7 +39,10 @@ pub use database::{Database, DatabaseConfig, QueryResult, Response};
 pub use error::{EngineError, Result};
 
 // Re-exports for downstream convenience (examples, benches, tests).
-pub use lardb_exec::{Cluster, ExecStats, Executor, OperatorStats};
+pub use lardb_exec::{
+    ChannelStats, Cluster, ExecStats, Executor, OperatorStats, ShuffleStats,
+    TransportMode,
+};
 pub use lardb_la::{LabeledScalar, Matrix, Vector};
 pub use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig, PhysicalPlan};
 pub use lardb_storage::{Catalog, Column, DataType, Partitioning, Row, Schema, Table, Value};

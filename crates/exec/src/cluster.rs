@@ -1,6 +1,17 @@
 //! The simulated shared-nothing cluster.
 
-use crate::Result;
+use crate::{ExecError, Result};
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
 
 /// A cluster of `W` shared-nothing workers.
 ///
@@ -30,7 +41,9 @@ impl Cluster {
 
     /// Runs `f(worker_index, item)` for every item on parallel worker
     /// threads, preserving item order in the result. Errors from any
-    /// worker are propagated (first one wins).
+    /// worker are propagated (first one wins), and a worker that panics
+    /// surfaces as [`ExecError::Runtime`] instead of tearing down the
+    /// process — a query must not crash the database.
     pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>>
     where
         T: Send,
@@ -45,21 +58,27 @@ impl Cluster {
                 .map(|(i, item)| f(i, item))
                 .collect();
         }
-        let results = crossbeam::thread::scope(|scope| {
+        let results: Vec<Result<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .into_iter()
                 .enumerate()
                 .map(|(i, item)| {
                     let f = &f;
-                    scope.spawn(move |_| f(i, item))
+                    scope.spawn(move || f(i, item))
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect::<Vec<Result<R>>>()
-        })
-        .expect("cluster scope panicked");
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(ExecError::Runtime(format!(
+                            "worker thread panicked: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    })
+                })
+                .collect()
+        });
         results.into_iter().collect()
     }
 }
@@ -106,5 +125,22 @@ mod tests {
     #[should_panic]
     fn zero_workers_rejected() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn par_map_converts_worker_panics_to_errors() {
+        let c = Cluster::new(2);
+        let out: Result<Vec<i32>> = c.par_map(vec![1, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("kaboom on {x}");
+            }
+            Ok(x)
+        });
+        match out {
+            Err(ExecError::Runtime(msg)) => {
+                assert!(msg.contains("kaboom"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Runtime error, got {other:?}"),
+        }
     }
 }

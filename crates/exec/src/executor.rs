@@ -3,8 +3,10 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use lardb_net::codec::{decode_frame, encode_rows_frame, encode_schema_frame, Frame};
+use lardb_net::{ChannelTransport, Mesh, TcpTransport, Transport, TransportMode};
 use lardb_planner::physical::{AggMode, ExchangeKind, PhysicalPlan};
 use lardb_planner::{AggExpr, Expr};
 use lardb_storage::ops::CompositeKey;
@@ -12,10 +14,15 @@ use lardb_storage::table::hash_partition;
 use lardb_storage::{Catalog, Partitioning, Row, Schema, Value};
 
 use crate::agg::{state_arity, Accumulator};
-use crate::cluster::Cluster;
+use crate::cluster::{panic_message, Cluster};
 use crate::eval::{eval, eval_predicate};
-use crate::stats::{ExecStats, OperatorStats};
+use crate::stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};
 use crate::{ExecError, Result};
+
+/// Rows per encoded frame on serialized transports: large enough to
+/// amortize the frame header, small enough that a partition's stream
+/// spans several frames and real backpressure can occur.
+const ROWS_PER_FRAME: usize = 256;
 
 /// Partitioned rows: one `Vec<Row>` per worker.
 type Parts = Vec<Vec<Row>>;
@@ -48,12 +55,14 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     cluster: Cluster,
     fuse: bool,
+    mode: TransportMode,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor (join→aggregate fusion enabled).
+    /// Creates an executor (join→aggregate fusion enabled, pointer
+    /// transport).
     pub fn new(catalog: &'a Catalog, cluster: Cluster) -> Self {
-        Executor { catalog, cluster, fuse: true }
+        Executor { catalog, cluster, fuse: true, mode: TransportMode::default() }
     }
 
     /// Enables or disables pipelined join→aggregate fusion (the ablation
@@ -61,6 +70,20 @@ impl<'a> Executor<'a> {
     pub fn with_fusion(mut self, fuse: bool) -> Self {
         self.fuse = fuse;
         self
+    }
+
+    /// Selects how exchanges move rows between workers: `pointer` keeps
+    /// the zero-copy in-memory shuffle with byte *estimates*; `serialized`
+    /// and `tcp` push every boundary-crossing batch through the wire codec
+    /// and meter actual encoded bytes.
+    pub fn with_transport(mut self, mode: TransportMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The transport mode exchanges run under.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.mode
     }
 
     /// The cluster this executor runs on.
@@ -82,7 +105,7 @@ impl<'a> Executor<'a> {
             PhysicalPlan::TableScan { table, .. } => {
                 let t0 = Instant::now();
                 let out = self.scan(table)?;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::Filter { input, predicate, .. } => {
@@ -97,7 +120,7 @@ impl<'a> Executor<'a> {
                     }
                     Ok(keep)
                 })?;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::Project { input, exprs, .. } => {
@@ -114,7 +137,7 @@ impl<'a> Executor<'a> {
                     }
                     Ok(mapped)
                 })?;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::HashJoin {
@@ -127,7 +150,7 @@ impl<'a> Executor<'a> {
                 let out = self.cluster.par_map(pairs, |_, (lp, rp)| {
                     hash_join_partition(lp, rp, left_keys, right_keys, residual.as_ref())
                 })?;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::NestedLoopJoin { left, right, residual, .. } => {
@@ -150,7 +173,7 @@ impl<'a> Executor<'a> {
                     }
                     Ok(rows)
                 })?;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::HashAggregate { input, group_by, aggs, mode, .. } => {
@@ -183,14 +206,14 @@ impl<'a> Executor<'a> {
                 {
                     out[0] = vec![empty_global_row(aggs)];
                 }
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::Exchange { input, kind, .. } => {
                 let child = self.run(input, stats)?;
                 let t0 = Instant::now();
-                let (out, rows_moved, bytes_moved) = self.exchange(child, kind)?;
-                self.record(plan, stats, t0, &out, rows_moved, bytes_moved);
+                let (out, shuffle) = self.exchange(child, kind, &plan.schema())?;
+                self.record(plan, stats, t0, &out, shuffle);
                 out
             }
             PhysicalPlan::Sort { input, keys, .. } => {
@@ -201,7 +224,7 @@ impl<'a> Executor<'a> {
                 sort_rows(&mut all, keys)?;
                 let mut out = vec![Vec::new(); w];
                 out[0] = all;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::Limit { input, n, .. } => {
@@ -212,7 +235,7 @@ impl<'a> Executor<'a> {
                 all.truncate(*n);
                 let mut out = vec![Vec::new(); w];
                 out[0] = all;
-                self.record(plan, stats, t0, &out, 0, 0);
+                self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
         };
@@ -365,16 +388,14 @@ impl<'a> Executor<'a> {
             label: join.label(),
             wall: std::time::Duration::from_nanos(join_ns),
             rows_out: joined_rows,
-            rows_shuffled: 0,
-            bytes_shuffled: 0,
+            shuffle: ShuffleStats::default(),
         });
         stats.record(OperatorStats {
             id: agg_plan.id(),
             label: agg_plan.label(),
             wall: std::time::Duration::from_nanos(agg_ns),
             rows_out: out.iter().map(Vec::len).sum(),
-            rows_shuffled: 0,
-            bytes_shuffled: 0,
+            shuffle: ShuffleStats::default(),
         });
         Ok(out)
     }
@@ -385,16 +406,14 @@ impl<'a> Executor<'a> {
         stats: &mut ExecStats,
         t0: Instant,
         out: &Parts,
-        rows_shuffled: usize,
-        bytes_shuffled: usize,
+        shuffle: ShuffleStats,
     ) {
         stats.record(OperatorStats {
             id: plan.id(),
             label: plan.label(),
             wall: t0.elapsed(),
             rows_out: out.iter().map(Vec::len).sum(),
-            rows_shuffled,
-            bytes_shuffled,
+            shuffle,
         });
     }
 
@@ -420,8 +439,25 @@ impl<'a> Executor<'a> {
     }
 
     /// Moves rows between partitions, metering the traffic.
-    fn exchange(&self, input: Parts, kind: &ExchangeKind) -> Result<(Parts, usize, usize)> {
+    ///
+    /// In `pointer` mode rows move as in-memory values and shuffle bytes
+    /// are estimated from payload sizes. Under a serialized transport
+    /// every boundary-crossing batch is codec-encoded, shipped through
+    /// the worker mesh, and decoded on the receiving side; the meter then
+    /// reports actual wire bytes and per-channel detail. Both paths
+    /// produce bit-identical output in the same row order.
+    fn exchange(
+        &self,
+        input: Parts,
+        kind: &ExchangeKind,
+        schema: &Schema,
+    ) -> Result<(Parts, ShuffleStats)> {
         let w = input.len();
+        // GatherReplica moves nothing, and a 1-worker cluster has no
+        // partition boundary to cross — nothing to serialize.
+        if self.mode.is_serialized() && w > 1 && !matches!(kind, ExchangeKind::GatherReplica) {
+            return self.exchange_serialized(input, kind, schema);
+        }
         match kind {
             ExchangeKind::Hash(keys) => {
                 // Bucket each source partition in parallel, then merge.
@@ -450,14 +486,17 @@ impl<'a> Executor<'a> {
                         out[t].append(&mut b);
                     }
                 }
-                Ok((out, rows_moved, bytes_moved))
+                Ok((out, ShuffleStats::estimated(rows_moved, bytes_moved)))
             }
             ExchangeKind::Broadcast => {
                 let all: Vec<Row> = input.into_iter().flatten().collect();
                 let bytes: usize = all.iter().map(Row::byte_size).sum();
                 let rows = all.len();
                 let out: Parts = (0..w).map(|_| all.clone()).collect();
-                Ok((out, rows * (w - 1), bytes * (w.saturating_sub(1))))
+                Ok((
+                    out,
+                    ShuffleStats::estimated(rows * (w - 1), bytes * (w.saturating_sub(1))),
+                ))
             }
             ExchangeKind::Gather => {
                 let mut rows_moved = 0;
@@ -472,16 +511,240 @@ impl<'a> Executor<'a> {
                 }
                 let mut out: Parts = vec![Vec::new(); w];
                 out[0] = first;
-                Ok((out, rows_moved, bytes_moved))
+                Ok((out, ShuffleStats::estimated(rows_moved, bytes_moved)))
             }
             ExchangeKind::GatherReplica => {
                 let mut out: Parts = vec![Vec::new(); w];
                 if let Some(p0) = input.into_iter().next() {
                     out[0] = p0;
                 }
-                Ok((out, 0, 0))
+                Ok((out, ShuffleStats::default()))
             }
         }
+    }
+
+    /// The serialized exchange: `W` sender threads route, encode and ship
+    /// frames through a [`Mesh`]; `W` receiver threads drain, validate and
+    /// decode them. Local rows (target == source) never touch the mesh.
+    ///
+    /// Receivers bucket incoming frames per sender and the final partition
+    /// is assembled in sender order with local rows at the sender's own
+    /// index — reproducing exactly the row order of the pointer-mode
+    /// merge, so results are bit-identical across transports.
+    fn exchange_serialized(
+        &self,
+        input: Parts,
+        kind: &ExchangeKind,
+        schema: &Schema,
+    ) -> Result<(Parts, ShuffleStats)> {
+        let w = input.len();
+        let transport: Box<dyn Transport> = match self.mode {
+            TransportMode::Serialized => Box::new(ChannelTransport::default()),
+            TransportMode::Tcp => Box::new(TcpTransport::default()),
+            TransportMode::Pointer => unreachable!("pointer mode uses the in-memory exchange"),
+        };
+        let mesh_box = transport.mesh(w)?;
+        let mesh: &dyn Mesh = mesh_box.as_ref();
+
+        type SenderOut = (Vec<Row>, Vec<ChannelStats>);
+        type ScopeOut = (Vec<Vec<Row>>, Vec<Vec<Vec<Row>>>, Vec<ChannelStats>);
+        let (locals, received, mut channels) = std::thread::scope(
+            |s| -> Result<ScopeOut> {
+                let receivers: Vec<_> = (0..w)
+                    .map(|to| s.spawn(move || receive_partition(mesh, w, to, schema)))
+                    .collect();
+                let senders: Vec<_> = input
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, rows)| {
+                        s.spawn(move || -> Result<SenderOut> {
+                            send_partition(mesh, w, p, rows, kind, schema)
+                        })
+                    })
+                    .collect();
+                let mut locals = Vec::with_capacity(w);
+                let mut channels = Vec::new();
+                for h in senders {
+                    let (local, chs) = join_exchange_thread(h)?;
+                    locals.push(local);
+                    channels.extend(chs);
+                }
+                let mut received = Vec::with_capacity(w);
+                for h in receivers {
+                    received.push(join_exchange_thread(h)?);
+                }
+                Ok((locals, received, channels))
+            },
+        )?;
+
+        let mut out: Parts = Vec::with_capacity(w);
+        for (q, (local, mut per_from)) in locals.into_iter().zip(received).enumerate() {
+            let mut part = Vec::new();
+            let mut local = Some(local);
+            for (from, received_rows) in per_from.iter_mut().enumerate() {
+                if from == q {
+                    part.append(&mut local.take().expect("local rows consumed once"));
+                } else {
+                    part.append(received_rows);
+                }
+            }
+            out.push(part);
+        }
+        channels.sort_by_key(|c| (c.from, c.to));
+        Ok((out, ShuffleStats::from_channels(channels)))
+    }
+}
+
+/// Joins one exchange worker thread, converting panics to errors.
+fn join_exchange_thread<T>(h: std::thread::ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
+    h.join().unwrap_or_else(|payload| {
+        Err(ExecError::Runtime(format!(
+            "exchange thread panicked: {}",
+            panic_message(payload.as_ref())
+        )))
+    })
+}
+
+/// Sender side of one serialized exchange partition: routes rows, keeps
+/// local ones, encodes and ships the rest (a schema frame first, then
+/// row batches), and always closes its mesh endpoint — even on error —
+/// so receivers never hang waiting for EOF.
+fn send_partition(
+    mesh: &dyn Mesh,
+    w: usize,
+    p: usize,
+    rows: Vec<Row>,
+    kind: &ExchangeKind,
+    schema: &Schema,
+) -> Result<(Vec<Row>, Vec<ChannelStats>)> {
+    let (local, outbound): (Vec<Row>, Vec<Vec<Row>>) = match kind {
+        ExchangeKind::Hash(keys) => {
+            let mut local = Vec::new();
+            let mut outbound: Vec<Vec<Row>> = vec![Vec::new(); w];
+            for r in rows {
+                let target = hash_route(&r, keys, w)?;
+                if target == p {
+                    local.push(r);
+                } else {
+                    outbound[target].push(r);
+                }
+            }
+            (local, outbound)
+        }
+        ExchangeKind::Broadcast => {
+            let mut outbound: Vec<Vec<Row>> = vec![Vec::new(); w];
+            for (q, slot) in outbound.iter_mut().enumerate() {
+                if q != p {
+                    *slot = rows.clone();
+                }
+            }
+            (rows, outbound)
+        }
+        ExchangeKind::Gather => {
+            if p == 0 {
+                (rows, vec![Vec::new(); w])
+            } else {
+                let mut outbound: Vec<Vec<Row>> = vec![Vec::new(); w];
+                outbound[0] = rows;
+                (Vec::new(), outbound)
+            }
+        }
+        ExchangeKind::GatherReplica => {
+            unreachable!("GatherReplica never takes the serialized path")
+        }
+    };
+
+    let mut channels = Vec::new();
+    let send_result = (|| -> Result<()> {
+        for (to, bucket) in outbound.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut ch = ChannelStats {
+                from: p,
+                to,
+                rows: 0,
+                bytes: 0,
+                frames: 0,
+                enqueue_block: Duration::ZERO,
+            };
+            let schema_frame = encode_schema_frame(schema);
+            ch.bytes += schema_frame.len();
+            ch.frames += 1;
+            let t = Instant::now();
+            mesh.send(p, to, schema_frame)?;
+            ch.enqueue_block += t.elapsed();
+            for chunk in bucket.chunks(ROWS_PER_FRAME) {
+                let frame = encode_rows_frame(chunk);
+                ch.rows += chunk.len();
+                ch.bytes += frame.len();
+                ch.frames += 1;
+                let t = Instant::now();
+                mesh.send(p, to, frame)?;
+                ch.enqueue_block += t.elapsed();
+            }
+            channels.push(ch);
+        }
+        Ok(())
+    })();
+    let close_result = mesh.close(p).map_err(ExecError::from);
+    send_result?;
+    close_result?;
+    Ok((local, channels))
+}
+
+/// Receiver side of one serialized exchange partition: drains the mesh
+/// until every sender closes, validating that each channel leads with a
+/// schema frame matching the exchange schema, and buckets decoded rows
+/// per sender. On a decode error it keeps draining (so senders never
+/// block forever against a full channel) and reports the first error.
+fn receive_partition(
+    mesh: &dyn Mesh,
+    w: usize,
+    to: usize,
+    schema: &Schema,
+) -> Result<Vec<Vec<Row>>> {
+    let mut per_from: Vec<Vec<Row>> = vec![Vec::new(); w];
+    let mut schema_seen = vec![false; w];
+    let mut first_err: Option<ExecError> = None;
+    loop {
+        match mesh.recv(to) {
+            Ok(Some((from, frame))) => {
+                if first_err.is_some() {
+                    continue; // drain to EOF so senders don't deadlock
+                }
+                match decode_frame(&frame) {
+                    Ok(Frame::Schema(s)) => {
+                        if s == *schema {
+                            schema_seen[from] = true;
+                        } else {
+                            first_err = Some(ExecError::Runtime(format!(
+                                "exchange schema mismatch from worker {from}"
+                            )));
+                        }
+                    }
+                    Ok(Frame::Rows(rows)) => {
+                        if schema_seen[from] {
+                            per_from[from].extend(rows);
+                        } else {
+                            first_err = Some(ExecError::Runtime(format!(
+                                "rows frame before schema frame from worker {from}"
+                            )));
+                        }
+                    }
+                    Err(e) => first_err = Some(lardb_net::NetError::from(e).into()),
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                first_err = Some(e.into());
+                break;
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(per_from),
     }
 }
 
@@ -1041,6 +1304,43 @@ mod tests {
         sort_rows(&mut rows, &[(Expr::col(0), false)]).unwrap();
         assert_eq!(rows[0].value(0), &Value::Integer(2));
         assert!(rows[2].value(0).is_null());
+    }
+
+    #[test]
+    fn serialized_transports_match_pointer_exchange() {
+        // A self equi-join forces a hash exchange; the serialized and tcp
+        // transports must produce byte-identical rows in identical order,
+        // while metering actual encoded frames.
+        let c = setup();
+        let stats_src: std::collections::HashMap<String, usize> = Default::default();
+        let join = LogicalPlan::Join {
+            left: Box::new(scan_plan(&c, "nums")),
+            right: Box::new(scan_plan(&c, "nums")),
+            kind: JoinKind::Inner,
+            equi: vec![(Expr::col(0), Expr::col(0))],
+            residual: None,
+        };
+        let mut pp = PhysicalPlanner::new(&c, &stats_src);
+        let plan = pp.plan_gathered(&join).unwrap();
+        let base = Executor::new(&c, Cluster::new(4)).execute(&plan).unwrap();
+        assert_eq!(base.stats.total_frames(), 0, "pointer mode ships no frames");
+        for mode in [TransportMode::Serialized, TransportMode::Tcp] {
+            let out = Executor::new(&c, Cluster::new(4))
+                .with_transport(mode)
+                .execute(&plan)
+                .unwrap();
+            assert_eq!(out.partitions, base.partitions, "{mode} diverged");
+            assert!(out.stats.total_frames() > 0, "{mode} shipped no frames");
+            assert!(out.stats.total_bytes_shuffled() > 0);
+            // Per-channel detail is attached to the exchange operators.
+            let with_channels = out
+                .stats
+                .operators()
+                .iter()
+                .filter(|o| !o.shuffle.channels.is_empty())
+                .count();
+            assert!(with_channels > 0, "{mode} recorded no channel stats");
+        }
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! Hadoop-based runtime. A [`cluster::Cluster`] models `W` shared-nothing
 //! workers; every table and every intermediate result is split into `W`
 //! partitions, operators run partition-parallel on real threads
-//! (`crossbeam` scoped), and data only crosses partitions through explicit
+//! (std scoped threads), and data only crosses partitions through explicit
 //! **exchange** operators, which meter every row and byte "shuffled" — the
-//! simulation's stand-in for network cost.
+//! simulation's stand-in for network cost. Under
+//! [`TransportMode::Serialized`] or [`TransportMode::Tcp`] the exchanges
+//! additionally encode every boundary-crossing batch through the
+//! `lardb-net` wire codec and ship it over a real channel or loopback
+//! socket, metering actual encoded bytes per worker-to-worker channel.
 //!
 //! Execution is operator-at-a-time materialized, mirroring the MapReduce
 //! stage structure of the paper's SimSQL/Hadoop substrate, which also makes
@@ -22,8 +26,10 @@ pub mod stats;
 
 pub use cluster::Cluster;
 pub use executor::{ExecutionResult, Executor};
-pub use stats::{ExecStats, OperatorStats};
+pub use lardb_net::TransportMode;
+pub use stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};
 
+use lardb_net::NetError;
 use lardb_planner::PlanError;
 use lardb_storage::StorageError;
 
@@ -66,6 +72,12 @@ impl From<PlanError> for ExecError {
 impl From<lardb_la::LaError> for ExecError {
     fn from(e: lardb_la::LaError) -> Self {
         ExecError::Storage(StorageError::La(e))
+    }
+}
+
+impl From<NetError> for ExecError {
+    fn from(e: NetError) -> Self {
+        ExecError::Runtime(e.to_string())
     }
 }
 

@@ -4,10 +4,70 @@
 //! computation into per-operation running times (join vs aggregation).
 //! The executor records, for every physical operator instance: wall time,
 //! output rows, and — for exchanges — rows and bytes that crossed worker
-//! boundaries.
+//! boundaries. Under a serialized transport (`serialized` / `tcp` modes)
+//! exchanges additionally report per-channel detail: encoded frames,
+//! actual wire bytes, and time spent blocked enqueueing into a full
+//! channel (backpressure).
 
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Traffic over one directed worker-to-worker channel of an exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Sending worker.
+    pub from: usize,
+    /// Receiving worker.
+    pub to: usize,
+    /// Rows shipped over this channel.
+    pub rows: usize,
+    /// Actual encoded bytes shipped (frame headers and schema included).
+    pub bytes: usize,
+    /// Frames shipped (one schema frame plus row batches).
+    pub frames: usize,
+    /// Time the sender spent blocked in `send` because the channel (or
+    /// socket buffer) was full — observed backpressure.
+    pub enqueue_block: Duration,
+}
+
+/// What one exchange moved, in aggregate and per channel.
+///
+/// In `pointer` mode `bytes` is an *estimate* from in-memory payload
+/// sizes and `channels` is empty; under a serialized transport `bytes`
+/// counts actual encoded frames and `channels` has one entry per
+/// directed channel that carried data.
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleStats {
+    /// Rows that crossed a partition boundary.
+    pub rows: usize,
+    /// Bytes that crossed a partition boundary.
+    pub bytes: usize,
+    /// Encoded frames shipped (0 in pointer mode).
+    pub frames: usize,
+    /// Total sender time blocked on full channels, summed over channels.
+    pub enqueue_block: Duration,
+    /// Per-channel detail (empty in pointer mode).
+    pub channels: Vec<ChannelStats>,
+}
+
+impl ShuffleStats {
+    /// Pointer-mode record: estimated bytes, no channel detail.
+    pub fn estimated(rows: usize, bytes: usize) -> Self {
+        ShuffleStats { rows, bytes, ..ShuffleStats::default() }
+    }
+
+    /// Aggregates per-channel records into totals.
+    pub fn from_channels(channels: Vec<ChannelStats>) -> Self {
+        let mut s = ShuffleStats { channels, ..ShuffleStats::default() };
+        for c in &s.channels {
+            s.rows += c.rows;
+            s.bytes += c.bytes;
+            s.frames += c.frames;
+            s.enqueue_block += c.enqueue_block;
+        }
+        s
+    }
+}
 
 /// Statistics for one operator instance.
 #[derive(Debug, Clone)]
@@ -20,10 +80,21 @@ pub struct OperatorStats {
     pub wall: Duration,
     /// Rows produced.
     pub rows_out: usize,
+    /// Rows, bytes and per-channel traffic moved between partitions
+    /// (exchanges only; empty elsewhere).
+    pub shuffle: ShuffleStats,
+}
+
+impl OperatorStats {
     /// Rows that moved between partitions (exchanges only).
-    pub rows_shuffled: usize,
+    pub fn rows_shuffled(&self) -> usize {
+        self.shuffle.rows
+    }
+
     /// Bytes that moved between partitions (exchanges only).
-    pub bytes_shuffled: usize,
+    pub fn bytes_shuffled(&self) -> usize {
+        self.shuffle.bytes
+    }
 }
 
 /// Statistics for one query execution.
@@ -56,12 +127,23 @@ impl ExecStats {
 
     /// Total bytes shuffled across all exchanges.
     pub fn total_bytes_shuffled(&self) -> usize {
-        self.ops.iter().map(|o| o.bytes_shuffled).sum()
+        self.ops.iter().map(|o| o.shuffle.bytes).sum()
     }
 
     /// Total rows shuffled across all exchanges.
     pub fn total_rows_shuffled(&self) -> usize {
-        self.ops.iter().map(|o| o.rows_shuffled).sum()
+        self.ops.iter().map(|o| o.shuffle.rows).sum()
+    }
+
+    /// Total encoded frames shipped across all exchanges (0 unless a
+    /// serialized transport ran).
+    pub fn total_frames(&self) -> usize {
+        self.ops.iter().map(|o| o.shuffle.frames).sum()
+    }
+
+    /// Total sender time spent blocked on full channels.
+    pub fn total_enqueue_block(&self) -> Duration {
+        self.ops.iter().map(|o| o.shuffle.enqueue_block).sum()
     }
 
     /// Wall time grouped by operator label — the Figure 4 breakdown.
@@ -84,21 +166,35 @@ impl ExecStats {
         self.ops.extend(other.ops.iter().cloned());
     }
 
-    /// Renders a human-readable table.
+    /// Renders a human-readable table. Exchanges that ran over a
+    /// serialized transport get one indented sub-line per channel.
     pub fn display_table(&self) -> String {
         let mut out = String::from(
-            "id    operator                 time_ms      rows    shuffled_rows   shuffled_MB\n",
+            "id    operator                 time_ms      rows    shuffled_rows   shuffled_MB   frames   blocked_ms\n",
         );
         for o in &self.ops {
             out.push_str(&format!(
-                "{:<5} {:<24} {:>9.3} {:>9} {:>15} {:>13.3}\n",
+                "{:<5} {:<24} {:>9.3} {:>9} {:>15} {:>13.3} {:>8} {:>12.3}\n",
                 o.id,
                 o.label,
                 o.wall.as_secs_f64() * 1e3,
                 o.rows_out,
-                o.rows_shuffled,
-                o.bytes_shuffled as f64 / 1e6,
+                o.shuffle.rows,
+                o.shuffle.bytes as f64 / 1e6,
+                o.shuffle.frames,
+                o.shuffle.enqueue_block.as_secs_f64() * 1e3,
             ));
+            for c in &o.shuffle.channels {
+                out.push_str(&format!(
+                    "        ch {}->{}: {} rows, {} bytes, {} frames, blocked {:.3} ms\n",
+                    c.from,
+                    c.to,
+                    c.rows,
+                    c.bytes,
+                    c.frames,
+                    c.enqueue_block.as_secs_f64() * 1e3,
+                ));
+            }
         }
         out
     }
@@ -114,8 +210,7 @@ mod tests {
             label: label.into(),
             wall: Duration::from_millis(ms),
             rows_out: id * 10,
-            rows_shuffled: id,
-            bytes_shuffled: bytes,
+            shuffle: ShuffleStats::estimated(id, bytes),
         }
     }
 
@@ -147,5 +242,46 @@ mod tests {
         let table = a.display_table();
         assert!(table.contains("Filter"));
         assert!(table.contains("Project"));
+    }
+
+    #[test]
+    fn channel_aggregation_and_display() {
+        let channels = vec![
+            ChannelStats {
+                from: 0,
+                to: 1,
+                rows: 10,
+                bytes: 800,
+                frames: 2,
+                enqueue_block: Duration::from_millis(3),
+            },
+            ChannelStats {
+                from: 2,
+                to: 1,
+                rows: 5,
+                bytes: 400,
+                frames: 1,
+                enqueue_block: Duration::from_millis(1),
+            },
+        ];
+        let shuffle = ShuffleStats::from_channels(channels);
+        assert_eq!(shuffle.rows, 15);
+        assert_eq!(shuffle.bytes, 1200);
+        assert_eq!(shuffle.frames, 3);
+        assert_eq!(shuffle.enqueue_block, Duration::from_millis(4));
+
+        let mut s = ExecStats::new();
+        s.record(OperatorStats {
+            id: 7,
+            label: "Exchange(Hash)".into(),
+            wall: Duration::from_millis(2),
+            rows_out: 15,
+            shuffle,
+        });
+        assert_eq!(s.total_frames(), 3);
+        assert_eq!(s.total_enqueue_block(), Duration::from_millis(4));
+        let table = s.display_table();
+        assert!(table.contains("ch 0->1: 10 rows, 800 bytes, 2 frames"), "{table}");
+        assert!(table.contains("ch 2->1: 5 rows, 400 bytes, 1 frames"), "{table}");
     }
 }

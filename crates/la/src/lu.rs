@@ -1,6 +1,9 @@
 //! LU factorization with partial pivoting — the engine's LAPACK stand-in for
 //! `matrix_inverse`, `solve` and determinants.
 
+// Index-based loops mirror the LAPACK-style reference formulation.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::{LaError, Result};
 use crate::matrix::Matrix;
 use crate::vector::Vector;

@@ -6,6 +6,9 @@
 //! problem directly from `X` with much better numerical behaviour. The SQL
 //! surface exposes it as `solve_ls(MATRIX[a][b], VECTOR[a]) -> VECTOR[b]`.
 
+// Index-based loops mirror the LAPACK-style reference formulation.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::{LaError, Result};
 use crate::matrix::Matrix;
 use crate::vector::Vector;

@@ -44,8 +44,8 @@ impl Vector {
     }
 
     /// Builds a vector from a generating function over indices.
-    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
-        Vector { data: (0..len).map(|i| f(i)).collect(), label: DEFAULT_LABEL }
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector { data: (0..len).map(f).collect(), label: DEFAULT_LABEL }
     }
 
     /// Number of entries.

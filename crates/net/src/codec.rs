@@ -1,0 +1,639 @@
+//! The binary wire format.
+//!
+//! Everything is **little-endian** and length-prefixed; nothing is
+//! self-delimiting by accident. A frame looks like:
+//!
+//! ```text
+//! ┌──────┬─────────┬──────┬─────────────┬─────────────────────────┐
+//! │ 0xA7 │ version │ kind │ u32 payload │ payload …               │
+//! │ magic│  (0x01) │  u8  │   count     │ (rows or one schema)    │
+//! └──────┴─────────┴──────┴─────────────┴─────────────────────────┘
+//! ```
+//!
+//! * kind `1` (rows): `count` rows follow, each `u32 arity` + values.
+//! * kind `2` (schema): `count` is the column count; columns follow.
+//!
+//! Every value starts with a tag byte:
+//!
+//! | tag | variant | payload |
+//! |----:|---|---|
+//! | 0 | `Null` | — |
+//! | 1 | `Integer` | `i64` |
+//! | 2 | `Double` | `f64` bits |
+//! | 3 | `Boolean` | `u8` (0/1) |
+//! | 4 | `Varchar` | `u32 len` + UTF-8 bytes |
+//! | 5 | `LabeledScalar` | `f64` value + `i64` label |
+//! | 6 | `Vector` | `u32 len` + `i64` label + `len × f64` |
+//! | 7 | `Matrix` | `u32 rows` + `u32 cols` + `rows·cols × f64` |
+//!
+//! Doubles travel as raw IEEE-754 bit patterns, so NaNs (any payload) and
+//! signed zeros roundtrip exactly. Decoding is *checked*: truncated or
+//! corrupted input yields a [`CodecError`], never a panic, and length
+//! fields are validated against the remaining buffer before any
+//! allocation (a corrupt 4 GB length cannot OOM the decoder).
+
+use std::sync::Arc;
+
+use lardb_la::{LabeledScalar, Matrix, Vector};
+use lardb_storage::{Column, DataType, Row, Schema, Value};
+
+/// First byte of every frame.
+pub const FRAME_MAGIC: u8 = 0xA7;
+/// Wire-format version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+const KIND_ROWS: u8 = 1;
+const KIND_SCHEMA: u8 = 2;
+
+const TAG_NULL: u8 = 0;
+const TAG_INTEGER: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_BOOLEAN: u8 = 3;
+const TAG_VARCHAR: u8 = 4;
+const TAG_LABELED: u8 = 5;
+const TAG_VECTOR: u8 = 6;
+const TAG_MATRIX: u8 = 7;
+
+const DT_INTEGER: u8 = 0;
+const DT_DOUBLE: u8 = 1;
+const DT_BOOLEAN: u8 = 2;
+const DT_VARCHAR: u8 = 3;
+const DT_LABELED: u8 = 4;
+const DT_VECTOR: u8 = 5;
+const DT_MATRIX: u8 = 6;
+
+/// A decode failure. Field names say what was being read when the input
+/// ran out or made no sense.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// Input ended before `needed` more bytes of `what` could be read.
+    Truncated { what: &'static str, needed: usize, available: usize },
+    /// The first byte was not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// A frame from a future (or garbage) wire version.
+    UnsupportedVersion(u8),
+    /// An unknown tag byte for `what`.
+    BadTag { what: &'static str, tag: u8 },
+    /// A `VARCHAR` or identifier payload was not valid UTF-8.
+    BadUtf8,
+    /// A length field implies more payload than the buffer holds.
+    LengthOverflow { what: &'static str, len: u64, available: usize },
+    /// Bytes were left over after the frame's declared contents.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { what, needed, available } => write!(
+                f,
+                "truncated input reading {what}: needed {needed} bytes, {available} available"
+            ),
+            CodecError::BadMagic(b) => write!(f, "bad frame magic byte 0x{b:02x}"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            CodecError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            CodecError::LengthOverflow { what, len, available } => write!(
+                f,
+                "{what} length {len} exceeds remaining buffer ({available} bytes)"
+            ),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A batch of rows — what exchanges ship.
+    Rows(Vec<Row>),
+    /// A schema — handshake / catalog shipment.
+    Schema(Schema),
+}
+
+// ------------------------------------------------------------- encoding
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends one value's wire form to `buf`.
+pub fn encode_value(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Integer(i) => {
+            buf.push(TAG_INTEGER);
+            put_i64(buf, *i);
+        }
+        Value::Double(d) => {
+            buf.push(TAG_DOUBLE);
+            put_f64(buf, *d);
+        }
+        Value::Boolean(b) => {
+            buf.push(TAG_BOOLEAN);
+            buf.push(u8::from(*b));
+        }
+        Value::Varchar(s) => {
+            buf.push(TAG_VARCHAR);
+            put_str(buf, s);
+        }
+        Value::LabeledScalar(s) => {
+            buf.push(TAG_LABELED);
+            put_f64(buf, s.value);
+            put_i64(buf, s.label);
+        }
+        Value::Vector(vec) => {
+            buf.push(TAG_VECTOR);
+            put_u32(buf, vec.len() as u32);
+            put_i64(buf, vec.label());
+            buf.reserve(vec.len() * 8);
+            for &x in vec.as_slice() {
+                put_f64(buf, x);
+            }
+        }
+        Value::Matrix(m) => {
+            buf.push(TAG_MATRIX);
+            put_u32(buf, m.rows() as u32);
+            put_u32(buf, m.cols() as u32);
+            buf.reserve(m.as_slice().len() * 8);
+            for &x in m.as_slice() {
+                put_f64(buf, x);
+            }
+        }
+    }
+}
+
+/// Appends one row (`u32` arity + values) to `buf`.
+pub fn encode_row(row: &Row, buf: &mut Vec<u8>) {
+    put_u32(buf, row.arity() as u32);
+    for v in row.values() {
+        encode_value(v, buf);
+    }
+}
+
+fn encode_dtype(dt: &DataType, buf: &mut Vec<u8>) {
+    let put_dim = |buf: &mut Vec<u8>, d: Option<usize>| match d {
+        Some(n) => {
+            buf.push(1);
+            put_u32(buf, n as u32);
+        }
+        None => buf.push(0),
+    };
+    match dt {
+        DataType::Integer => buf.push(DT_INTEGER),
+        DataType::Double => buf.push(DT_DOUBLE),
+        DataType::Boolean => buf.push(DT_BOOLEAN),
+        DataType::Varchar => buf.push(DT_VARCHAR),
+        DataType::LabeledScalar => buf.push(DT_LABELED),
+        DataType::Vector(n) => {
+            buf.push(DT_VECTOR);
+            put_dim(buf, *n);
+        }
+        DataType::Matrix(r, c) => {
+            buf.push(DT_MATRIX);
+            put_dim(buf, *r);
+            put_dim(buf, *c);
+        }
+    }
+}
+
+fn encode_column(c: &Column, buf: &mut Vec<u8>) {
+    match &c.qualifier {
+        Some(q) => {
+            buf.push(1);
+            put_str(buf, q);
+        }
+        None => buf.push(0),
+    }
+    put_str(buf, &c.name);
+    encode_dtype(&c.dtype, buf);
+}
+
+fn frame_header(kind: u8, count: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.push(FRAME_MAGIC);
+    buf.push(WIRE_VERSION);
+    buf.push(kind);
+    put_u32(&mut buf, count);
+    buf
+}
+
+/// Encodes a batch of rows as one self-contained frame.
+pub fn encode_rows_frame(rows: &[Row]) -> Vec<u8> {
+    let mut buf = frame_header(KIND_ROWS, rows.len() as u32);
+    for r in rows {
+        encode_row(r, &mut buf);
+    }
+    buf
+}
+
+/// Encodes a schema as one self-contained frame.
+pub fn encode_schema_frame(schema: &Schema) -> Vec<u8> {
+    let mut buf = frame_header(KIND_SCHEMA, schema.arity() as u32);
+    for c in schema.columns() {
+        encode_column(c, &mut buf);
+    }
+    buf
+}
+
+// ------------------------------------------------------------- decoding
+
+/// A checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                what,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self, what: &'static str) -> Result<i64> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().expect("8 bytes"))))
+    }
+
+    /// Reads a `u32` count and verifies the remaining buffer can hold at
+    /// least `count × min_elem_bytes` more bytes before any allocation.
+    fn checked_count(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        let needed = n.saturating_mul(min_elem_bytes);
+        if needed > self.remaining() {
+            return Err(CodecError::LengthOverflow {
+                what,
+                len: n as u64,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<&'a str> {
+        let n = self.checked_count(what, 1)?;
+        let bytes = self.take(n, what)?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)
+    }
+
+    fn f64_run(&mut self, n: usize, what: &'static str) -> Result<Vec<f64>> {
+        let bytes = self.take(n * 8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for chunk in bytes.chunks_exact(8) {
+            out.push(f64::from_bits(u64::from_le_bytes(
+                chunk.try_into().expect("8 bytes"),
+            )));
+        }
+        Ok(out)
+    }
+}
+
+fn decode_value_inner(r: &mut Reader<'_>) -> Result<Value> {
+    let tag = r.u8("value tag")?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_INTEGER => Value::Integer(r.i64("INTEGER")?),
+        TAG_DOUBLE => Value::Double(r.f64("DOUBLE")?),
+        TAG_BOOLEAN => Value::Boolean(r.u8("BOOLEAN")? != 0),
+        TAG_VARCHAR => Value::Varchar(Arc::from(r.str("VARCHAR")?)),
+        TAG_LABELED => {
+            let value = r.f64("LABELED_SCALAR value")?;
+            let label = r.i64("LABELED_SCALAR label")?;
+            Value::LabeledScalar(LabeledScalar::new(value, label))
+        }
+        TAG_VECTOR => {
+            let len = r.checked_count("VECTOR length", 8)?;
+            let label = r.i64("VECTOR label")?;
+            let data = r.f64_run(len, "VECTOR entries")?;
+            let mut v = Vector::from_vec(data);
+            v.set_label(label);
+            Value::vector(v)
+        }
+        TAG_MATRIX => {
+            let rows = r.checked_count("MATRIX rows", 0)?;
+            let cols = r.checked_count("MATRIX cols", 0)?;
+            let total = rows.saturating_mul(cols);
+            if total.saturating_mul(8) > r.remaining() {
+                return Err(CodecError::LengthOverflow {
+                    what: "MATRIX entries",
+                    len: total as u64,
+                    available: r.remaining(),
+                });
+            }
+            let data = r.f64_run(total, "MATRIX entries")?;
+            let m = Matrix::from_vec(rows, cols, data)
+                .expect("dimension check precedes construction");
+            Value::matrix(m)
+        }
+        tag => return Err(CodecError::BadTag { what: "value", tag }),
+    })
+}
+
+fn decode_row_inner(r: &mut Reader<'_>) -> Result<Row> {
+    // A value is at least 1 tag byte.
+    let arity = r.checked_count("row arity", 1)?;
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        vals.push(decode_value_inner(r)?);
+    }
+    Ok(Row::new(vals))
+}
+
+fn decode_dtype(r: &mut Reader<'_>) -> Result<DataType> {
+    let dim = |r: &mut Reader<'_>| -> Result<Option<usize>> {
+        match r.u8("dimension flag")? {
+            0 => Ok(None),
+            _ => Ok(Some(r.u32("dimension")? as usize)),
+        }
+    };
+    let tag = r.u8("data type tag")?;
+    Ok(match tag {
+        DT_INTEGER => DataType::Integer,
+        DT_DOUBLE => DataType::Double,
+        DT_BOOLEAN => DataType::Boolean,
+        DT_VARCHAR => DataType::Varchar,
+        DT_LABELED => DataType::LabeledScalar,
+        DT_VECTOR => DataType::Vector(dim(r)?),
+        DT_MATRIX => {
+            let rows = dim(r)?;
+            let cols = dim(r)?;
+            DataType::Matrix(rows, cols)
+        }
+        tag => return Err(CodecError::BadTag { what: "data type", tag }),
+    })
+}
+
+fn decode_column(r: &mut Reader<'_>) -> Result<Column> {
+    let qualifier = match r.u8("qualifier flag")? {
+        0 => None,
+        _ => Some(r.str("qualifier")?.to_string()),
+    };
+    let name = r.str("column name")?.to_string();
+    let dtype = decode_dtype(r)?;
+    Ok(Column { qualifier, name, dtype })
+}
+
+/// Decodes one value from the start of `buf` (no frame header).
+pub fn decode_value(buf: &[u8]) -> Result<Value> {
+    let mut r = Reader::new(buf);
+    let v = decode_value_inner(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+/// Decodes one row from the start of `buf` (no frame header).
+pub fn decode_row(buf: &[u8]) -> Result<Row> {
+    let mut r = Reader::new(buf);
+    let row = decode_row_inner(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(row)
+}
+
+/// Decodes a full frame (magic + version + kind + payload).
+pub fn decode_frame(buf: &[u8]) -> Result<Frame> {
+    let mut r = Reader::new(buf);
+    let magic = r.u8("frame magic")?;
+    if magic != FRAME_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = r.u8("wire version")?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = r.u8("frame kind")?;
+    let frame = match kind {
+        KIND_ROWS => {
+            // A row is at least 4 arity bytes.
+            let n = r.checked_count("frame row count", 4)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(decode_row_inner(&mut r)?);
+            }
+            Frame::Rows(rows)
+        }
+        KIND_SCHEMA => {
+            // A column is at least flag + name length + dtype tag.
+            let n = r.checked_count("frame column count", 6)?;
+            let mut cols = Vec::with_capacity(n);
+            for _ in 0..n {
+                cols.push(decode_column(&mut r)?);
+            }
+            Frame::Schema(Schema::new(cols))
+        }
+        tag => return Err(CodecError::BadTag { what: "frame kind", tag }),
+    };
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(frame)
+}
+
+/// Encoded size of one value, including its tag byte (what the serialized
+/// byte meter charges per value before batching overheads).
+pub fn encoded_value_size(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Integer(_) | Value::Double(_) => 9,
+        Value::Boolean(_) => 2,
+        Value::Varchar(s) => 5 + s.len(),
+        Value::LabeledScalar(_) => 17,
+        Value::Vector(vec) => 13 + 8 * vec.len(),
+        Value::Matrix(m) => 9 + 8 * m.as_slice().len(),
+    }
+}
+
+/// Bit-exact value equality: like `PartialEq` but comparing doubles by
+/// their IEEE-754 bit patterns, so `NaN == NaN` and `-0.0 != 0.0`. This is
+/// the correct notion of "the wire preserved the value" (roundtrip
+/// property tests use it).
+pub fn wire_eq(a: &Value, b: &Value) -> bool {
+    let bits_eq = |x: f64, y: f64| x.to_bits() == y.to_bits();
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Integer(x), Value::Integer(y)) => x == y,
+        (Value::Double(x), Value::Double(y)) => bits_eq(*x, *y),
+        (Value::Boolean(x), Value::Boolean(y)) => x == y,
+        (Value::Varchar(x), Value::Varchar(y)) => x == y,
+        (Value::LabeledScalar(x), Value::LabeledScalar(y)) => {
+            bits_eq(x.value, y.value) && x.label == y.label
+        }
+        (Value::Vector(x), Value::Vector(y)) => {
+            x.label() == y.label()
+                && x.len() == y.len()
+                && x.as_slice().iter().zip(y.as_slice()).all(|(p, q)| bits_eq(*p, *q))
+        }
+        (Value::Matrix(x), Value::Matrix(y)) => {
+            x.rows() == y.rows()
+                && x.cols() == y.cols()
+                && x.as_slice().iter().zip(y.as_slice()).all(|(p, q)| bits_eq(*p, *q))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values() -> Vec<Value> {
+        let mut v = Vector::from_slice(&[1.5, -2.5, 0.0]);
+        v.set_label(42);
+        vec![
+            Value::Null,
+            Value::Integer(i64::MIN),
+            Value::Integer(i64::MAX),
+            Value::Double(std::f64::consts::PI),
+            Value::Double(f64::NAN),
+            Value::Double(-0.0),
+            Value::Boolean(true),
+            Value::Boolean(false),
+            Value::varchar(""),
+            Value::varchar("héllo wörld — tiles"),
+            Value::LabeledScalar(LabeledScalar::new(f64::NEG_INFINITY, i64::MIN)),
+            Value::Vector(Arc::new(v)),
+            Value::vector(Vector::zeros(0)),
+            Value::matrix(Matrix::zeros(0, 0)),
+            Value::matrix(Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64)),
+        ]
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        for v in sample_values() {
+            let mut buf = Vec::new();
+            encode_value(&v, &mut buf);
+            assert_eq!(buf.len(), encoded_value_size(&v), "{v:?}");
+            let back = decode_value(&buf).unwrap();
+            assert!(wire_eq(&v, &back), "{v:?} != {back:?}");
+        }
+    }
+
+    #[test]
+    fn rows_frame_roundtrip() {
+        let rows = vec![
+            Row::new(sample_values()),
+            Row::new(vec![]),
+            Row::new(vec![Value::Integer(7)]),
+        ];
+        let frame = encode_rows_frame(&rows);
+        match decode_frame(&frame).unwrap() {
+            Frame::Rows(back) => {
+                assert_eq!(back.len(), rows.len());
+                for (a, b) in rows.iter().zip(&back) {
+                    assert_eq!(a.arity(), b.arity());
+                    for (x, y) in a.values().iter().zip(b.values()) {
+                        assert!(wire_eq(x, y));
+                    }
+                }
+            }
+            other => panic!("wrong frame kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_frame_roundtrip() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Integer),
+            Column::qualified("x1", "val", DataType::Vector(Some(10))),
+            Column::new("m", DataType::Matrix(Some(3), None)),
+            Column::new("s", DataType::LabeledScalar),
+        ]);
+        let frame = encode_schema_frame(&schema);
+        assert_eq!(decode_frame(&frame).unwrap(), Frame::Schema(schema));
+    }
+
+    #[test]
+    fn header_errors() {
+        let frame = encode_rows_frame(&[Row::new(vec![Value::Integer(1)])]);
+        let mut bad = frame.clone();
+        bad[0] = 0x00;
+        assert!(matches!(decode_frame(&bad), Err(CodecError::BadMagic(0))));
+        let mut bad = frame.clone();
+        bad[1] = 99;
+        assert!(matches!(decode_frame(&bad), Err(CodecError::UnsupportedVersion(99))));
+        let mut bad = frame.clone();
+        bad[2] = 77;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(CodecError::BadTag { what: "frame kind", .. })
+        ));
+        let mut long = frame;
+        long.push(0xFF);
+        assert!(matches!(decode_frame(&long), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        let rows = vec![Row::new(sample_values())];
+        let frame = encode_rows_frame(&rows);
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_rejected_before_allocation() {
+        // A vector claiming u32::MAX entries in a 32-byte buffer must be
+        // rejected by the length check, not die trying to allocate 32 GB.
+        let mut buf = vec![TAG_VECTOR];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0i64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_value(&buf),
+            Err(CodecError::LengthOverflow { what: "VECTOR length", .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! # lardb-net — the message-passing exchange layer
+//!
+//! The paper's central claim (§2.1, §3.4) is that distributed matrix
+//! arithmetic is plain distributed relational algebra over tiles. For that
+//! claim to be *exercised* rather than simulated, data crossing a partition
+//! boundary has to move as bytes through a real channel, not as `Arc`
+//! pointers between threads. This crate provides the two pieces that make
+//! the exchange operators honest:
+//!
+//! * [`codec`] — a hand-rolled, dependency-free binary wire format for
+//!   [`Schema`](lardb_storage::Schema), [`Row`](lardb_storage::Row) and
+//!   every [`Value`](lardb_storage::Value) variant (including
+//!   `MATRIX[r][c]`, `VECTOR[n]` with its §3.3 label, and
+//!   `LABELED_SCALAR`), with explicit little-endian framing, a version
+//!   byte, and checked decode errors that never panic on corrupt input.
+//! * [`transport`] — a [`Transport`](transport::Transport) abstraction over
+//!   worker-to-worker frame channels, with two implementations: an
+//!   in-process bounded-channel mesh (crossbeam, with backpressure — the
+//!   default for `serialized` mode) and a loopback-TCP mesh (`std::net`)
+//!   that pushes every frame through real sockets for
+//!   multi-process-shaped testing.
+//!
+//! The executor in `lardb-exec` picks a [`TransportMode`] per query:
+//! `pointer` keeps the historical zero-copy exchange (bytes *estimated*),
+//! while `serialized` and `tcp` encode every boundary-crossing batch
+//! through the codec and meter **actual encoded bytes**.
+
+pub mod codec;
+pub mod transport;
+
+pub use codec::{CodecError, Frame, FRAME_MAGIC, WIRE_VERSION};
+pub use transport::{ChannelTransport, Mesh, TcpTransport, Transport};
+
+/// How exchange operators move rows between workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// Zero-copy: rows move as `Arc` pointers between threads and shuffle
+    /// bytes are *estimated* from payload sizes (the original simulation).
+    #[default]
+    Pointer,
+    /// Every batch crossing a partition boundary is encoded through the
+    /// wire codec and sent over an in-process bounded channel; shuffle
+    /// bytes are the actual encoded frame sizes.
+    Serialized,
+    /// Like `Serialized`, but frames travel through loopback TCP sockets —
+    /// the multi-process-shaped configuration.
+    Tcp,
+}
+
+impl TransportMode {
+    /// All modes, in ablation order.
+    pub const ALL: [TransportMode; 3] =
+        [TransportMode::Pointer, TransportMode::Serialized, TransportMode::Tcp];
+
+    /// Parses a mode name as used by CLI flags (`pointer`, `serialized`,
+    /// `tcp`).
+    pub fn parse(s: &str) -> Option<TransportMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "pointer" => Some(TransportMode::Pointer),
+            "serialized" | "channel" => Some(TransportMode::Serialized),
+            "tcp" => Some(TransportMode::Tcp),
+            _ => None,
+        }
+    }
+
+    /// The CLI / display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportMode::Pointer => "pointer",
+            TransportMode::Serialized => "serialized",
+            TransportMode::Tcp => "tcp",
+        }
+    }
+
+    /// True when exchanges move real encoded bytes (and therefore meter
+    /// exact sizes rather than estimates).
+    pub fn is_serialized(&self) -> bool {
+        !matches!(self, TransportMode::Pointer)
+    }
+}
+
+impl std::fmt::Display for TransportMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Errors raised by the codec or a transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// Malformed or truncated wire data.
+    Codec(CodecError),
+    /// A channel or socket failed (peer gone, bind/connect refused, …).
+    Transport(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parse_roundtrip() {
+        for m in TransportMode::ALL {
+            assert_eq!(TransportMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(TransportMode::parse("SERIALIZED"), Some(TransportMode::Serialized));
+        assert_eq!(TransportMode::parse("bogus"), None);
+        assert!(!TransportMode::Pointer.is_serialized());
+        assert!(TransportMode::Tcp.is_serialized());
+    }
+}

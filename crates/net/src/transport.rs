@@ -1,0 +1,368 @@
+//! Worker-to-worker frame transports.
+//!
+//! A [`Transport`] builds a [`Mesh`] connecting `W` worker endpoints.
+//! Senders push opaque frames (already codec-encoded) to a destination
+//! endpoint; each destination drains its inbox until every sender has
+//! closed. Frame order is preserved **per (from, to) channel** — exactly
+//! the guarantee a TCP stream gives — and nothing is promised about
+//! cross-sender interleaving, so receivers that need determinism bucket
+//! frames by sender (the exchange operators do).
+//!
+//! Two implementations:
+//!
+//! * [`ChannelTransport`] — crossbeam bounded channels, one inbox per
+//!   destination. `send` blocks when the inbox is full: real backpressure,
+//!   measurable as enqueue-block time. This is the default for
+//!   `serialized` mode.
+//! * [`TcpTransport`] — every (from, to) pair gets its own loopback TCP
+//!   connection (`std::net`); frames travel length-prefixed through the
+//!   kernel's socket buffers. Backpressure is the socket send buffer
+//!   filling up. This is the multi-process-shaped configuration: swapping
+//!   the loopback address for a remote one is the only change a true
+//!   multi-node deployment needs at this layer.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::{NetError, Result};
+
+/// Builds meshes over `W` workers.
+pub trait Transport: Send + Sync {
+    /// Connects all `workers × workers` channels and returns the mesh.
+    fn mesh(&self, workers: usize) -> Result<Box<dyn Mesh>>;
+
+    /// Short name for stats / display.
+    fn name(&self) -> &'static str;
+}
+
+/// A connected set of worker endpoints.
+///
+/// Contract: each endpoint index is driven by at most one sending thread
+/// and one receiving thread at a time. `send` may block (backpressure).
+/// After a sender calls [`Mesh::close`], its channels deliver no more
+/// frames; once **all** senders have closed, `recv` returns `Ok(None)`.
+pub trait Mesh: Send + Sync {
+    /// Ships one frame from endpoint `from` to endpoint `to`, blocking
+    /// while the destination's inbox (or socket buffer) is full.
+    fn send(&self, from: usize, to: usize, frame: Vec<u8>) -> Result<()>;
+
+    /// Declares endpoint `from` done sending (to every destination).
+    fn close(&self, from: usize) -> Result<()>;
+
+    /// Receives the next frame addressed to `to`, tagged with its sender.
+    /// Returns `Ok(None)` when every sender has closed.
+    fn recv(&self, to: usize) -> Result<Option<(usize, Vec<u8>)>>;
+}
+
+/// `(sender, payload)`; `None` payload = that sender closed.
+type Msg = (usize, Option<Vec<u8>>);
+
+// --------------------------------------------------- in-process channels
+
+/// Bounded-crossbeam-channel mesh: the in-process transport.
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    /// Inbox capacity per destination, in frames. Small on purpose: a full
+    /// inbox makes `send` block, which is the backpressure the per-channel
+    /// enqueue-block meter observes.
+    pub capacity: usize,
+}
+
+impl Default for ChannelTransport {
+    fn default() -> Self {
+        ChannelTransport { capacity: 32 }
+    }
+}
+
+struct ChannelMesh {
+    txs: Vec<Sender<Msg>>,
+    rxs: Vec<Receiver<Msg>>,
+    /// Per-destination count of senders that have closed.
+    eofs: Vec<AtomicUsize>,
+    workers: usize,
+}
+
+impl Transport for ChannelTransport {
+    fn mesh(&self, workers: usize) -> Result<Box<dyn Mesh>> {
+        let mut txs = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = bounded(self.capacity.max(1));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let eofs = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+        Ok(Box::new(ChannelMesh { txs, rxs, eofs, workers }))
+    }
+
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+}
+
+impl Mesh for ChannelMesh {
+    fn send(&self, from: usize, to: usize, frame: Vec<u8>) -> Result<()> {
+        self.txs[to]
+            .send((from, Some(frame)))
+            .map_err(|_| NetError::Transport(format!("channel to worker {to} disconnected")))
+    }
+
+    fn close(&self, from: usize) -> Result<()> {
+        for to in 0..self.workers {
+            self.txs[to]
+                .send((from, None))
+                .map_err(|_| NetError::Transport(format!("channel to worker {to} disconnected")))?;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, to: usize) -> Result<Option<(usize, Vec<u8>)>> {
+        loop {
+            if self.eofs[to].load(Ordering::Acquire) >= self.workers {
+                return Ok(None);
+            }
+            let (from, payload) = self.rxs[to]
+                .recv()
+                .map_err(|_| NetError::Transport(format!("inbox of worker {to} disconnected")))?;
+            match payload {
+                Some(frame) => return Ok(Some((from, frame))),
+                None => {
+                    self.eofs[to].fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- loopback TCP
+
+/// Loopback-TCP mesh: every (from, to) pair is a real `std::net` socket.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    /// Inbox capacity per destination, in frames (reader threads stop
+    /// pulling off the socket when the inbox is full, so socket buffers —
+    /// and then the sender — back up: end-to-end backpressure).
+    pub capacity: usize,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport { capacity: 32 }
+    }
+}
+
+struct TcpMesh {
+    /// Outgoing streams, indexed `from * workers + to`.
+    streams: Vec<Mutex<TcpStream>>,
+    rxs: Vec<Receiver<Msg>>,
+    eofs: Vec<AtomicUsize>,
+    workers: usize,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> NetError {
+    NetError::Transport(format!("{context}: {e}"))
+}
+
+impl Transport for TcpTransport {
+    fn mesh(&self, workers: usize) -> Result<Box<dyn Mesh>> {
+        // One listener per destination endpoint.
+        let mut listeners = Vec::with_capacity(workers);
+        let mut ports = Vec::with_capacity(workers);
+        for to in 0..workers {
+            let l = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| io_err(&format!("bind endpoint {to}"), e))?;
+            ports.push(
+                l.local_addr()
+                    .map_err(|e| io_err(&format!("local_addr endpoint {to}"), e))?
+                    .port(),
+            );
+            listeners.push(l);
+        }
+        // Connect the full mesh first (the kernel backlog holds them), then
+        // accept. Each connection handshakes with its sender index.
+        let mut streams = Vec::with_capacity(workers * workers);
+        for from in 0..workers {
+            for (to, port) in ports.iter().enumerate() {
+                let mut s = TcpStream::connect(("127.0.0.1", *port))
+                    .map_err(|e| io_err(&format!("connect {from}→{to}"), e))?;
+                s.set_nodelay(true).ok();
+                s.write_all(&(from as u32).to_le_bytes())
+                    .map_err(|e| io_err(&format!("handshake {from}→{to}"), e))?;
+                streams.push(Mutex::new(s));
+            }
+        }
+        // Accept and spawn one reader thread per incoming connection; each
+        // pushes frames into the destination's bounded inbox.
+        let mut rxs = Vec::with_capacity(workers);
+        for (to, listener) in listeners.into_iter().enumerate() {
+            let (tx, rx) = bounded::<Msg>(self.capacity.max(1));
+            for _ in 0..workers {
+                let (mut conn, _) = listener
+                    .accept()
+                    .map_err(|e| io_err(&format!("accept on endpoint {to}"), e))?;
+                let mut hs = [0u8; 4];
+                conn.read_exact(&mut hs)
+                    .map_err(|e| io_err(&format!("handshake on endpoint {to}"), e))?;
+                let from = u32::from_le_bytes(hs) as usize;
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lardb-net-rx-{from}-{to}"))
+                    .spawn(move || reader_loop(conn, from, tx))
+                    .map_err(|e| io_err("spawn reader", e))?;
+            }
+            rxs.push(rx);
+        }
+        let eofs = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+        Ok(Box::new(TcpMesh { streams, rxs, eofs, workers }))
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// Drains one incoming connection: length-prefixed frames until EOF.
+fn reader_loop(mut conn: TcpStream, from: usize, tx: Sender<Msg>) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        match conn.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            // Clean shutdown (or peer vanished): either way this sender is
+            // done; receivers treat it as a close.
+            Err(_) => {
+                let _ = tx.send((from, None));
+                return;
+            }
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut frame = vec![0u8; len];
+        if conn.read_exact(&mut frame).is_err() {
+            let _ = tx.send((from, None));
+            return;
+        }
+        if tx.send((from, Some(frame))).is_err() {
+            return; // receiver went away; stop pulling
+        }
+    }
+}
+
+impl Mesh for TcpMesh {
+    fn send(&self, from: usize, to: usize, frame: Vec<u8>) -> Result<()> {
+        let mut s = self.streams[from * self.workers + to]
+            .lock()
+            .map_err(|_| NetError::Transport("stream lock poisoned".into()))?;
+        s.write_all(&(frame.len() as u32).to_le_bytes())
+            .and_then(|_| s.write_all(&frame))
+            .map_err(|e| io_err(&format!("send {from}→{to}"), e))
+    }
+
+    fn close(&self, from: usize) -> Result<()> {
+        for to in 0..self.workers {
+            let s = self.streams[from * self.workers + to]
+                .lock()
+                .map_err(|_| NetError::Transport("stream lock poisoned".into()))?;
+            s.shutdown(std::net::Shutdown::Write)
+                .map_err(|e| io_err(&format!("close {from}→{to}"), e))?;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, to: usize) -> Result<Option<(usize, Vec<u8>)>> {
+        loop {
+            if self.eofs[to].load(Ordering::Acquire) >= self.workers {
+                return Ok(None);
+            }
+            let (from, payload) = self.rxs[to]
+                .recv()
+                .map_err(|_| NetError::Transport(format!("inbox of worker {to} disconnected")))?;
+            match payload {
+                Some(frame) => return Ok(Some((from, frame))),
+                None => {
+                    self.eofs[to].fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shuffles distinct payloads through a full mesh and checks each
+    /// endpoint sees every sender's frames, in per-channel order.
+    fn exercise(transport: &dyn Transport, workers: usize, frames_per_channel: usize) {
+        let mesh = transport.mesh(workers).unwrap();
+        let mesh = mesh.as_ref();
+        std::thread::scope(|s| {
+            let receivers: Vec<_> = (0..workers)
+                .map(|to| {
+                    s.spawn(move || {
+                        let mut got: Vec<Vec<Vec<u8>>> = vec![Vec::new(); workers];
+                        while let Some((from, frame)) = mesh.recv(to).unwrap() {
+                            got[from].push(frame);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for from in 0..workers {
+                s.spawn(move || {
+                    for seq in 0..frames_per_channel {
+                        for to in 0..workers {
+                            let payload = vec![from as u8, to as u8, seq as u8];
+                            mesh.send(from, to, payload).unwrap();
+                        }
+                    }
+                    mesh.close(from).unwrap();
+                });
+            }
+            for (to, h) in receivers.into_iter().enumerate() {
+                let got = h.join().unwrap();
+                for (from, frames) in got.iter().enumerate() {
+                    assert_eq!(frames.len(), frames_per_channel, "{from}→{to}");
+                    for (seq, frame) in frames.iter().enumerate() {
+                        assert_eq!(frame, &vec![from as u8, to as u8, seq as u8]);
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn channel_mesh_delivers_in_order() {
+        exercise(&ChannelTransport::default(), 4, 17);
+    }
+
+    #[test]
+    fn channel_mesh_backpressure_does_not_deadlock() {
+        // Capacity 1 forces senders to block constantly; concurrent
+        // receivers must keep the system moving.
+        exercise(&ChannelTransport { capacity: 1 }, 3, 50);
+    }
+
+    #[test]
+    fn tcp_mesh_delivers_in_order() {
+        exercise(&TcpTransport::default(), 3, 11);
+    }
+
+    #[test]
+    fn tcp_mesh_single_worker() {
+        exercise(&TcpTransport::default(), 1, 5);
+    }
+
+    #[test]
+    fn empty_mesh_recv_terminates() {
+        for t in [&ChannelTransport::default() as &dyn Transport, &TcpTransport::default()] {
+            let mesh = t.mesh(2).unwrap();
+            mesh.close(0).unwrap();
+            mesh.close(1).unwrap();
+            assert!(mesh.recv(0).unwrap().is_none());
+            assert!(mesh.recv(1).unwrap().is_none());
+        }
+    }
+}

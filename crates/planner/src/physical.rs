@@ -472,7 +472,7 @@ impl<'a> PhysicalPlanner<'a> {
             // build side beats hashing both (one small broadcast instead
             // of two full shuffles) — the classic small-dimension-table
             // join, e.g. the distance workload's metric matrix.
-            if !(l_ok || l_rep) && !(r_ok || r_rep) {
+            if !(l_ok || l_rep || r_ok || r_rep) {
                 let opt = Optimizer::with_defaults(self.stats);
                 let l_bytes = opt.estimate(left).total_bytes();
                 let r_bytes = opt.estimate(right).total_bytes();

@@ -182,6 +182,12 @@ pub enum Statement {
     },
     /// A query.
     Select(SelectStatement),
-    /// `EXPLAIN SELECT …`.
-    Explain(SelectStatement),
+    /// `EXPLAIN [ANALYZE] SELECT …`. With `analyze` the query is also
+    /// executed and per-operator runtime statistics are reported.
+    Explain {
+        /// The query to explain.
+        query: SelectStatement,
+        /// Whether to execute the plan and report observed statistics.
+        analyze: bool,
+    },
 }

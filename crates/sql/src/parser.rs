@@ -102,7 +102,8 @@ impl<'a> Parser<'a> {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.accept_kw("EXPLAIN") {
-            return Ok(Statement::Explain(self.select()?));
+            let analyze = self.accept_kw("ANALYZE");
+            return Ok(Statement::Explain { query: self.select()?, analyze });
         }
         if self.accept_kw("CREATE") {
             if self.accept_kw("TABLE") {
@@ -578,7 +579,11 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("EXPLAIN SELECT a FROM t").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT a FROM t").unwrap(),
+            Statement::Explain { analyze: true, .. }
         ));
         assert!(matches!(
             parse_statement("DROP VIEW v").unwrap(),

@@ -27,11 +27,7 @@ pub struct TableStats {
 impl TableStats {
     /// Average row width in bytes (0 when empty).
     pub fn avg_row_bytes(&self) -> usize {
-        if self.num_rows == 0 {
-            0
-        } else {
-            self.total_bytes / self.num_rows
-        }
+        self.total_bytes.checked_div(self.num_rows).unwrap_or(0)
     }
 }
 

@@ -2,7 +2,7 @@
 //! the general guarantee that worker count / partitioning / shuffling are
 //! invisible in query answers.
 
-use lardb::{DataType, Database, Matrix, Partitioning, Row, Schema, Value};
+use lardb::{DataType, Database, Matrix, Partitioning, Row, Schema, TransportMode, Value};
 use lardb_storage::gen;
 
 /// Loads a tiled square matrix as `name(tileRow, tileCol, mat)` — §3.4's
@@ -195,6 +195,128 @@ fn replicated_dimension_table_joins_without_exchange() {
         .filter(|o| o.label == "Exchange(Hash)")
         .count();
     assert!(join_exchanges <= 1, "{}", r.stats.display_table());
+}
+
+/// Canonical row order for comparing result sets that may be produced in
+/// different (hash-map-dependent) orders across runs.
+fn canonicalized(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by_cached_key(|r| format!("{r:?}"));
+    rows
+}
+
+fn setup_vector_tables(db: &Database, n: usize, dims: usize, seed: u64) {
+    db.create_table(
+        "x_vm",
+        Schema::from_pairs(&[
+            ("id", DataType::Integer),
+            ("value", DataType::Vector(Some(dims))),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.insert_rows("x_vm", gen::vector_rows(seed, n, dims)).unwrap();
+    db.create_table(
+        "y",
+        Schema::from_pairs(&[("i", DataType::Integer), ("y_i", DataType::Double)]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.insert_rows("y", gen::regression_targets(seed, n, dims, 0.01)).unwrap();
+}
+
+fn setup_tuple_table(db: &Database, n: usize, dims: usize, seed: u64) {
+    db.create_table(
+        "x",
+        Schema::from_pairs(&[
+            ("row_index", DataType::Integer),
+            ("col_index", DataType::Integer),
+            ("value", DataType::Double),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db.insert_rows("x", gen::tuple_rows(seed, n, dims)).unwrap();
+}
+
+/// Every workload (the paper's Gram / regression / distance in both tuple
+/// and vector form, plus the §3.4 tile multiply) must return identical
+/// rows whether exchanges move `Arc` pointers, wire-encoded frames over
+/// channels, or wire-encoded frames over loopback TCP — at one worker
+/// (no exchange traffic) and at four (real shuffles).
+#[test]
+fn all_workloads_identical_under_every_transport() {
+    type Setup = fn(&Database);
+    let workloads: &[(&str, Setup, &str)] = &[
+        (
+            "tile_multiply",
+            |db| {
+                load_tiled(db, "bigMatrix", 11, 3, 6);
+                load_tiled(db, "anotherBigMat", 22, 3, 6);
+            },
+            TILE_MULTIPLY,
+        ),
+        (
+            "gram_vector",
+            |db| setup_vector_tables(db, 60, 5, 7),
+            "SELECT SUM(outer_product(x.value, x.value)) AS g FROM x_vm AS x",
+        ),
+        (
+            "gram_tuple",
+            |db| setup_tuple_table(db, 40, 4, 9),
+            "SELECT x1.col_index, x2.col_index, SUM(x1.value * x2.value) AS v
+             FROM x AS x1, x AS x2
+             WHERE x1.row_index = x2.row_index
+             GROUP BY x1.col_index, x2.col_index",
+        ),
+        (
+            "regression_vector",
+            |db| setup_vector_tables(db, 60, 5, 13),
+            "SELECT matrix_vector_multiply(
+                 matrix_inverse(SUM(outer_product(x.value, x.value))),
+                 SUM(x.value * y.y_i)) AS beta
+             FROM x_vm AS x, y
+             WHERE x.id = y.i",
+        ),
+        (
+            "distance_vector",
+            |db| setup_vector_tables(db, 30, 4, 17),
+            "SELECT a.id, MIN(inner_product(a.value, b.value)) AS d
+             FROM x_vm AS a, x_vm AS b
+             WHERE a.id <> b.id
+             GROUP BY a.id",
+        ),
+    ];
+
+    for (name, setup, sql) in workloads {
+        for workers in [1usize, 4] {
+            let mut reference: Option<Vec<Row>> = None;
+            for transport in TransportMode::ALL {
+                let db = Database::new(workers).with_transport(transport);
+                setup(&db);
+                let r = db
+                    .query(sql)
+                    .unwrap_or_else(|e| panic!("{name} W={workers} {transport:?}: {e}"));
+                if transport.is_serialized() && workers > 1 {
+                    assert!(
+                        r.stats.total_frames() > 0,
+                        "{name} W={workers} {transport:?}: no encoded frames metered"
+                    );
+                    assert!(
+                        r.stats.total_bytes_shuffled() > 0,
+                        "{name} W={workers} {transport:?}: no encoded bytes metered"
+                    );
+                }
+                let rows = canonicalized(r.rows);
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(expect) => assert_eq!(
+                        expect, &rows,
+                        "{name} W={workers} {transport:?} diverged from pointer mode"
+                    ),
+                }
+            }
+        }
+    }
 }
 
 #[test]

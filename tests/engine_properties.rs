@@ -15,6 +15,7 @@ fn db_with(workers: usize, size_inference: bool, early_projection: bool) -> Data
     Database::with_config(DatabaseConfig {
         workers,
         optimizer: OptimizerConfig { size_inference, early_projection, ..Default::default() },
+        ..DatabaseConfig::default()
     })
 }
 

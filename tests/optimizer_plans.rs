@@ -138,6 +138,7 @@ fn blind_optimizer_produces_rule_based_plan_but_same_answer() {
     let mut db = Database::with_config(DatabaseConfig {
         workers: 4,
         optimizer: OptimizerConfig { size_inference: false, ..Default::default() },
+        ..DatabaseConfig::default()
     });
     setup_rst(&db);
     let plan = db.explain(RST_QUERY).unwrap();
@@ -158,6 +159,7 @@ fn no_early_projection_keeps_multiply_at_root_but_same_answer() {
     let db = Database::with_config(DatabaseConfig {
         workers: 4,
         optimizer: OptimizerConfig { early_projection: false, ..Default::default() },
+        ..DatabaseConfig::default()
     });
     setup_rst(&db);
     let plan = db.explain(RST_QUERY).unwrap();
@@ -185,6 +187,7 @@ fn shuffle_volume_shrinks_with_early_projection() {
     let db_blind = Database::with_config(DatabaseConfig {
         workers: 4,
         optimizer: OptimizerConfig { size_inference: false, ..Default::default() },
+        ..DatabaseConfig::default()
     });
     setup_rst(&db_blind);
     let blind = db_blind.query(RST_QUERY).unwrap();

@@ -332,6 +332,41 @@ fn explain_output_reflects_table() {
 }
 
 #[test]
+fn explain_analyze_reports_actual_encoded_bytes() {
+    let db = db().with_transport(lardb::TransportMode::Serialized);
+    db.execute("CREATE TABLE t (id INTEGER, v DOUBLE)").unwrap();
+    let rows: Vec<Row> = (0..60)
+        .map(|i| Row::new(vec![Value::Integer(i), Value::Double(i as f64)]))
+        .collect();
+    db.insert_rows("t", rows).unwrap();
+
+    let out = db
+        .execute(
+            "EXPLAIN ANALYZE SELECT t1.id, SUM(t1.v * t2.v) AS s \
+             FROM t AS t1, t AS t2 WHERE t1.id = t2.id GROUP BY t1.id",
+        )
+        .unwrap();
+    let lardb::database::Response::Explained(text) = out else {
+        panic!("EXPLAIN ANALYZE should return Explained");
+    };
+    assert!(text.contains("== Physical Plan =="), "{text}");
+    assert!(text.contains("== Execution Statistics =="), "{text}");
+    // Per-channel detail lines prove the bytes are actual wire frames,
+    // not pointer-mode estimates.
+    assert!(text.contains(" frames"), "{text}");
+    assert!(text.contains("ch 0->"), "{text}");
+
+    // Plain EXPLAIN stays plan-only.
+    let plain = db
+        .execute("EXPLAIN SELECT t1.id FROM t AS t1")
+        .unwrap();
+    let lardb::database::Response::Explained(plain) = plain else {
+        panic!("EXPLAIN should return Explained");
+    };
+    assert!(!plain.contains("== Execution Statistics =="), "{plain}");
+}
+
+#[test]
 fn having_filters_groups() {
     let db = db();
     db.execute("CREATE TABLE t (g INTEGER, v DOUBLE)").unwrap();

@@ -1,0 +1,420 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Covers the two pieces this workspace uses:
+//!
+//! * [`thread::scope`] — scoped threads with crossbeam's calling
+//!   convention (`scope(|s| ...)` returning `Result`, spawn closures
+//!   receiving `&Scope`). Built on `std::thread` with the classic
+//!   lifetime-erasure trick; soundness rests on `scope` joining every
+//!   spawned thread before it returns, which it always does.
+//! * [`channel`] — MPMC `bounded`/`unbounded` channels built on
+//!   `Mutex<VecDeque>` + two condvars, with disconnect semantics
+//!   (`send` fails once all receivers drop, `recv` fails once the
+//!   queue is drained and all senders drop).
+//!
+//! Known deviation: a spawned thread that panics and is never joined
+//! does not turn the scope's return value into `Err` (every caller in
+//! this workspace joins all handles, so the path is unused).
+
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    /// What `std::thread::JoinHandle::join` returns.
+    pub type Result<T> = std::thread::Result<T>;
+
+    type SharedHandle = Arc<Mutex<Option<std::thread::JoinHandle<()>>>>;
+
+    /// A scope within which non-`'static` threads may be spawned.
+    pub struct Scope<'env> {
+        wait_list: Mutex<Vec<SharedHandle>>,
+        // Invariant over 'env, like crossbeam.
+        _marker: PhantomData<&'env mut &'env ()>,
+    }
+
+    /// Raw scope pointer smuggled into the spawned thread so the body
+    /// can receive `&Scope`. Sound because the scope outlives every
+    /// thread (joined before `scope` returns) and `Scope` is `Sync`.
+    struct ScopePtr<'env>(*const Scope<'env>);
+    unsafe impl Send for ScopePtr<'_> {}
+
+    /// Handle to a scoped thread; `join` returns the closure's value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: SharedHandle,
+        result: Arc<Mutex<Option<Result<T>>>>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload if the closure panicked).
+        pub fn join(self) -> Result<T> {
+            let handle = self
+                .handle
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("scoped thread already joined");
+            // The spawned body never panics (it catches the user
+            // closure's panic), so this join only fails on OS-level
+            // catastrophe.
+            handle.join().expect("scoped thread runner panicked");
+            self.result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("scoped thread finished without storing a result")
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Spawns a thread that may borrow from the enclosing stack frame.
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let result: Arc<Mutex<Option<Result<T>>>> = Arc::new(Mutex::new(None));
+            let their_result = Arc::clone(&result);
+            let scope_ptr = ScopePtr(self as *const Scope<'env>);
+            let body: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let scope_ptr = scope_ptr;
+                let out = catch_unwind(AssertUnwindSafe(|| f(unsafe { &*scope_ptr.0 })));
+                *their_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+            // Erase 'env: sound because `scope` joins this thread before
+            // returning, so nothing borrowed outlives its referent.
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            let handle = std::thread::spawn(body);
+            let shared: SharedHandle = Arc::new(Mutex::new(Some(handle)));
+            self.wait_list
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&shared));
+            ScopedJoinHandle {
+                handle: shared,
+                result,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins every spawned thread before
+    /// returning. Returns `Ok(f's value)`; propagates `f`'s own panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            wait_list: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        };
+        let closure_result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Join stragglers whose handles were dropped without join —
+        // required for soundness of the lifetime erasure above.
+        let handles = scope
+            .wait_list
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        for shared in handles {
+            let handle = shared.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+        match closure_result {
+            Ok(r) => Ok(r),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// `send` failed because every receiver was dropped; returns the value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// `recv` failed: channel empty and every sender dropped.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Inner<T> {
+        fn wake_all(&self) {
+            self.not_empty.notify_all();
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Sending half; clonable (MPMC).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full; fails once all receivers drop.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self.inner.cap.is_some_and(|c| state.queue.len() >= c);
+                if !full {
+                    state.queue.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .inner
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.wake_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks while the channel is empty; fails once it is drained
+        /// and all senders have dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .inner
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.wake_all();
+            }
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Channel holding at most `cap` queued values; `send` blocks when
+    /// full. Rendezvous channels (`cap == 0`) are not supported by this
+    /// stand-in; a capacity of 0 is treated as 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    /// Channel with no capacity limit; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3, 4];
+        let sum = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn joined_panic_surfaces_as_err() {
+        let joined = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(joined.is_err());
+    }
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = crate::channel::bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = crate::channel::bounded::<i32>(4);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn bounded_backpressure_across_threads() {
+        let (tx, rx) = crate::channel::bounded(1);
+        crate::thread::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mpmc_all_values_delivered() {
+        let (tx, rx) = crate::channel::bounded(8);
+        let total = crate::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut n = 0usize;
+                        while rx.recv().is_ok() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            drop(rx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(total, 200);
+    }
+}

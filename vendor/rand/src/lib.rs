@@ -1,0 +1,216 @@
+//! Offline stand-in for `rand` (see `vendor/README.md`).
+//!
+//! Provides the subset the workspace uses: `rngs::StdRng` seeded with
+//! `SeedableRng::seed_from_u64` and `Rng::gen_range` over primitive
+//! ranges. The core generator is SplitMix64 — fast, passes basic
+//! statistical smoke tests, and fully deterministic per seed. Streams
+//! differ from the real `rand` crate's StdRng (ChaCha12); callers in this
+//! workspace only rely on determinism, not on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniform draw of the given sampleable type (`f64` in [0,1),
+    /// integers over their full domain, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types drawable uniformly over a canonical domain.
+pub trait Standard: Sized {
+    /// One uniform draw.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        // 53 high-quality mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "empty gen_range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the stand-in has one generator quality tier.
+    pub type SmallRng = StdRng;
+}
+
+/// A generator seeded from the system clock — for callers that want
+/// non-reproducible streams.
+pub fn thread_rng() -> rngs::StdRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x1234_5678);
+    rngs::StdRng::seed_from_u64(nanos)
+}
+
+/// `rand::prelude` equivalent.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<i64> = (0..20).map(|_| c.gen_range(0i64..1000)).collect();
+        let mut c2 = StdRng::seed_from_u64(7);
+        let diff: Vec<i64> = (0..20).map(|_| c2.gen_range(0i64..1000)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let i = r.gen_range(3i64..17);
+            assert!((3..17).contains(&i));
+            let u = r.gen_range(0usize..=5);
+            assert!(u <= 5);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let x: f64 = r.gen_range(0.0..1.0);
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((700..1300).contains(&b), "{buckets:?}");
+        }
+    }
+}
