@@ -1,8 +1,13 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! LA-size-aware costing vs blind (§4.1), early projection on/off, and
 //! join→aggregate fusion on/off.
+//!
+//! With `--profile-json PATH` the harness additionally runs the RST query
+//! once on the size-aware configuration and writes its query-lifecycle
+//! profile (stage timings + per-operator estimate-vs-actual records) as
+//! JSON.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use lardb::{
     Cluster, DataType, Database, DatabaseConfig, Executor, Matrix, OptimizerConfig,
     Partitioning, Row, Schema, Value,
@@ -125,4 +130,32 @@ fn bench_fusion(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_size_inference, bench_fusion);
-criterion_main!(benches);
+
+/// `--profile-json PATH` from argv, ignoring the flags `cargo bench`
+/// itself forwards (`--bench`, filters, ...).
+fn profile_json_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--profile-json" {
+            return argv.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    benches();
+    if let Some(path) = profile_json_path() {
+        let db = rst_db(OptimizerConfig::default());
+        db.query(RST).expect("RST query runs");
+        let profile = db.last_profile().expect("query stores a profile");
+        let doc = format!("{{\"bench\":\"ablations\",\"profile\":{}}}", profile.to_json());
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("wrote query profile to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

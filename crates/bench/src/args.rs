@@ -23,6 +23,10 @@ pub struct Args {
     /// `serialized` (wire-encoded over channels), or `tcp` (loopback
     /// sockets).
     pub transport: TransportMode,
+    /// When set, write a machine-readable `QueryProfile` JSON (lifecycle
+    /// stage timings + per-operator estimate-vs-actual records) to this
+    /// path at the end of the run.
+    pub profile_json: Option<String>,
 }
 
 impl Default for Args {
@@ -36,6 +40,7 @@ impl Default for Args {
             seed: 20170419, // ICDE 2017
             quick: false,
             transport: TransportMode::Pointer,
+            profile_json: None,
         }
     }
 }
@@ -72,10 +77,12 @@ impl Args {
                         std::process::exit(2);
                     });
                 }
+                "--profile-json" => args.profile_json = Some(value("--profile-json")),
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --n N --n-dist N --dims 10,100,1000 --workers W \
-                         --block B --seed S --transport pointer|serialized|tcp --quick"
+                         --block B --seed S --transport pointer|serialized|tcp \
+                         --profile-json PATH --quick"
                     );
                     std::process::exit(0);
                 }
@@ -148,6 +155,15 @@ mod tests {
             TransportMode::Serialized
         );
         assert_eq!(parse(&["--transport", "TCP"]).transport, TransportMode::Tcp);
+    }
+
+    #[test]
+    fn profile_json_flag() {
+        assert_eq!(parse(&[]).profile_json, None);
+        assert_eq!(
+            parse(&["--profile-json", "out.json"]).profile_json,
+            Some("out.json".to_string())
+        );
     }
 
     #[test]

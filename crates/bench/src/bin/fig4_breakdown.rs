@@ -11,6 +11,11 @@
 //! ```text
 //! cargo run --release -p lardb-bench --bin fig4_breakdown [-- --n 20k --dims 100]
 //! ```
+//!
+//! With `--profile-json PATH` the harness also writes a machine-readable
+//! JSON document containing, per platform, the merged query-lifecycle
+//! profile (parse/bind/optimize/plan/execute stage timings plus
+//! per-operator estimate-vs-actual records).
 
 use std::time::Duration;
 
@@ -40,6 +45,8 @@ fn main() {
         args.n, args.workers
     );
 
+    // (platform label, QueryProfile JSON) pairs for --profile-json.
+    let mut profiles: Vec<(String, String)> = Vec::new();
     for platform in [Platform::TupleSimSql, Platform::VectorSimSql] {
         let out = platforms::run_with_transport(
             platform,
@@ -55,6 +62,9 @@ fn main() {
             println!("\n{}: Fail ({:?})", platform.label(), out.note);
             continue;
         };
+        if let Some(profile) = &out.profile {
+            profiles.push((platform.label().to_string(), profile.to_json()));
+        }
         println!(
             "\n{} — total {}{}",
             platform.label(),
@@ -86,4 +96,19 @@ fn main() {
         "\nPaper's observation to check: in the tuple-based run the dominant cost is the \
          aggregation, not the join (§5, Figure 4)."
     );
+
+    if let Some(path) = &args.profile_json {
+        let runs: Vec<String> = profiles
+            .iter()
+            .map(|(label, json)| format!("{{\"platform\":\"{label}\",\"profile\":{json}}}"))
+            .collect();
+        let doc = format!("{{\"bench\":\"fig4_breakdown\",\"runs\":[{}]}}", runs.join(","));
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("wrote query profiles to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

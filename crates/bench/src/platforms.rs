@@ -3,8 +3,8 @@
 use std::time::{Duration, Instant};
 
 use lardb::{
-    DataType, Database, ExecStats, Matrix, Partitioning, Row, Schema, TransportMode,
-    Value,
+    DataType, Database, ExecStats, Matrix, Partitioning, QueryProfile, Row, Schema,
+    TransportMode, Value,
 };
 use lardb_baselines::{scidb_like, spark_like, systemml_like, WorkloadData};
 use lardb_storage::gen;
@@ -71,15 +71,19 @@ pub struct RunOutcome {
     pub note: Option<String>,
     /// Operator statistics (lardb platforms only; used by Figure 4).
     pub stats: Option<ExecStats>,
+    /// Merged query-lifecycle profile (lardb platforms only): stage
+    /// timings plus per-operator estimate-vs-actual records, exported as
+    /// JSON by `--profile-json`.
+    pub profile: Option<QueryProfile>,
 }
 
 impl RunOutcome {
     fn timed(d: Duration) -> Self {
-        RunOutcome { duration: Some(d), note: None, stats: None }
+        RunOutcome { duration: Some(d), note: None, stats: None, profile: None }
     }
 
     fn fail(reason: &str) -> Self {
-        RunOutcome { duration: None, note: Some(reason.into()), stats: None }
+        RunOutcome { duration: None, note: Some(reason.into()), stats: None, profile: None }
     }
 }
 
@@ -237,7 +241,12 @@ fn run_lardb(
         _ => unreachable!(),
     };
     match result {
-        Ok((duration, stats)) => RunOutcome { duration: Some(duration), note, stats: Some(stats) },
+        Ok((duration, stats, profile)) => RunOutcome {
+            duration: Some(duration),
+            note,
+            stats: Some(stats),
+            profile: Some(profile),
+        },
         Err(e) => RunOutcome::fail(&e),
     }
 }
@@ -361,19 +370,23 @@ fn tuple_cap(workload: Workload, n: usize, dims: usize) -> (usize, Option<String
     }
 }
 
-type Timed = Result<(Duration, ExecStats), String>;
+type Timed = Result<(Duration, ExecStats, QueryProfile), String>;
 
 fn timed_queries(db: &Database, sqls: &[&str]) -> Timed {
     let t0 = Instant::now();
     let mut stats = ExecStats::new();
+    let mut profile = QueryProfile::new("workload");
     for sql in sqls {
         match db.execute(sql) {
             Ok(lardb::database::Response::Rows(q)) => stats.merge(&q.stats),
             Ok(_) => {}
             Err(e) => return Err(e.to_string()),
         }
+        if let Some(p) = db.last_profile() {
+            profile.merge(&p);
+        }
     }
-    Ok((t0.elapsed(), stats))
+    Ok((t0.elapsed(), stats, profile))
 }
 
 fn gram_tuple(db: &Database) -> Timed {
@@ -486,15 +499,22 @@ fn distance_block(db: &Database, block: usize) -> Timed {
          WHERE a.bid = b.bid";
     let t0 = Instant::now();
     let mut stats = ExecStats::new();
+    let mut profile = QueryProfile::new("workload");
     for sql in [sql1, sql2a, sql2b] {
         match db.execute(sql) {
             Ok(lardb::database::Response::Rows(q)) => stats.merge(&q.stats),
             Ok(_) => {}
             Err(e) => return Err(e.to_string()),
         }
+        if let Some(p) = db.last_profile() {
+            profile.merge(&p);
+        }
     }
     let combined = db.query(sql3).map_err(|e| e.to_string())?;
     stats.merge(&combined.stats);
+    if let Some(p) = db.last_profile() {
+        profile.merge(&p);
+    }
     // Driver epilogue: per-point min(self, cross), then global argmax —
     // "a series of operations on matrices" (§5).
     let mut best = f64::NEG_INFINITY;
@@ -511,7 +531,7 @@ fn distance_block(db: &Database, block: usize) -> Timed {
         }
     }
     std::hint::black_box(best);
-    Ok((t0.elapsed(), stats))
+    Ok((t0.elapsed(), stats, profile))
 }
 
 fn distance_tuple(db: &Database) -> Timed {

@@ -6,7 +6,8 @@
 //!
 //! Reads statements terminated by `;` (multi-line input supported).
 //! Meta-commands: `\q` quit, `\d` list tables, `\timing` toggle timing,
-//! `\explain <select>` show plans, `\help`.
+//! `\explain <select>` show plans, `\metrics` dump the process metrics
+//! registry, `\profile` print the last query's profile as JSON, `\help`.
 
 use std::io::{BufRead, Write};
 
@@ -15,6 +16,7 @@ use lardb::{Database, Response, TransportMode};
 fn main() {
     let mut workers = 4usize;
     let mut transport = TransportMode::Pointer;
+    let mut slow_ms: Option<f64> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -30,11 +32,21 @@ fn main() {
                     .and_then(|v| TransportMode::parse(&v))
                     .unwrap_or_else(|| usage());
             }
+            "--slow-ms" => {
+                slow_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
     }
 
-    let db = Database::new(workers).with_transport(transport);
+    let mut db = Database::new(workers).with_transport(transport);
+    if let Some(ms) = slow_ms {
+        db = db.with_slow_query_threshold(ms);
+    }
     let mut timing = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -68,11 +80,22 @@ fn main() {
                     Ok(plan) => println!("{plan}"),
                     Err(e) => println!("error: {e}"),
                 },
+                "\\metrics" => match db.execute("SHOW METRICS") {
+                    Ok(Response::Rows(q)) => print!("{}", q.display_table()),
+                    Ok(_) => {}
+                    Err(e) => println!("error: {e}"),
+                },
+                "\\profile" => match db.last_profile() {
+                    Some(p) => println!("{}", p.to_json()),
+                    None => println!("no query has run yet"),
+                },
                 "\\help" => {
                     println!("  \\q          quit");
                     println!("  \\d          list tables");
                     println!("  \\timing     toggle per-statement timing");
                     println!("  \\explain Q  show optimized + physical plan for a SELECT");
+                    println!("  \\metrics    dump the process-wide metrics registry");
+                    println!("  \\profile    print the last query's profile as JSON");
                 }
                 other => println!("unknown meta-command {other}; try \\help"),
             }
@@ -121,6 +144,8 @@ fn prompt(fresh: bool) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: lardb-cli [--workers N] [--transport pointer|serialized|tcp]");
+    eprintln!(
+        "usage: lardb-cli [--workers N] [--transport pointer|serialized|tcp] [--slow-ms MS]"
+    );
     std::process::exit(2);
 }

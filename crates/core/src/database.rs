@@ -1,13 +1,17 @@
 //! The `Database` façade: the full query path in one object.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use lardb_exec::{Cluster, ExecStats, Executor, TransportMode};
+use lardb_obs::{CollectingSink, OperatorProfile, QueryProfile, SpanGuard, Stage};
 use lardb_planner::physical::PhysicalPlanner;
-use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig};
-use lardb_sql::ast::Statement;
+use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig, PlanEstimate};
+use lardb_sql::ast::{SelectStatement, Statement, TableRef};
 use lardb_sql::{parse_statement, Binder};
-use lardb_storage::{Catalog, Partitioning, Row, Schema, Table, Value};
+use lardb_storage::{Catalog, DataType, Partitioning, Row, Schema, Table, Value};
 
 use crate::error::{EngineError, Result};
 
@@ -24,6 +28,10 @@ pub struct DatabaseConfig {
     /// over bounded channels, actual bytes), or `Tcp` (wire-encoded over
     /// loopback sockets).
     pub transport: TransportMode,
+    /// Slow-query log threshold in milliseconds. Statements that take at
+    /// least this long are reported on stderr and counted under the
+    /// `db.slow_queries` metric. `None` (the default) disables the log.
+    pub slow_query_ms: Option<f64>,
 }
 
 impl Default for DatabaseConfig {
@@ -32,6 +40,7 @@ impl Default for DatabaseConfig {
             workers: 4,
             optimizer: OptimizerConfig::default(),
             transport: TransportMode::Pointer,
+            slow_query_ms: None,
         }
     }
 }
@@ -109,6 +118,13 @@ impl Response {
 pub struct Database {
     catalog: Arc<Catalog>,
     config: DatabaseConfig,
+    /// The [`QueryProfile`] of the most recent statement that ran a plan
+    /// (shared across clones, like the catalog).
+    last_profile: Arc<Mutex<Option<QueryProfile>>>,
+    /// True when the `metrics` catalog table was auto-materialized by the
+    /// engine (and may therefore be refreshed/replaced); a user-created
+    /// `metrics` table is never touched.
+    metrics_table_auto: Arc<AtomicBool>,
 }
 
 impl Database {
@@ -123,7 +139,12 @@ impl Database {
 
     /// A database with explicit configuration.
     pub fn with_config(config: DatabaseConfig) -> Self {
-        Database { catalog: Arc::new(Catalog::new()), config }
+        Database {
+            catalog: Arc::new(Catalog::new()),
+            config,
+            last_profile: Arc::new(Mutex::new(None)),
+            metrics_table_auto: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// The shared catalog.
@@ -160,6 +181,22 @@ impl Database {
         self.config.optimizer = cfg;
     }
 
+    /// Enables the slow-query log (builder style): statements taking at
+    /// least `ms` milliseconds are reported on stderr and counted under
+    /// the `db.slow_queries` metric.
+    pub fn with_slow_query_threshold(mut self, ms: f64) -> Self {
+        self.config.slow_query_ms = Some(ms);
+        self
+    }
+
+    /// The [`QueryProfile`] of the most recent statement that ran a plan
+    /// (SELECT, EXPLAIN ANALYZE, or CREATE TABLE AS), or `None` if no
+    /// plan has run yet. The profile carries all five lifecycle stage
+    /// timings plus per-operator estimate-vs-actual records.
+    pub fn last_profile(&self) -> Option<QueryProfile> {
+        self.last_profile.lock().unwrap().clone()
+    }
+
     /// Executes one SQL statement.
     ///
     /// ```
@@ -174,7 +211,54 @@ impl Database {
     /// assert!(db.query("SELECT matrix_vector_multiply(mat, vec) AS x FROM bad").is_err());
     /// ```
     pub fn execute(&self, sql: &str) -> Result<Response> {
-        match parse_statement(sql)? {
+        let t0 = Instant::now();
+        let sink = CollectingSink::new();
+        let mut profile = QueryProfile::new(sql);
+        let result = self.execute_traced(sql, &sink, &mut profile);
+        profile.add_spans(&sink.take());
+        self.finish_statement(sql, t0, result.is_err(), profile);
+        result
+    }
+
+    /// Bookkeeping for one finished statement: process-wide counters, the
+    /// per-query latency histogram, the slow-query log, and publishing the
+    /// statement's [`QueryProfile`].
+    fn finish_statement(
+        &self,
+        sql: &str,
+        t0: Instant,
+        errored: bool,
+        profile: QueryProfile,
+    ) {
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let registry = lardb_obs::global();
+        registry.counter("db.queries").inc();
+        registry.histogram("db.query_ms").observe(ms as u64);
+        if errored {
+            registry.counter("db.errors").inc();
+        }
+        if let Some(threshold) = self.config.slow_query_ms {
+            if ms >= threshold {
+                registry.counter("db.slow_queries").inc();
+                eprintln!("[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms): {sql}");
+            }
+        }
+        *self.last_profile.lock().unwrap() = Some(profile);
+    }
+
+    /// Statement dispatch with lifecycle spans recorded into `sink` and
+    /// per-operator estimate-vs-actual records into `profile`.
+    fn execute_traced(
+        &self,
+        sql: &str,
+        sink: &CollectingSink,
+        profile: &mut QueryProfile,
+    ) -> Result<Response> {
+        let statement = {
+            let _g = SpanGuard::enter(sink, Stage::Parse, "");
+            parse_statement(sql)?
+        };
+        match statement {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(
                     columns
@@ -186,8 +270,11 @@ impl Database {
                 Ok(Response::Done)
             }
             Statement::CreateTableAs { name, query } => {
-                let plan = Binder::new(&self.catalog).bind_select(&query)?;
-                let result = self.run_logical(plan, /*gather=*/ false)?;
+                let plan = {
+                    let _g = SpanGuard::enter(sink, Stage::Bind, "");
+                    Binder::new(&self.catalog).bind_select(&query)?
+                };
+                let (result, _) = self.run_traced(plan, /*gather=*/ false, sink, profile)?;
                 let mut table = Table::new(
                     &name,
                     result.schema.clone(),
@@ -242,14 +329,23 @@ impl Database {
                 Ok(Response::Inserted(n))
             }
             Statement::Select(sel) => {
-                let plan = Binder::new(&self.catalog).bind_select(&sel)?;
-                Ok(Response::Rows(self.run_logical(plan, true)?))
+                self.refresh_metrics_table(&sel)?;
+                let plan = {
+                    let _g = SpanGuard::enter(sink, Stage::Bind, "");
+                    Binder::new(&self.catalog).bind_select(&sel)?
+                };
+                let (result, _) = self.run_traced(plan, true, sink, profile)?;
+                Ok(Response::Rows(result))
             }
             Statement::Explain { query, analyze } => {
-                let plan = Binder::new(&self.catalog).bind_select(&query)?;
+                self.refresh_metrics_table(&query)?;
+                let plan = {
+                    let _g = SpanGuard::enter(sink, Stage::Bind, "");
+                    Binder::new(&self.catalog).bind_select(&query)?
+                };
                 let mut text = self.explain_logical(plan.clone())?;
                 if analyze {
-                    let result = self.run_logical(plan, true)?;
+                    let (result, operators) = self.run_traced(plan, true, sink, profile)?;
                     if !text.ends_with('\n') {
                         text.push('\n');
                     }
@@ -263,9 +359,11 @@ impl Database {
                         result.stats.total_frames(),
                         result.stats.total_enqueue_block().as_secs_f64() * 1e3,
                     ));
+                    text.push_str(&render_estimate_table(&operators));
                 }
                 Ok(Response::Explained(text))
             }
+            Statement::ShowMetrics => Ok(Response::Rows(metrics_snapshot_result())),
         }
     }
 
@@ -301,24 +399,93 @@ impl Database {
 
     /// Runs a bound logical plan end-to-end (optimize → physical plan →
     /// parallel execute). Exposed for tests and the benchmark harness.
+    /// The run's [`QueryProfile`] (with zeroed parse/bind stages, since
+    /// the plan arrives pre-bound) is published to [`Database::last_profile`].
     pub fn run_logical(&self, plan: LogicalPlan, gather: bool) -> Result<QueryResult> {
-        let optimizer =
-            Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
-        let optimized = optimizer.optimize(plan)?;
-        let mut pp = PhysicalPlanner::new(&self.catalog, self.catalog.as_ref());
-        let physical = if gather {
-            pp.plan_gathered(&optimized)?
-        } else {
-            pp.plan(&optimized)?
+        let sink = CollectingSink::new();
+        let mut profile = QueryProfile::new("<logical plan>");
+        let result = self.run_traced(plan, gather, &sink, &mut profile);
+        profile.add_spans(&sink.take());
+        *self.last_profile.lock().unwrap() = Some(profile);
+        result.map(|(q, _)| q)
+    }
+
+    /// The traced query back half: optimize → physical plan → execute,
+    /// with one span per stage and per-operator estimate-vs-actual
+    /// records appended to `profile`. Also returns the operator records
+    /// so EXPLAIN ANALYZE can render them.
+    ///
+    /// Actual bytes are the metered shuffle bytes for exchanges; other
+    /// operators don't move data across workers, so their "actual" bytes
+    /// are derived as measured rows × the cost model's row width.
+    fn run_traced(
+        &self,
+        plan: LogicalPlan,
+        gather: bool,
+        sink: &CollectingSink,
+        profile: &mut QueryProfile,
+    ) -> Result<(QueryResult, Vec<OperatorProfile>)> {
+        let optimized = {
+            let _g = SpanGuard::enter(sink, Stage::Optimize, "");
+            let optimizer =
+                Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
+            optimizer.optimize(plan)?
         };
-        let executor = Executor::new(&self.catalog, Cluster::new(self.config.workers))
-            .with_transport(self.config.transport);
-        let result = executor.execute(&physical)?;
-        Ok(QueryResult {
-            schema: result.schema.clone(),
-            rows: result.rows(),
-            stats: result.stats,
-        })
+        let (physical, estimates) = {
+            let _g = SpanGuard::enter(sink, Stage::Plan, "");
+            let mut pp = PhysicalPlanner::new(&self.catalog, self.catalog.as_ref());
+            let physical = if gather {
+                pp.plan_gathered(&optimized)?
+            } else {
+                pp.plan(&optimized)?
+            };
+            let estimates = pp.estimates(&physical);
+            (physical, estimates)
+        };
+        let result = {
+            let _g = SpanGuard::enter(sink, Stage::Execute, "");
+            let executor =
+                Executor::new(&self.catalog, Cluster::new(self.config.workers))
+                    .with_transport(self.config.transport);
+            executor.execute(&physical)?
+        };
+        let operators = join_estimates(&estimates, &result.stats);
+        profile.operators.extend(operators.iter().cloned());
+        Ok((
+            QueryResult {
+                schema: result.schema.clone(),
+                rows: result.rows(),
+                stats: result.stats,
+            },
+            operators,
+        ))
+    }
+
+    /// Re-materializes the `metrics` virtual table from the process-wide
+    /// registry when `sel` references it (directly or in a subquery), so
+    /// metrics can be filtered/joined/aggregated with ordinary SQL. A
+    /// user-created table named `metrics` is left untouched.
+    fn refresh_metrics_table(&self, sel: &SelectStatement) -> Result<()> {
+        if !references_table(sel, "metrics") {
+            return Ok(());
+        }
+        if self.catalog.has_table("metrics") {
+            if !self.metrics_table_auto.load(Ordering::Acquire) {
+                return Ok(()); // the user's own table; never clobber it
+            }
+            self.catalog.drop_table("metrics")?;
+        }
+        let schema = Schema::from_pairs(&[
+            ("name", DataType::Varchar),
+            ("kind", DataType::Varchar),
+            ("value", DataType::Double),
+        ]);
+        let mut table =
+            Table::new("metrics", schema, self.config.workers, Partitioning::RoundRobin);
+        table.insert_all(metric_rows())?;
+        self.catalog.create_table(table)?;
+        self.metrics_table_auto.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// Programmatic table creation with an explicit partitioning scheme
@@ -351,6 +518,102 @@ impl Database {
         }
         Ok(n)
     }
+}
+
+/// True when the SELECT references `name` in any FROM clause, including
+/// nested subqueries.
+fn references_table(sel: &SelectStatement, name: &str) -> bool {
+    sel.from.iter().any(|r| match r {
+        TableRef::Table { name: t, .. } => t.eq_ignore_ascii_case(name),
+        TableRef::Subquery { query, .. } => references_table(query, name),
+    })
+}
+
+/// The process-wide metrics snapshot as `(name, kind, value)` rows.
+fn metric_rows() -> Vec<Row> {
+    lardb_obs::global()
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            Row::new(vec![
+                Value::Varchar(s.name.as_str().into()),
+                Value::Varchar(s.kind.label().into()),
+                Value::Double(s.value),
+            ])
+        })
+        .collect()
+}
+
+/// Builds the `SHOW METRICS` response relation.
+fn metrics_snapshot_result() -> QueryResult {
+    QueryResult {
+        schema: Schema::from_pairs(&[
+            ("name", DataType::Varchar),
+            ("kind", DataType::Varchar),
+            ("value", DataType::Double),
+        ]),
+        rows: metric_rows(),
+        stats: ExecStats::new(),
+    }
+}
+
+/// Joins the planner's per-operator estimates against the executor's
+/// measured actuals, producing one [`OperatorProfile`] per operator in
+/// completion order. Exchange operators report metered shuffle bytes;
+/// for all other operators the "actual" bytes are derived (measured rows
+/// × the cost model's row width), since nothing was shipped.
+fn join_estimates(
+    estimates: &HashMap<usize, PlanEstimate>,
+    stats: &ExecStats,
+) -> Vec<OperatorProfile> {
+    stats
+        .operators()
+        .iter()
+        .map(|op| {
+            let est = estimates
+                .get(&op.id)
+                .copied()
+                .unwrap_or(PlanEstimate::new(0.0, 0.0));
+            let actual_bytes = if op.label.starts_with("Exchange") {
+                op.shuffle.bytes as f64
+            } else {
+                op.rows_out as f64 * est.row_bytes
+            };
+            OperatorProfile {
+                id: op.id,
+                label: op.label.clone(),
+                est_rows: est.rows,
+                actual_rows: op.rows_out as f64,
+                est_bytes: est.total_bytes(),
+                actual_bytes,
+                wall_ms: op.wall.as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Renders the EXPLAIN ANALYZE estimate-vs-actual section: est/actual
+/// rows and megabytes plus the per-operator q-error of each.
+fn render_estimate_table(operators: &[OperatorProfile]) -> String {
+    let label_w = operators.iter().map(|o| o.label.len()).max().unwrap_or(0).max(24);
+    let mut out = format!(
+        "== Estimate vs Actual ==\n{:<5} {:<label_w$} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}\n",
+        "id", "operator", "est_rows", "act_rows", "q_rows", "est_MB", "act_MB", "q_MB",
+    );
+    for o in operators {
+        out.push_str(&format!(
+            "{:<5} {:<label_w$} {:>12.0} {:>12.0} {:>8.2} {:>10.3} {:>10.3} {:>8.2}\n",
+            o.id,
+            o.label,
+            o.est_rows,
+            o.actual_rows,
+            o.q_error_rows(),
+            o.est_bytes / 1e6,
+            o.actual_bytes / 1e6,
+            o.q_error_bytes(),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -452,5 +715,105 @@ mod tests {
         session2.execute("INSERT INTO t VALUES (42)").unwrap();
         let r = db.query("SELECT COUNT(*) AS n FROM t").unwrap();
         assert_eq!(r.scalar().unwrap().as_integer(), Some(1));
+    }
+
+    #[test]
+    fn show_metrics_returns_counters() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.query("SELECT id FROM t").unwrap();
+        let r = db.query("SHOW METRICS").unwrap();
+        assert_eq!(
+            r.schema.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            ["name", "kind", "value"]
+        );
+        // The registry is process-global and other tests run concurrently,
+        // so assert presence and lower bounds, never exact equality.
+        let queries = r
+            .rows
+            .iter()
+            .find(|row| row.value(0).to_string().contains("db.queries"))
+            .expect("db.queries metric present");
+        assert!(queries.value(2).as_double().unwrap() >= 3.0);
+    }
+
+    #[test]
+    fn metrics_virtual_table_is_queryable_and_refreshed() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.query("SELECT id FROM t").unwrap();
+        let r = db
+            .query("SELECT name, value FROM metrics WHERE name = 'exec.plans_run'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let first = r.rows[0].value(1).as_double().unwrap();
+        assert!(first >= 1.0);
+        // Re-querying refreshes the snapshot: the counter has moved on.
+        db.query("SELECT id FROM t").unwrap();
+        let r2 = db
+            .query("SELECT value FROM metrics WHERE name = 'exec.plans_run'")
+            .unwrap();
+        assert!(r2.rows[0].value(0).as_double().unwrap() > first);
+    }
+
+    #[test]
+    fn user_metrics_table_is_never_clobbered() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE metrics (id INTEGER)").unwrap();
+        db.execute("INSERT INTO metrics VALUES (7)").unwrap();
+        let r = db.query("SELECT id FROM metrics").unwrap();
+        assert_eq!(r.scalar().unwrap().as_integer(), Some(7));
+    }
+
+    #[test]
+    fn explain_analyze_prints_estimate_vs_actual() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER, v DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5)").unwrap();
+        let Response::Explained(text) =
+            db.execute("EXPLAIN ANALYZE SELECT SUM(v) AS s FROM t").unwrap()
+        else {
+            panic!("expected Explained");
+        };
+        assert!(text.contains("== Estimate vs Actual =="), "{text}");
+        assert!(text.contains("est_rows"), "{text}");
+        assert!(text.contains("act_rows"), "{text}");
+        assert!(text.contains("q_rows"), "{text}");
+        assert!(text.contains("q_MB"), "{text}");
+    }
+
+    #[test]
+    fn last_profile_covers_all_lifecycle_stages() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        db.query("SELECT COUNT(*) AS n FROM t").unwrap();
+        let p = db.last_profile().expect("profile after a query");
+        for stage in ["parse", "bind", "optimize", "plan", "execute"] {
+            assert!(p.stage_ms(stage).is_some(), "missing stage {stage}");
+        }
+        assert!(!p.operators.is_empty());
+        assert!(p.operators.iter().all(|o| o.q_error_rows() >= 1.0));
+        let json = p.to_json();
+        assert!(json.contains("\"stage\": \"execute\""));
+    }
+
+    #[test]
+    fn slow_query_log_counts_slow_statements() {
+        let registry = lardb_obs::global();
+        let before = registry.counter("db.slow_queries").get();
+        let db = Database::new(2).with_slow_query_threshold(0.0);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        assert!(registry.counter("db.slow_queries").get() > before);
+    }
+
+    #[test]
+    fn references_table_walks_subqueries() {
+        let sql = "SELECT * FROM (SELECT name FROM metrics) AS m";
+        let Ok(Statement::Select(sel)) = parse_statement(sql) else { panic!() };
+        assert!(references_table(&sel, "metrics"));
+        assert!(!references_table(&sel, "other"));
     }
 }

@@ -44,5 +44,9 @@ pub use lardb_exec::{
     TransportMode,
 };
 pub use lardb_la::{LabeledScalar, Matrix, Vector};
+pub use lardb_obs::{
+    MetricKind, MetricSample, MetricsRegistry, OperatorProfile, QueryProfile,
+    StageTiming,
+};
 pub use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig, PhysicalPlan};
 pub use lardb_storage::{Catalog, Column, DataType, Partitioning, Row, Schema, Table, Value};

@@ -71,6 +71,7 @@ impl Cluster {
                 .into_iter()
                 .map(|h| {
                     h.join().unwrap_or_else(|payload| {
+                        lardb_obs::global().counter("exec.worker_panics").inc();
                         Err(ExecError::Runtime(format!(
                             "worker thread panicked: {}",
                             panic_message(payload.as_ref())

@@ -95,6 +95,7 @@ impl<'a> Executor<'a> {
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
         let mut stats = ExecStats::new();
         let partitions = self.run(plan, &mut stats)?;
+        publish_metrics(&stats);
         Ok(ExecutionResult { schema: plan.schema(), partitions, stats })
     }
 
@@ -598,11 +599,35 @@ impl<'a> Executor<'a> {
 /// Joins one exchange worker thread, converting panics to errors.
 fn join_exchange_thread<T>(h: std::thread::ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
     h.join().unwrap_or_else(|payload| {
+        lardb_obs::global().counter("exec.worker_panics").inc();
         Err(ExecError::Runtime(format!(
             "exchange thread panicked: {}",
             panic_message(payload.as_ref())
         )))
     })
+}
+
+/// Publishes one execution's totals into the process-wide metrics
+/// registry: counters for plans run, rows/bytes shuffled and frames
+/// encoded, plus an enqueue-block-time histogram (µs per exchange).
+fn publish_metrics(stats: &ExecStats) {
+    let registry = lardb_obs::global();
+    registry.counter("exec.plans_run").inc();
+    registry
+        .counter("exec.rows_shuffled")
+        .add(stats.total_rows_shuffled() as u64);
+    registry
+        .counter("exec.bytes_shuffled")
+        .add(stats.total_bytes_shuffled() as u64);
+    registry
+        .counter("exec.frames_encoded")
+        .add(stats.total_frames() as u64);
+    let blocked = stats.total_enqueue_block();
+    if blocked > Duration::ZERO {
+        registry
+            .histogram("exec.enqueue_block_us")
+            .observe(blocked.as_micros() as u64);
+    }
 }
 
 /// Sender side of one serialized exchange partition: routes rows, keeps

@@ -48,12 +48,16 @@ pub struct ShuffleStats {
     pub enqueue_block: Duration,
     /// Per-channel detail (empty in pointer mode).
     pub channels: Vec<ChannelStats>,
+    /// True when `bytes` is a pointer-mode estimate rather than a count of
+    /// actual encoded wire bytes. Display marks such values with `~` so
+    /// estimated and measured bytes are never conflated.
+    pub estimated: bool,
 }
 
 impl ShuffleStats {
     /// Pointer-mode record: estimated bytes, no channel detail.
     pub fn estimated(rows: usize, bytes: usize) -> Self {
-        ShuffleStats { rows, bytes, ..ShuffleStats::default() }
+        ShuffleStats { rows, bytes, estimated: true, ..ShuffleStats::default() }
     }
 
     /// Aggregates per-channel records into totals.
@@ -167,36 +171,62 @@ impl ExecStats {
     }
 
     /// Renders a human-readable table. Exchanges that ran over a
-    /// serialized transport get one indented sub-line per channel.
+    /// serialized transport get one indented sub-line per channel;
+    /// pointer-mode byte estimates are marked `~` to keep them distinct
+    /// from measured wire bytes.
     pub fn display_table(&self) -> String {
-        let mut out = String::from(
-            "id    operator                 time_ms      rows    shuffled_rows   shuffled_MB   frames   blocked_ms\n",
+        // The operator column grows to fit the longest label so long
+        // labels never push the numeric columns out of alignment.
+        let label_w = self
+            .ops
+            .iter()
+            .map(|o| o.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(24);
+        let mut out = format!(
+            "{:<5} {:<label_w$} {:>9} {:>9} {:>15} {:>13} {:>8} {:>12}\n",
+            "id", "operator", "time_ms", "rows", "shuffled_rows", "shuffled_MB", "frames", "blocked_ms",
         );
         for o in &self.ops {
+            let mb = format!(
+                "{}{:.3}",
+                if o.shuffle.estimated { "~" } else { "" },
+                o.shuffle.bytes as f64 / 1e6,
+            );
             out.push_str(&format!(
-                "{:<5} {:<24} {:>9.3} {:>9} {:>15} {:>13.3} {:>8} {:>12.3}\n",
+                "{:<5} {:<label_w$} {:>9.3} {:>9} {:>15} {:>13} {:>8} {:>12.3}\n",
                 o.id,
                 o.label,
                 o.wall.as_secs_f64() * 1e3,
                 o.rows_out,
                 o.shuffle.rows,
-                o.shuffle.bytes as f64 / 1e6,
+                mb,
                 o.shuffle.frames,
                 o.shuffle.enqueue_block.as_secs_f64() * 1e3,
             ));
             for c in &o.shuffle.channels {
                 out.push_str(&format!(
-                    "        ch {}->{}: {} rows, {} bytes, {} frames, blocked {:.3} ms\n",
+                    "        ch {}->{}: {} rows, {} bytes, {}, blocked {:.3} ms\n",
                     c.from,
                     c.to,
                     c.rows,
                     c.bytes,
-                    c.frames,
+                    plural(c.frames, "frame"),
                     c.enqueue_block.as_secs_f64() * 1e3,
                 ));
             }
         }
         out
+    }
+}
+
+/// `1 frame`, `2 frames` — correct pluralization for count displays.
+fn plural(n: usize, unit: &str) -> String {
+    if n == 1 {
+        format!("{n} {unit}")
+    } else {
+        format!("{n} {unit}s")
     }
 }
 
@@ -282,6 +312,38 @@ mod tests {
         assert_eq!(s.total_enqueue_block(), Duration::from_millis(4));
         let table = s.display_table();
         assert!(table.contains("ch 0->1: 10 rows, 800 bytes, 2 frames"), "{table}");
-        assert!(table.contains("ch 2->1: 5 rows, 400 bytes, 1 frames"), "{table}");
+        assert!(table.contains("ch 2->1: 5 rows, 400 bytes, 1 frame,"), "{table}");
+    }
+
+    #[test]
+    fn display_marks_estimated_bytes_and_fits_long_labels() {
+        let mut s = ExecStats::new();
+        s.record(op(1, "Exchange(Hash)", 1, 2_000_000)); // estimated() helper
+        let long = "HashJoin(some.very.long.column = other.even.longer.column)";
+        s.record(OperatorStats {
+            id: 2,
+            label: long.into(),
+            wall: Duration::from_millis(1),
+            rows_out: 1,
+            shuffle: ShuffleStats::from_channels(vec![ChannelStats {
+                from: 0,
+                to: 1,
+                rows: 1,
+                bytes: 3_000_000,
+                frames: 1,
+                enqueue_block: Duration::ZERO,
+            }]),
+        });
+        let table = s.display_table();
+        // Pointer-mode estimate is marked; measured bytes are not.
+        assert!(table.contains("~2.000"), "{table}");
+        assert!(table.contains(" 3.000") && !table.contains("~3.000"), "{table}");
+        // Long labels widen the column instead of breaking alignment: every
+        // full-width row is the same length.
+        let rows: Vec<&str> = table
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("ch "))
+            .collect();
+        assert!(rows.iter().all(|r| r.len() == rows[0].len()), "{table}");
     }
 }

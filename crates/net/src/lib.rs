@@ -13,7 +13,7 @@
 //!   `MATRIX[r][c]`, `VECTOR[n]` with its §3.3 label, and
 //!   `LABELED_SCALAR`), with explicit little-endian framing, a version
 //!   byte, and checked decode errors that never panic on corrupt input.
-//! * [`transport`] — a [`Transport`](transport::Transport) abstraction over
+//! * [`transport`] — a [`Transport`] abstraction over
 //!   worker-to-worker frame channels, with two implementations: an
 //!   in-process bounded-channel mesh (crossbeam, with backpressure — the
 //!   default for `serialized` mode) and a loopback-TCP mesh (`std::net`)

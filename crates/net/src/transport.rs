@@ -30,6 +30,16 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::{NetError, Result};
 
+/// Bumps the process-wide per-transport send counters
+/// (`net.<transport>.frames_sent` / `net.<transport>.bytes_sent`).
+fn meter_send(transport: &str, bytes: usize) {
+    let registry = lardb_obs::global();
+    registry.counter(&format!("net.{transport}.frames_sent")).inc();
+    registry
+        .counter(&format!("net.{transport}.bytes_sent"))
+        .add(bytes as u64);
+}
+
 /// Builds meshes over `W` workers.
 pub trait Transport: Send + Sync {
     /// Connects all `workers × workers` channels and returns the mesh.
@@ -106,6 +116,7 @@ impl Transport for ChannelTransport {
 
 impl Mesh for ChannelMesh {
     fn send(&self, from: usize, to: usize, frame: Vec<u8>) -> Result<()> {
+        meter_send("channel", frame.len());
         self.txs[to]
             .send((from, Some(frame)))
             .map_err(|_| NetError::Transport(format!("channel to worker {to} disconnected")))
@@ -252,6 +263,7 @@ fn reader_loop(mut conn: TcpStream, from: usize, tx: Sender<Msg>) {
 
 impl Mesh for TcpMesh {
     fn send(&self, from: usize, to: usize, frame: Vec<u8>) -> Result<()> {
+        meter_send("tcp", frame.len());
         let mut s = self.streams[from * self.workers + to]
             .lock()
             .map_err(|_| NetError::Transport("stream lock poisoned".into()))?;

@@ -1,0 +1,107 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace is offline and std-only (no serde), so the profile and
+//! metrics exports build their JSON through this tiny helper instead.
+//! Only what the exporters need: objects, arrays, strings, and numbers
+//! that are always finite-or-null.
+
+/// Escapes a string for use inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as a JSON number; non-finite values (q-error of
+/// a zero-row estimate, say) become `null` so the output always parses.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Trim to a stable short form; f64 round-trips are overkill here.
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for one JSON object: `{"k": v, …}`.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    fields: Vec<String>,
+}
+
+impl ObjectWriter {
+    /// An empty object.
+    pub fn new() -> Self {
+        ObjectWriter::default()
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds a numeric field (`null` when non-finite).
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        self.fields.push(format!("\"{}\": {}", escape(key), number(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.fields.join(", "))
+    }
+}
+
+/// Renders a sequence of pre-rendered JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.500000");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays() {
+        let mut o = ObjectWriter::new();
+        o.string("name", "x").integer("n", 3).raw("xs", &array(["1".into(), "2".into()]));
+        assert_eq!(o.finish(), "{\"name\": \"x\", \"n\": 3, \"xs\": [1, 2]}");
+    }
+}

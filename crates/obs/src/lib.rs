@@ -1,0 +1,27 @@
+//! # lardb-obs — observability primitives for lardb
+//!
+//! The paper's evaluation stands on two kinds of measurement: per-operation
+//! runtime breakdowns (Figure 4 splits the Gram computation into join vs
+//! aggregation time) and the cost model's byte-size estimates for every LA
+//! intermediate (§4.1's 80 GB vs 80 MB plans). This crate provides the
+//! instrumentation that keeps both honest, with zero external dependencies:
+//!
+//! * [`span`] — structured spans over the query lifecycle
+//!   (parse → bind → optimize → plan → execute) via a [`TraceSink`]
+//!   collector, cheap enough to leave always-on;
+//! * [`metrics`] — a process-wide [`MetricsRegistry`] of counters, gauges
+//!   and log-scale-bucket histograms, fed by the executor and the
+//!   `lardb-net` transports and queryable through `SHOW METRICS`;
+//! * [`profile`] — [`QueryProfile`], the estimate-vs-actual record joining
+//!   optimizer cost-model estimates with executor actuals per operator
+//!   (q-error), exported as hand-rolled JSON for the bench harness's
+//!   `--profile-json` output.
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use metrics::{global, MetricKind, MetricSample, MetricsRegistry};
+pub use profile::{q_error, OperatorProfile, QueryProfile, StageTiming};
+pub use span::{CollectingSink, SpanGuard, SpanRecord, Stage, TraceSink};

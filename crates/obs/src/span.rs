@@ -1,0 +1,170 @@
+//! Structured spans over the query lifecycle.
+//!
+//! A query moves through five stages — parse, bind, optimize, plan,
+//! execute — and a [`TraceSink`] collects one [`SpanRecord`] per stage
+//! (plus any per-worker execution spans the executor chooses to emit).
+//! Spans are RAII: open one with [`SpanGuard::enter`] and the record is
+//! delivered to the sink on drop, so early returns and `?` propagation
+//! are timed correctly for free.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The five query-lifecycle stages, plus worker-local execution spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// SQL text → AST.
+    Parse,
+    /// AST → bound logical plan.
+    Bind,
+    /// Logical rewrites + cost-based join ordering.
+    Optimize,
+    /// Logical → physical plan (partitioning, exchanges).
+    Plan,
+    /// Physical plan execution across the worker pool.
+    Execute,
+    /// A single worker's slice of the execute stage.
+    Worker,
+}
+
+impl Stage {
+    /// Stable lowercase name used in profiles and JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Bind => "bind",
+            Stage::Optimize => "optimize",
+            Stage::Plan => "plan",
+            Stage::Execute => "execute",
+            Stage::Worker => "worker",
+        }
+    }
+
+    /// The five top-level lifecycle stages, in pipeline order.
+    pub const LIFECYCLE: [Stage; 5] = [
+        Stage::Parse,
+        Stage::Bind,
+        Stage::Optimize,
+        Stage::Plan,
+        Stage::Execute,
+    ];
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Which stage the span covers.
+    pub stage: Stage,
+    /// Free-form detail (e.g. `worker 3` or the statement kind).
+    pub detail: String,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A destination for finished spans.
+///
+/// Implementations must be cheap and non-blocking-ish; spans are emitted
+/// from the query hot path (albeit once per stage, not per row).
+pub trait TraceSink: Send + Sync {
+    /// Receives one finished span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// A [`TraceSink`] that buffers spans in memory, for tests and for the
+/// profile builder in `core`.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingSink {
+    spans: Arc<Mutex<Vec<SpanRecord>>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    /// Drains and returns all spans recorded so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.lock().unwrap())
+    }
+
+    /// Clones the spans recorded so far without draining.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&self, span: SpanRecord) {
+        self.spans.lock().unwrap().push(span);
+    }
+}
+
+/// RAII guard: times a stage and reports it to the sink on drop.
+pub struct SpanGuard<'a> {
+    sink: &'a dyn TraceSink,
+    stage: Stage,
+    detail: String,
+    started: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span; the clock starts now.
+    pub fn enter(sink: &'a dyn TraceSink, stage: Stage, detail: impl Into<String>) -> Self {
+        SpanGuard {
+            sink,
+            stage,
+            detail: detail.into(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.record(SpanRecord {
+            stage: self.stage,
+            detail: std::mem::take(&mut self.detail),
+            wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let sink = CollectingSink::new();
+        {
+            let _g = SpanGuard::enter(&sink, Stage::Parse, "select");
+        }
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, Stage::Parse);
+        assert_eq!(spans[0].detail, "select");
+        assert!(spans[0].wall_ms >= 0.0);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn guard_records_on_early_return() {
+        fn inner(sink: &CollectingSink, fail: bool) -> Result<(), ()> {
+            let _g = SpanGuard::enter(sink, Stage::Bind, "");
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        let sink = CollectingSink::new();
+        let _ = inner(&sink, true);
+        assert_eq!(sink.spans().len(), 1);
+    }
+
+    #[test]
+    fn lifecycle_order_and_names() {
+        let names: Vec<&str> = Stage::LIFECYCLE.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["parse", "bind", "optimize", "plan", "execute"]);
+    }
+}

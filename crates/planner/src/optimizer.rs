@@ -84,7 +84,7 @@ pub struct Optimizer<'a> {
 }
 
 /// Default row-count guess for tables with unknown statistics.
-const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+pub(crate) const DEFAULT_TABLE_ROWS: f64 = 1000.0;
 
 impl<'a> Optimizer<'a> {
     /// Creates an optimizer over the given statistics source.

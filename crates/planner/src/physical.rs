@@ -12,8 +12,9 @@
 
 use lardb_storage::{Catalog, Column, DataType, Partitioning, Schema};
 
+use crate::cost::PlanEstimate;
 use crate::error::{PlanError, Result};
-use crate::expr::Expr;
+use crate::expr::{CmpOp, Expr};
 use crate::functions::AggFunc;
 use crate::logical::{AggExpr, JoinKind, LogicalPlan};
 use crate::optimizer::StatsSource;
@@ -717,6 +718,95 @@ impl<'a> PhysicalPlanner<'a> {
             kind: ExchangeKind::Hash(keys),
         }
     }
+
+    /// Annotates a physical plan with the cost model's per-operator
+    /// estimates: a map from operator id to estimated output size, built
+    /// with the same statistics and selectivity assumptions the optimizer
+    /// used. `EXPLAIN ANALYZE` joins this side-map against the executor's
+    /// measured `OperatorStats` actuals to compute per-operator q-errors.
+    pub fn estimates(&self, plan: &PhysicalPlan) -> std::collections::HashMap<usize, PlanEstimate> {
+        let mut out = std::collections::HashMap::new();
+        self.estimate_into(plan, &mut out);
+        out
+    }
+
+    /// Recursive worker for [`PhysicalPlanner::estimates`]; returns the
+    /// node's own estimate after recording all children.
+    fn estimate_into(
+        &self,
+        plan: &PhysicalPlan,
+        out: &mut std::collections::HashMap<usize, PlanEstimate>,
+    ) -> PlanEstimate {
+        use crate::cost::{equi_join_selectivity, predicate_selectivity};
+        let est = match plan {
+            PhysicalPlan::TableScan { table, schema, .. } => {
+                let rows = self
+                    .stats
+                    .table_rows(table)
+                    .map(|r| r as f64)
+                    .unwrap_or(crate::optimizer::DEFAULT_TABLE_ROWS);
+                PlanEstimate::new(rows.max(1.0), PlanEstimate::row_bytes_of(schema))
+            }
+            PhysicalPlan::Filter { input, predicate, .. } => {
+                let e = self.estimate_into(input, out);
+                let mut preds = Vec::new();
+                predicate.clone().split_conjunction(&mut preds);
+                let sel: f64 = preds
+                    .iter()
+                    .map(|p| predicate_selectivity(matches!(p, Expr::Cmp { op: CmpOp::Eq, .. })))
+                    .product();
+                PlanEstimate::new((e.rows * sel).max(1.0), e.row_bytes)
+            }
+            PhysicalPlan::Project { input, schema, .. } => {
+                let e = self.estimate_into(input, out);
+                PlanEstimate::new(e.rows, PlanEstimate::row_bytes_of(schema))
+            }
+            PhysicalPlan::HashJoin { left, right, left_keys, schema, .. } => {
+                let l = self.estimate_into(left, out);
+                let r = self.estimate_into(right, out);
+                let sel: f64 = left_keys
+                    .iter()
+                    .map(|_| equi_join_selectivity(l.rows, r.rows))
+                    .product();
+                PlanEstimate::new(
+                    (l.rows * r.rows * sel).max(1.0),
+                    PlanEstimate::row_bytes_of(schema),
+                )
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, residual, schema, .. } => {
+                let l = self.estimate_into(left, out);
+                let r = self.estimate_into(right, out);
+                let sel = match residual {
+                    Some(Expr::Cmp { op: CmpOp::Eq, .. }) => equi_join_selectivity(l.rows, r.rows),
+                    Some(_) => 1.0 / 3.0,
+                    None => 1.0,
+                };
+                PlanEstimate::new(
+                    (l.rows * r.rows * sel).max(1.0),
+                    PlanEstimate::row_bytes_of(schema),
+                )
+            }
+            PhysicalPlan::HashAggregate { input, group_by, mode, schema, .. } => {
+                let e = self.estimate_into(input, out);
+                let rows = match (mode, group_by.is_empty()) {
+                    // Per-partition pre-aggregation can't shrink below the
+                    // group count but we bound it by its input.
+                    (AggMode::Partial, _) => e.rows,
+                    (_, true) => 1.0,
+                    (_, false) => e.rows.sqrt().max(1.0),
+                };
+                PlanEstimate::new(rows, PlanEstimate::row_bytes_of(schema))
+            }
+            PhysicalPlan::Exchange { input, .. }
+            | PhysicalPlan::Sort { input, .. } => self.estimate_into(input, out),
+            PhysicalPlan::Limit { input, n, .. } => {
+                let e = self.estimate_into(input, out);
+                PlanEstimate::new(e.rows.min(*n as f64), e.row_bytes)
+            }
+        };
+        out.insert(plan.id(), est);
+        est
+    }
 }
 
 /// Build sides at or below this estimated size are broadcast instead of
@@ -967,5 +1057,52 @@ mod tests {
             plan,
             PhysicalPlan::Exchange { kind: ExchangeKind::Gather, .. }
         ));
+    }
+
+    #[test]
+    fn estimates_cover_every_operator() {
+        let cat = catalog();
+        let mut stats = HashMap::new();
+        stats.insert("rr".to_string(), 400);
+        let mut pp = PhysicalPlanner::new(&cat, &stats);
+        let plan = pp.plan_gathered(&join_on_id(&cat, "rr", "rr")).unwrap();
+        let est = pp.estimates(&plan);
+
+        // Every node in the tree has an estimate under its id.
+        fn ids(p: &PhysicalPlan, out: &mut Vec<usize>) {
+            out.push(p.id());
+            for c in p.children() {
+                ids(c, out);
+            }
+        }
+        let mut all = Vec::new();
+        ids(&plan, &mut all);
+        for id in &all {
+            assert!(est.contains_key(id), "no estimate for operator {id}");
+        }
+
+        // Scans use catalog stats; the join applies the Selinger equi
+        // selectivity: 400 * 400 / max(400, 400) = 400 rows.
+        fn find<'p>(
+            p: &'p PhysicalPlan,
+            pred: &dyn Fn(&PhysicalPlan) -> bool,
+        ) -> Option<&'p PhysicalPlan> {
+            if pred(p) {
+                return Some(p);
+            }
+            p.children().into_iter().find_map(|c| find(c, pred))
+        }
+        let scan_node =
+            find(&plan, &|p| matches!(p, PhysicalPlan::TableScan { .. })).unwrap();
+        assert_eq!(est[&scan_node.id()].rows, 400.0);
+        let join_node = find(&plan, &|p| matches!(p, PhysicalPlan::HashJoin { .. })).unwrap();
+        assert_eq!(est[&join_node.id()].rows, 400.0);
+        // Exchanges pass their input's estimate through unchanged.
+        let ex = find(&plan, &|p| {
+            matches!(p, PhysicalPlan::Exchange { kind: ExchangeKind::Gather, .. })
+        })
+        .unwrap();
+        assert_eq!(est[&ex.id()].rows, est[&join_node.id()].rows);
+        assert!(est[&scan_node.id()].total_bytes() > 0.0);
     }
 }

@@ -190,4 +190,7 @@ pub enum Statement {
         /// Whether to execute the plan and report observed statistics.
         analyze: bool,
     },
+    /// `SHOW METRICS` — snapshot the process-wide metrics registry as a
+    /// relation of `(name, kind, value)`.
+    ShowMetrics,
 }

@@ -105,6 +105,10 @@ impl<'a> Parser<'a> {
             let analyze = self.accept_kw("ANALYZE");
             return Ok(Statement::Explain { query: self.select()?, analyze });
         }
+        if self.accept_kw("SHOW") {
+            self.expect_kw("METRICS")?;
+            return Ok(Statement::ShowMetrics);
+        }
         if self.accept_kw("CREATE") {
             if self.accept_kw("TABLE") {
                 let name = self.ident("table name")?;
@@ -503,6 +507,19 @@ mod tests {
             &sel.items[2],
             SelectItem::Expr { expr: AstExpr::Call { name, .. }, .. } if name == "SUM"
         ));
+    }
+
+    #[test]
+    fn parse_show_metrics() {
+        assert!(matches!(
+            parse_statement("SHOW METRICS").unwrap(),
+            Statement::ShowMetrics
+        ));
+        assert!(matches!(
+            parse_statement("show metrics;").unwrap(),
+            Statement::ShowMetrics
+        ));
+        assert!(parse_statement("SHOW TABLES").is_err());
     }
 
     #[test]

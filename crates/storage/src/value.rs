@@ -102,6 +102,14 @@ impl Value {
         }
     }
 
+    /// Extracts the string payload of a `VARCHAR`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Extracts a boolean.
     pub fn as_boolean(&self) -> Option<bool> {
         match self {

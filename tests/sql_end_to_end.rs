@@ -412,3 +412,131 @@ fn distinct_deduplicates() {
     let r = db.query("SELECT DISTINCT a FROM t").unwrap();
     assert_eq!(r.rows.len(), 3);
 }
+
+/// Loads a vector table and returns the EXPLAIN ANALYZE text for the
+/// distributed Gram-matrix query on it.
+fn explain_analyze_gram(db: &Database) -> String {
+    db.create_table(
+        "xg",
+        Schema::from_pairs(&[("id", DataType::Integer), ("v", DataType::Vector(Some(4)))]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    for i in 0..40i64 {
+        db.insert_rows(
+            "xg",
+            [Row::new(vec![
+                Value::Integer(i),
+                Value::vector(Vector::from_vec(vec![i as f64, 1.0, 2.0, 3.0])),
+            ])],
+        )
+        .unwrap();
+    }
+    let out = db
+        .execute("EXPLAIN ANALYZE SELECT SUM(outer_product(x.v, x.v)) AS g FROM xg AS x")
+        .unwrap();
+    let lardb::database::Response::Explained(text) = out else {
+        panic!("EXPLAIN ANALYZE should return Explained");
+    };
+    text
+}
+
+#[test]
+fn explain_analyze_gram_prints_estimate_vs_actual() {
+    let text = explain_analyze_gram(&db().with_transport(lardb::TransportMode::Serialized));
+    // Operator rows for the distributed matmul pipeline are present.
+    assert!(text.contains("== Execution Statistics =="), "{text}");
+    assert!(text.contains("TableScan"), "{text}");
+    assert!(text.contains("HashAggregate"), "{text}");
+    assert!(text.contains("Exchange"), "{text}");
+    // Under the serialized transport, shuffled bytes are measured wire
+    // frames and nonzero: at least one non-`0.000` MB figure appears in
+    // an exchange row.
+    assert!(text.contains(" frames"), "{text}");
+    let stats_block = text.split("== Execution Statistics ==").nth(1).unwrap();
+    let exchanged: f64 = stats_block
+        .lines()
+        .filter(|l| l.contains("Exchange"))
+        .filter_map(|l| l.split_whitespace().rev().nth(2).and_then(|m| m.parse::<f64>().ok()))
+        .sum();
+    assert!(exchanged > 0.0, "serialized exchanges should report nonzero MB:\n{text}");
+    // The estimate-vs-actual table is appended, with populated columns.
+    assert!(text.contains("== Estimate vs Actual =="), "{text}");
+    for col in ["est_rows", "act_rows", "q_rows", "est_MB", "act_MB", "q_MB"] {
+        assert!(text.contains(col), "missing column {col}:\n{text}");
+    }
+    let est_block = text.split("== Estimate vs Actual ==").nth(1).unwrap();
+    let scan_line = est_block
+        .lines()
+        .find(|l| l.contains("TableScan"))
+        .expect("scan row in estimate table");
+    let fields: Vec<&str> = scan_line.split_whitespace().collect();
+    // id, label..., then six numeric columns; actual rows (4th from end
+    // is act_MB... count from the right: q_MB, act_MB, est_MB, q_rows,
+    // act_rows, est_rows).
+    let act_rows: f64 = fields[fields.len() - 5].parse().unwrap();
+    assert_eq!(act_rows, 40.0, "scan actual rows:\n{text}");
+    let q_rows: f64 = fields[fields.len() - 4].parse().unwrap();
+    assert!(q_rows >= 1.0, "q-error is ≥ 1 by definition:\n{text}");
+}
+
+#[test]
+fn explain_analyze_marks_pointer_bytes_as_estimates() {
+    // Default transport is pointer mode: shuffled bytes are modeled, not
+    // measured, and the stats table marks them with `~`.
+    let text = explain_analyze_gram(&db());
+    let stats_block = text.split("== Execution Statistics ==").nth(1).unwrap();
+    assert!(
+        stats_block.lines().any(|l| l.contains("Exchange") && l.contains('~')),
+        "pointer-mode exchange rows should carry a ~ estimate marker:\n{text}"
+    );
+    // The serialized run above asserts measured bytes have no marker.
+    let measured = explain_analyze_gram(&db().with_transport(lardb::TransportMode::Serialized));
+    let stats_block = measured.split("== Execution Statistics ==").nth(1).unwrap();
+    assert!(
+        !stats_block.lines().any(|l| l.contains("Exchange") && l.contains('~')),
+        "serialized exchange bytes are measured, not estimated:\n{measured}"
+    );
+}
+
+#[test]
+fn show_metrics_matches_exec_stats_totals() {
+    let db = db().with_transport(lardb::TransportMode::Serialized);
+    db.execute("CREATE TABLE t (id INTEGER, v DOUBLE)").unwrap();
+    db.insert_rows(
+        "t",
+        (0..80).map(|i| Row::new(vec![Value::Integer(i), Value::Double(i as f64)])),
+    )
+    .unwrap();
+    let r = db
+        .query(
+            "SELECT t1.id, SUM(t1.v * t2.v) AS s \
+             FROM t AS t1, t AS t2 WHERE t1.id = t2.id GROUP BY t1.id",
+        )
+        .unwrap();
+    let shuffled = r.stats.total_bytes_shuffled() as f64;
+    assert!(shuffled > 0.0, "join under serialized transport shuffles bytes");
+
+    // SHOW METRICS returns a queryable relation whose counters cover at
+    // least this query's totals (the registry is process-wide, so ≥).
+    let lardb::database::Response::Rows(m) = db.execute("SHOW METRICS").unwrap() else {
+        panic!("SHOW METRICS should return rows");
+    };
+    let metric = |name: &str| -> f64 {
+        m.rows
+            .iter()
+            .find(|row| row.value(0).as_str() == Some(name))
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+            .value(2)
+            .as_double()
+            .unwrap()
+    };
+    assert!(metric("exec.bytes_shuffled") >= shuffled, "bytes counter covers the query");
+    assert!(metric("exec.rows_shuffled") >= r.stats.total_rows_shuffled() as f64);
+    assert!(metric("exec.plans_run") >= 1.0);
+    assert!(metric("db.queries") >= 1.0);
+
+    // The same data is visible as a SQL-queryable virtual table.
+    let n = db.query("SELECT COUNT(*) AS n FROM metrics").unwrap();
+    assert!(n.scalar().unwrap().as_integer().unwrap() >= m.rows.len() as i64 - 1);
+}

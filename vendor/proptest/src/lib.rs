@@ -237,7 +237,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element counts a [`vec`] strategy may produce.
+    /// Element counts a [`vec()`] strategy may produce.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -271,7 +271,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
