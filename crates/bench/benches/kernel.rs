@@ -3,13 +3,27 @@
 //! on, including the cache-blocking ablation called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lardb_la::{gemm::gemm_naive, Matrix, Vector};
+use lardb_la::gemm::{gemm_acc_dense, gemm_acc_skipzero, gemm_naive};
+use lardb_la::{Matrix, Vector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn random_matrix(seed: u64, r: usize, c: usize) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// A matrix with roughly `zero_pct`% zero entries (the sparse-tile shape
+/// the skip-zero inner loop is for).
+fn sparse_matrix(seed: u64, r: usize, c: usize, zero_pct: u32) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(r, c, |_, _| {
+        if rng.gen_range(0u32..100) < zero_pct {
+            0.0
+        } else {
+            rng.gen_range(-1.0..1.0)
+        }
+    })
 }
 
 fn bench_gemm(c: &mut Criterion) {
@@ -22,6 +36,35 @@ fn bench_gemm(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
             bch.iter(|| gemm_naive(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+/// Density ablation: the branch-free dense inner loop vs the zero-skip
+/// (branchy) one, on dense and ~60%-zero operands. Motivates the density
+/// heuristic in `gemm_acc`: skipping wins on sparse tiles and loses on
+/// dense ones.
+fn bench_gemm_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_density");
+    let n = 128usize;
+    let b = random_matrix(20, n, n);
+    for (label, a) in
+        [("dense", random_matrix(21, n, n)), ("sparse60", sparse_matrix(22, n, n, 60))]
+    {
+        g.bench_with_input(BenchmarkId::new(format!("{label}_branchfree"), n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm_acc_dense(&a, &b, &mut out);
+                out
+            })
+        });
+        g.bench_with_input(BenchmarkId::new(format!("{label}_skipzero"), n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm_acc_skipzero(&a, &b, &mut out);
+                out
+            })
         });
     }
     g.finish();
@@ -88,5 +131,12 @@ fn bench_elementwise(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemm, bench_gram_kernels, bench_solvers, bench_elementwise);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemm_density,
+    bench_gram_kernels,
+    bench_solvers,
+    bench_elementwise
+);
 criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Scheduler ablation: morsel-driven persistent pool vs per-partition
+//! thread spawning.
+//!
+//! Three axes from the scheduling design notes:
+//!   * pool vs spawn on **uniform** partitions — pool should at least
+//!     match spawn (no regression from queueing overhead);
+//!   * pool vs spawn on **skewed** partitions (one partition holding 90%
+//!     of the rows) — work stealing should beat the straggler-bound
+//!     spawn baseline;
+//!   * the 100-blocks-on-80-cores shape — a GEMM whose output tiles into
+//!     100 cache blocks scheduled onto an 80-worker pool, the classic
+//!     fragmentation case where static 1-block-per-thread assignment
+//!     leaves 20 workers idle for the second wave.
+//!
+//! With `--profile-json PATH` the harness re-times the skewed case once
+//! per scheduler and writes the pool-vs-spawn comparison (plus the pool's
+//! morsel/steal counters) as JSON.
+
+use criterion::{criterion_group, Criterion};
+use lardb::{
+    DataType, Database, DatabaseConfig, Matrix, Partitioning, Row, SchedulerMode,
+    Schema, Value,
+};
+use lardb_la::gemm::{gemm_acc_dense, gemm_acc_pooled};
+use lardb_pool::WorkerPool;
+
+const SKEWED_ROWS: usize = 40_000;
+const GROUPS: i64 = 32;
+
+/// `skew = true` hashes 90% of rows onto one key (one hot partition);
+/// otherwise keys are spread evenly across partitions.
+fn scheduler_db(scheduler: SchedulerMode, skew: bool) -> Database {
+    let db = Database::with_config(DatabaseConfig {
+        workers: 4,
+        scheduler,
+        morsel_rows: 512,
+        pool_workers: Some(4),
+        ..DatabaseConfig::default()
+    });
+    db.create_table(
+        "events",
+        Schema::from_pairs(&[
+            ("k", DataType::Integer),
+            ("g", DataType::Integer),
+            ("v", DataType::Double),
+        ]),
+        Partitioning::Hash(0),
+    )
+    .unwrap();
+    let rows = (0..SKEWED_ROWS as i64).map(|i| {
+        let k = if skew && i % 10 != 0 { 0 } else { i };
+        Row::new(vec![
+            Value::Integer(k),
+            Value::Integer(i % GROUPS),
+            Value::Double(i as f64 * 0.125),
+        ])
+    });
+    db.insert_rows("events", rows).unwrap();
+    db
+}
+
+const QUERY: &str =
+    "SELECT g, COUNT(*) AS c, SUM(v * v + v) AS s FROM events WHERE k >= 0 GROUP BY g";
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    for (label, skew) in [("uniform", false), ("skewed", true)] {
+        for mode in [SchedulerMode::Pool, SchedulerMode::Spawn] {
+            let db = scheduler_db(mode, skew);
+            g.bench_function(format!("{label}/{mode:?}"), |b| {
+                b.iter(|| db.query(QUERY).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+/// 100 output blocks on an 80-worker pool: C (1280×1280) += A·B tiles
+/// into a 10×10 grid of 128×128 morsels. Spawn-style static assignment
+/// would strand 20 workers during the remainder wave; the shared deque
+/// keeps them fed.
+fn bench_gemm_blocks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_blocks");
+    g.sample_size(10);
+    let m = 1280;
+    let k = 48;
+    let a: Vec<f64> = (0..m * k).map(|i| (i % 17) as f64 * 0.5).collect();
+    let b: Vec<f64> = (0..k * m).map(|i| (i % 13) as f64 * 0.25).collect();
+    let am = Matrix::from_vec(m, k, a).unwrap();
+    let bm = Matrix::from_vec(k, m, b).unwrap();
+
+    g.bench_function("inline", |bch| {
+        bch.iter(|| {
+            let mut out = Matrix::zeros(m, m);
+            gemm_acc_dense(&am, &bm, &mut out);
+            out
+        })
+    });
+    let pool = WorkerPool::new(80);
+    g.bench_function("pool80", |bch| {
+        bch.iter(|| {
+            let mut out = Matrix::zeros(m, m);
+            gemm_acc_pooled(&pool, &am, &bm, &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_vs_spawn, bench_gemm_blocks);
+
+fn profile_json_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--profile-json" {
+            return argv.next();
+        }
+    }
+    None
+}
+
+/// Median wall time of `runs` executions, in milliseconds.
+fn time_ms(db: &Database, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            db.query(QUERY).unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|x, y| x.total_cmp(y));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    benches();
+    if let Some(path) = profile_json_path() {
+        let pool_db = scheduler_db(SchedulerMode::Pool, true);
+        let spawn_db = scheduler_db(SchedulerMode::Spawn, true);
+        let pool_ms = time_ms(&pool_db, 5);
+        let spawn_ms = time_ms(&spawn_db, 5);
+        let counters: std::collections::HashMap<String, f64> = lardb_obs::global()
+            .snapshot()
+            .into_iter()
+            .map(|s| (s.name, s.value))
+            .collect();
+        let doc = format!(
+            "{{\"bench\":\"scheduler\",\"case\":\"skewed_90_10_w4\",\
+             \"pool_ms\":{pool_ms:.3},\"spawn_ms\":{spawn_ms:.3},\
+             \"speedup\":{:.3},\"pool_morsels\":{},\"pool_steals\":{}}}",
+            spawn_ms / pool_ms,
+            counters.get("pool.morsels").copied().unwrap_or(0.0),
+            counters.get("pool.steals").copied().unwrap_or(0.0),
+        );
+        match std::fs::write(&path, &doc) {
+            Ok(()) => println!("wrote scheduler profile to {path}: {doc}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -11,29 +11,53 @@
 
 use std::io::{BufRead, Write};
 
-use lardb::{Database, Response, TransportMode};
+use lardb::{Database, DatabaseConfig, Response, SchedulerMode, TransportMode};
 
 fn main() {
-    let mut workers = 4usize;
-    let mut transport = TransportMode::Pointer;
-    let mut slow_ms: Option<f64> = None;
+    let mut config = DatabaseConfig::default();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--workers" => {
-                workers = argv
+                config.workers = argv
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             "--transport" => {
-                transport = argv
+                config.transport = argv
                     .next()
                     .and_then(|v| TransportMode::parse(&v))
                     .unwrap_or_else(|| usage());
             }
             "--slow-ms" => {
-                slow_ms = Some(
+                config.slow_query_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--pool-workers" => {
+                config.pool_workers = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--morsel-rows" => {
+                config.morsel_rows = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scheduler" => {
+                config.scheduler = argv
+                    .next()
+                    .and_then(|v| v.parse::<SchedulerMode>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--gemm-par-flops" => {
+                config.gemm_parallel_flops = Some(
                     argv.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
@@ -43,10 +67,8 @@ fn main() {
         }
     }
 
-    let mut db = Database::new(workers).with_transport(transport);
-    if let Some(ms) = slow_ms {
-        db = db.with_slow_query_threshold(ms);
-    }
+    let workers = config.workers;
+    let db = Database::with_config(config);
     let mut timing = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -145,7 +167,9 @@ fn prompt(fresh: bool) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lardb-cli [--workers N] [--transport pointer|serialized|tcp] [--slow-ms MS]"
+        "usage: lardb-cli [--workers N] [--transport pointer|serialized|tcp] \
+         [--slow-ms MS] [--pool-workers N] [--morsel-rows N] \
+         [--scheduler pool|spawn] [--gemm-par-flops N]"
     );
     std::process::exit(2);
 }

@@ -5,7 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use lardb_exec::{Cluster, ExecStats, Executor, TransportMode};
+use lardb_exec::{Cluster, ExecStats, Executor, SchedulerMode, TransportMode};
+use lardb_pool::WorkerPool;
 use lardb_obs::{CollectingSink, OperatorProfile, QueryProfile, SpanGuard, Stage};
 use lardb_planner::physical::PhysicalPlanner;
 use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig, PlanEstimate};
@@ -32,6 +33,24 @@ pub struct DatabaseConfig {
     /// least this long are reported on stderr and counted under the
     /// `db.slow_queries` metric. `None` (the default) disables the log.
     pub slow_query_ms: Option<f64>,
+    /// Threads in the persistent worker pool that executes morsels.
+    /// `None` (the default) shares the process-wide pool (sized from
+    /// `LARDB_POOL_WORKERS` or the machine's core count); `Some(n)` gives
+    /// this database a dedicated pool of `n` threads, created once and
+    /// reused by every query.
+    pub pool_workers: Option<usize>,
+    /// Rows per scheduled morsel (default
+    /// [`lardb_exec::DEFAULT_MORSEL_ROWS`]). Smaller morsels balance skew
+    /// better; larger ones amortize scheduling further.
+    pub morsel_rows: usize,
+    /// Scheduling strategy: morsel-driven pool (default) or the
+    /// one-thread-per-partition-per-operator spawn baseline.
+    pub scheduler: SchedulerMode,
+    /// Flop-count cutoff above which GEMM/SYRK kernels run pool-parallel;
+    /// `Some(0)` keeps all linear algebra inline, `None` (the default)
+    /// leaves the kernel's built-in cutoff untouched. Applied process-wide
+    /// at database construction.
+    pub gemm_parallel_flops: Option<usize>,
 }
 
 impl Default for DatabaseConfig {
@@ -41,6 +60,10 @@ impl Default for DatabaseConfig {
             optimizer: OptimizerConfig::default(),
             transport: TransportMode::Pointer,
             slow_query_ms: None,
+            pool_workers: None,
+            morsel_rows: lardb_exec::DEFAULT_MORSEL_ROWS,
+            scheduler: SchedulerMode::default(),
+            gemm_parallel_flops: None,
         }
     }
 }
@@ -125,6 +148,10 @@ pub struct Database {
     /// engine (and may therefore be refreshed/replaced); a user-created
     /// `metrics` table is never touched.
     metrics_table_auto: Arc<AtomicBool>,
+    /// The dedicated worker pool when [`DatabaseConfig::pool_workers`] is
+    /// set — created once here and shared by every query's cluster (and
+    /// by clones of this database). `None` ⇒ the process-wide pool.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Database {
@@ -139,12 +166,30 @@ impl Database {
 
     /// A database with explicit configuration.
     pub fn with_config(config: DatabaseConfig) -> Self {
+        if let Some(flops) = config.gemm_parallel_flops {
+            lardb_la::gemm::set_parallel_flops(flops);
+        }
+        let pool = config.pool_workers.map(|n| Arc::new(WorkerPool::new(n)));
         Database {
             catalog: Arc::new(Catalog::new()),
             config,
             last_profile: Arc::new(Mutex::new(None)),
             metrics_table_auto: Arc::new(AtomicBool::new(false)),
+            pool,
         }
+    }
+
+    /// The cluster every query of this database executes on: the
+    /// configured worker count, scheduler, morsel size, and (if
+    /// dedicated) worker pool.
+    fn cluster(&self) -> Cluster {
+        let mut cluster = Cluster::new(self.config.workers)
+            .with_scheduler(self.config.scheduler)
+            .with_morsel_rows(self.config.morsel_rows);
+        if let Some(pool) = &self.pool {
+            cluster = cluster.with_pool(Arc::clone(pool));
+        }
+        cluster
     }
 
     /// The shared catalog.
@@ -442,21 +487,18 @@ impl Database {
             let estimates = pp.estimates(&physical);
             (physical, estimates)
         };
-        let result = {
+        let mut result = {
             let _g = SpanGuard::enter(sink, Stage::Execute, "");
-            let executor =
-                Executor::new(&self.catalog, Cluster::new(self.config.workers))
-                    .with_transport(self.config.transport);
+            let executor = Executor::new(&self.catalog, self.cluster())
+                .with_transport(self.config.transport);
             executor.execute(&physical)?
         };
         let operators = join_estimates(&estimates, &result.stats);
         profile.operators.extend(operators.iter().cloned());
+        let schema = result.schema.clone();
+        let stats = std::mem::take(&mut result.stats);
         Ok((
-            QueryResult {
-                schema: result.schema.clone(),
-                rows: result.rows(),
-                stats: result.stats,
-            },
+            QueryResult { schema, rows: result.into_rows(), stats },
             operators,
         ))
     }

@@ -39,9 +39,17 @@ pub struct ExecutionResult {
 }
 
 impl ExecutionResult {
-    /// All rows, concatenated in partition order.
+    /// All rows, concatenated in partition order. Clones every row
+    /// (cheap since rows are `Arc`-backed, but prefer [`Self::into_rows`]
+    /// when the result is no longer needed).
     pub fn rows(&self) -> Vec<Row> {
         self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+    }
+
+    /// Consumes the result, yielding all rows in partition order without
+    /// cloning any of them.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.partitions.into_iter().flatten().collect()
     }
 
     /// Total row count.
@@ -112,7 +120,9 @@ impl<'a> Executor<'a> {
             PhysicalPlan::Filter { input, predicate, .. } => {
                 let child = self.run(input, stats)?;
                 let t0 = Instant::now();
-                let out = self.cluster.par_map(child, |_, rows| {
+                // Row-range morsels: a skewed partition is drained by
+                // whichever pool workers are idle.
+                let morsels = self.cluster.morsel_map(child, |_, rows| {
                     let mut keep = Vec::new();
                     for r in rows {
                         if eval_predicate(predicate, &r)? {
@@ -121,13 +131,14 @@ impl<'a> Executor<'a> {
                     }
                     Ok(keep)
                 })?;
+                let out = flatten_morsels(morsels);
                 self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
             PhysicalPlan::Project { input, exprs, .. } => {
                 let child = self.run(input, stats)?;
                 let t0 = Instant::now();
-                let out = self.cluster.par_map(child, |_, rows| {
+                let morsels = self.cluster.morsel_map(child, |_, rows| {
                     let mut mapped = Vec::with_capacity(rows.len());
                     for r in rows {
                         let mut vals = Vec::with_capacity(exprs.len());
@@ -138,6 +149,7 @@ impl<'a> Executor<'a> {
                     }
                     Ok(mapped)
                 })?;
+                let out = flatten_morsels(morsels);
                 self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
@@ -147,10 +159,17 @@ impl<'a> Executor<'a> {
                 let l = self.run(left, stats)?;
                 let r = self.run(right, stats)?;
                 let t0 = Instant::now();
-                let pairs: Vec<(Vec<Row>, Vec<Row>)> = l.into_iter().zip(r).collect();
-                let out = self.cluster.par_map(pairs, |_, (lp, rp)| {
-                    hash_join_partition(lp, rp, left_keys, right_keys, residual.as_ref())
+                // Build phase: one hash table per partition (partition-
+                // granular; the build side is the smaller input and a
+                // shared-table build would need synchronization).
+                let tables: Vec<HashMap<CompositeKey, Vec<Row>>> =
+                    self.cluster.par_map(l, |_, lp| build_join_table(lp, left_keys))?;
+                // Probe phase: row-range morsels against the (read-only)
+                // per-partition tables.
+                let morsels = self.cluster.morsel_map(r, |p, rows| {
+                    probe_join_table(&tables[p], rows, right_keys, residual.as_ref())
                 })?;
+                let out = flatten_morsels(morsels);
                 self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
@@ -158,11 +177,13 @@ impl<'a> Executor<'a> {
                 let l = self.run(left, stats)?;
                 let r = self.run(right, stats)?;
                 let t0 = Instant::now();
-                let pairs: Vec<(Vec<Row>, Vec<Row>)> = l.into_iter().zip(r).collect();
-                let out = self.cluster.par_map(pairs, |_, (lp, rp)| {
+                // Morselize the outer (left) side; every morsel scans the
+                // whole co-partitioned right side.
+                let morsels = self.cluster.morsel_map(l, |p, lrows| {
+                    let rp = &r[p];
                     let mut rows = Vec::new();
-                    for lr in &lp {
-                        for rr in &rp {
+                    for lr in &lrows {
+                        for rr in rp {
                             let joined = lr.concat(rr);
                             if let Some(res) = residual {
                                 if !eval_predicate(res, &joined)? {
@@ -174,6 +195,7 @@ impl<'a> Executor<'a> {
                     }
                     Ok(rows)
                 })?;
+                let out = flatten_morsels(morsels);
                 self.record(plan, stats, t0, &out, ShuffleStats::default());
                 out
             }
@@ -195,9 +217,22 @@ impl<'a> Executor<'a> {
                 }
                 let child = self.run(input, stats)?;
                 let t0 = Instant::now();
-                let out = self.cluster.par_map(child, |_, rows| {
-                    aggregate_partition(rows, group_by, aggs, *mode)
+                // Each morsel pre-aggregates into its own hash table;
+                // per-partition partials are then merged sequentially in
+                // ascending morsel order, so group order (first-seen) and
+                // accumulation order are deterministic no matter which
+                // worker ran which morsel.
+                let partials = self.cluster.morsel_map(child, |_, rows| {
+                    let mut agg = GroupedAgg::new(group_by, aggs, *mode);
+                    for row in &rows {
+                        agg.update_row(row)?;
+                    }
+                    Ok(agg)
                 })?;
+                let out = partials
+                    .into_iter()
+                    .map(merge_partials)
+                    .collect::<Result<Parts>>()?;
                 // Global aggregates produce exactly one row even over empty
                 // input — but only on partition 0 of a gathered stream.
                 let mut out = out;
@@ -425,6 +460,9 @@ impl<'a> Executor<'a> {
         let t = handle.read();
         let replicated = matches!(t.partitioning(), Partitioning::Replicated);
         if replicated {
+            // Every worker sees the same rows; `Row` is Arc-backed, so
+            // the W copies share one attribute buffer per row instead of
+            // materializing W deep copies of the table.
             let copy: Vec<Row> = t.partition(0).to_vec();
             return Ok((0..w).map(|_| copy.clone()).collect());
         }
@@ -461,26 +499,27 @@ impl<'a> Executor<'a> {
         }
         match kind {
             ExchangeKind::Hash(keys) => {
-                // Bucket each source partition in parallel, then merge.
-                let bucketed: Vec<(Vec<Vec<Row>>, usize, usize)> =
-                    self.cluster.par_map(input.into_iter().enumerate().collect(), |_, (p, rows)| {
-                        let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); w];
-                        let mut moved_rows = 0;
-                        let mut moved_bytes = 0;
-                        for r in rows {
-                            let target = hash_route(&r, keys, w)?;
-                            if target != p {
-                                moved_rows += 1;
-                                moved_bytes += r.byte_size();
-                            }
-                            buckets[target].push(r);
+                // Bucket row-range morsels in parallel, then merge the
+                // per-morsel buckets in (partition, morsel) order — the
+                // exact row order sequential per-partition routing gives.
+                let bucketed = self.cluster.morsel_map(input, |p, rows| {
+                    let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); w];
+                    let mut moved_rows = 0;
+                    let mut moved_bytes = 0;
+                    for r in rows {
+                        let target = hash_route(&r, keys, w)?;
+                        if target != p {
+                            moved_rows += 1;
+                            moved_bytes += r.byte_size();
                         }
-                        Ok((buckets, moved_rows, moved_bytes))
-                    })?;
+                        buckets[target].push(r);
+                    }
+                    Ok((buckets, moved_rows, moved_bytes))
+                })?;
                 let mut out: Parts = vec![Vec::new(); w];
                 let mut rows_moved = 0;
                 let mut bytes_moved = 0;
-                for (buckets, mr, mb) in bucketed {
+                for (buckets, mr, mb) in bucketed.into_iter().flatten() {
                     rows_moved += mr;
                     bytes_moved += mb;
                     for (t, mut b) in buckets.into_iter().enumerate() {
@@ -493,6 +532,9 @@ impl<'a> Executor<'a> {
                 let all: Vec<Row> = input.into_iter().flatten().collect();
                 let bytes: usize = all.iter().map(Row::byte_size).sum();
                 let rows = all.len();
+                // Pointer mode: per-partition copies share row storage
+                // (Arc clones); the metered bytes still reflect what a
+                // real broadcast would ship.
                 let out: Parts = (0..w).map(|_| all.clone()).collect();
                 Ok((
                     out,
@@ -849,14 +891,16 @@ fn hash_route(row: &Row, keys: &[Expr], w: usize) -> Result<usize> {
     Ok((h.finish() % w as u64) as usize)
 }
 
-/// Joins one co-partitioned pair of partitions by hash.
-fn hash_join_partition(
+/// Concatenates each partition's morsel outputs (already in row order).
+fn flatten_morsels(morsels: Vec<Vec<Vec<Row>>>) -> Parts {
+    morsels.into_iter().map(|ms| ms.into_iter().flatten().collect()).collect()
+}
+
+/// Hash-join build phase: one partition's build side keyed for probing.
+fn build_join_table(
     left: Vec<Row>,
-    right: Vec<Row>,
     left_keys: &[Expr],
-    right_keys: &[Expr],
-    residual: Option<&Expr>,
-) -> Result<Vec<Row>> {
+) -> Result<HashMap<CompositeKey, Vec<Row>>> {
     let mut table: HashMap<CompositeKey, Vec<Row>> = HashMap::with_capacity(left.len());
     'left: for r in left {
         let mut vals = Vec::with_capacity(left_keys.len());
@@ -869,6 +913,17 @@ fn hash_join_partition(
         }
         table.entry(CompositeKey::from_values(vals)).or_default().push(r);
     }
+    Ok(table)
+}
+
+/// Hash-join probe phase over any row range of the probe side; reads the
+/// build table, emitting joined rows in probe-row order.
+fn probe_join_table(
+    table: &HashMap<CompositeKey, Vec<Row>>,
+    right: Vec<Row>,
+    right_keys: &[Expr],
+    residual: Option<&Expr>,
+) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     'right: for r in right {
         let mut vals = Vec::with_capacity(right_keys.len());
@@ -917,13 +972,11 @@ impl<'a> GroupedAgg<'a> {
         }
     }
 
-    fn update_row(&mut self, row: &Row) -> Result<()> {
-        let mut kv = Vec::with_capacity(self.group_by.len());
-        for g in self.group_by {
-            kv.push(eval(g, row)?);
-        }
+    /// Index of the group keyed by `kv`, creating it (in first-seen
+    /// order) when new.
+    fn group_index(&mut self, kv: Vec<Value>) -> usize {
         let key = CompositeKey::from_values(kv.clone());
-        let idx = match self.groups.get(&key) {
+        match self.groups.get(&key) {
             Some(&i) => i,
             None => {
                 let i = self.accs.len();
@@ -933,7 +986,15 @@ impl<'a> GroupedAgg<'a> {
                     .push(self.aggs.iter().map(|a| Accumulator::new(a.func)).collect());
                 i
             }
-        };
+        }
+    }
+
+    fn update_row(&mut self, row: &Row) -> Result<()> {
+        let mut kv = Vec::with_capacity(self.group_by.len());
+        for g in self.group_by {
+            kv.push(eval(g, row)?);
+        }
+        let idx = self.group_index(kv);
         match self.mode {
             AggMode::Partial | AggMode::Complete => {
                 for (a, acc) in self.aggs.iter().zip(self.accs[idx].iter_mut()) {
@@ -963,6 +1024,20 @@ impl<'a> GroupedAgg<'a> {
         Ok(())
     }
 
+    /// Folds another aggregation table (e.g. a later morsel's partial
+    /// result) into this one by merging accumulator states. `other`'s
+    /// groups arrive in its first-seen order, so folding partials in
+    /// ascending morsel order yields a deterministic group order.
+    fn merge(&mut self, other: GroupedAgg<'a>) -> Result<()> {
+        for (kv, accs) in other.key_vals.into_iter().zip(other.accs) {
+            let idx = self.group_index(kv);
+            for (mine, theirs) in self.accs[idx].iter_mut().zip(accs) {
+                mine.merge_state(&theirs.state())?;
+            }
+        }
+        Ok(())
+    }
+
     /// Emits groups in first-seen order.
     fn finish(self) -> Vec<Row> {
         let mode = self.mode;
@@ -981,18 +1056,21 @@ impl<'a> GroupedAgg<'a> {
     }
 }
 
-/// Aggregates one partition's rows.
-fn aggregate_partition(
-    rows: Vec<Row>,
-    group_by: &[Expr],
-    aggs: &[AggExpr],
-    mode: AggMode,
-) -> Result<Vec<Row>> {
-    let mut agg = GroupedAgg::new(group_by, aggs, mode);
-    for row in &rows {
-        agg.update_row(row)?;
+/// Merges one partition's per-morsel aggregation tables (ascending
+/// morsel order) into that partition's output rows. A merge via
+/// accumulator *states* is mode-agnostic, so this works for Partial,
+/// Final, and Complete aggregates alike; with a single morsel — every
+/// small input — it degenerates to exactly the sequential computation.
+fn merge_partials(partials: Vec<GroupedAgg<'_>>) -> Result<Vec<Row>> {
+    let mut it = partials.into_iter();
+    let mut first = match it.next() {
+        Some(p) => p,
+        None => return Ok(Vec::new()),
+    };
+    for p in it {
+        first.merge(p)?;
     }
-    Ok(agg.finish())
+    Ok(first.finish())
 }
 
 /// The one row a global aggregate yields over an empty input

@@ -24,7 +24,7 @@ pub mod eval;
 pub mod executor;
 pub mod stats;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, SchedulerMode, DEFAULT_MORSEL_ROWS};
 pub use executor::{ExecutionResult, Executor};
 pub use lardb_net::TransportMode;
 pub use stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};

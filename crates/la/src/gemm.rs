@@ -8,6 +8,23 @@
 //! paper manipulates (tiles up to a few thousand on a side) and — crucially
 //! for the reproduction — its cost *scales* exactly like the paper's GEMM
 //! calls, so relative results are preserved.
+//!
+//! Two orthogonal dispatches sit in front of the inner loop:
+//!
+//! * **Density.** The historical kernel skipped `a[i][k] == 0.0` terms,
+//!   which wins big on sparse tiles but costs a branch per FMA on dense
+//!   ones. `gemm_acc` now samples the left operand and picks the
+//!   branch-free dense loop ([`gemm_acc_dense`]) unless the tile looks
+//!   sparse ([`gemm_acc_skipzero`]). Both are public for the kernel bench.
+//! * **Parallelism.** Above a flop-count cutoff
+//!   ([`set_parallel_flops`], default 2 M) the output is tiled into
+//!   `(i-block, j-block)` cache blocks scheduled as morsels on the
+//!   process-wide [`lardb_pool`] worker pool. Each morsel owns a disjoint
+//!   block of `out` and runs the *full* `k` loop in the same block order
+//!   as the sequential kernel, so per-element accumulation order — and
+//!   therefore every output bit — is identical to a sequential run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::matrix::Matrix;
 
@@ -15,26 +32,88 @@ use crate::matrix::Matrix;
 /// block, comfortably inside L1+L2 on every machine we target.
 const BLOCK: usize = 64;
 
-/// `out += a × b`. Shapes must already be validated by the caller.
-pub(crate) fn gemm_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    let (m, k) = a.shape();
-    let n = b.cols();
-    debug_assert_eq!(b.rows(), k);
-    debug_assert_eq!(out.shape(), (m, n));
+/// Edge of one parallel morsel: a `PAR_BLOCK × PAR_BLOCK` block of `out`
+/// (two cache blocks on a side, so each morsel amortizes scheduling over
+/// several inner-kernel block iterations).
+const PAR_BLOCK: usize = 2 * BLOCK;
 
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
+/// Minimum multiply-add count (`m·n·k`) before [`gemm_acc`] fans the
+/// output blocks out onto the worker pool. `0` disables parallel GEMM.
+static PARALLEL_FLOPS: AtomicUsize = AtomicUsize::new(2_000_000);
 
+/// Fraction of sampled zero elements in `a` above which the skip-zero
+/// (branchy) inner loop beats the branch-free dense loop.
+const SPARSE_CUTOFF: f64 = 0.25;
+
+/// Sets the flop-count cutoff above which GEMM/SYRK run pool-parallel
+/// (`0` keeps every multiply inline). Returns the previous value.
+pub fn set_parallel_flops(flops: usize) -> usize {
+    PARALLEL_FLOPS.swap(flops, Ordering::Relaxed)
+}
+
+/// Current pool-parallel flop cutoff (see [`set_parallel_flops`]).
+pub fn parallel_flops() -> usize {
+    PARALLEL_FLOPS.load(Ordering::Relaxed)
+}
+
+/// Estimates the zero fraction of `data` from ≤ 1024 strided samples.
+fn zero_fraction(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let step = (data.len() / 1024).max(1);
+    let mut seen = 0usize;
+    let mut zeros = 0usize;
+    let mut i = 0;
+    while i < data.len() {
+        seen += 1;
+        if data[i] == 0.0 {
+            zeros += 1;
+        }
+        i += step;
+    }
+    zeros as f64 / seen as f64
+}
+
+/// A raw pointer into `out` that can cross thread boundaries. Safety is
+/// by construction: every parallel morsel writes a disjoint
+/// `(i-block, j-block)` element set.
+#[derive(Clone, Copy)]
+struct OutPtr(*mut f64);
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+/// The blocked inner kernel over one `[i0,i1) × [j0,j1)` block of `out`,
+/// running the full `k` extent in the canonical `kb`-block order.
+///
+/// `skip_zero` selects the branchy sparse loop; monomorphized via const
+/// generic so the dense path carries no per-FMA branch.
+///
+/// # Safety
+/// `out` must point at an `m × n` row-major buffer; no other thread may
+/// touch elements in `[i0,i1) × [j0,j1)` while this runs.
+unsafe fn gemm_block<const SKIP_ZERO: bool>(
+    a_data: &[f64],
+    b_data: &[f64],
+    out: OutPtr,
+    k: usize,
+    n: usize,
+    (i0, i1): (usize, usize),
+    (j0, j1): (usize, usize),
+) {
     for kb in (0..k).step_by(BLOCK) {
         let kmax = (kb + BLOCK).min(k);
-        for jb in (0..n).step_by(BLOCK) {
-            let jmax = (jb + BLOCK).min(n);
-            for i in 0..m {
+        for jb in (j0..j1).step_by(BLOCK) {
+            let jmax = (jb + BLOCK).min(j1);
+            for i in i0..i1 {
                 let a_row = &a_data[i * k..(i + 1) * k];
-                let out_row = &mut out.as_mut_slice()[i * n + jb..i * n + jmax];
+                let out_row = std::slice::from_raw_parts_mut(
+                    out.0.add(i * n + jb),
+                    jmax - jb,
+                );
                 for kk in kb..kmax {
                     let aik = a_row[kk];
-                    if aik == 0.0 {
+                    if SKIP_ZERO && aik == 0.0 {
                         continue;
                     }
                     let b_row = &b_data[kk * n + jb..kk * n + jmax];
@@ -47,25 +126,163 @@ pub(crate) fn gemm_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     }
 }
 
+/// Splits `0..len` into `PAR_BLOCK`-sized ranges.
+fn par_ranges(len: usize) -> Vec<(usize, usize)> {
+    (0..len).step_by(PAR_BLOCK).map(|lo| (lo, (lo + PAR_BLOCK).min(len))).collect()
+}
+
+/// `out += a × b`. Shapes must already be validated by the caller.
+///
+/// Dispatches on density (dense vs skip-zero inner loop) and size
+/// (inline vs pool-parallel over output cache blocks); every path
+/// produces bit-identical output.
+pub(crate) fn gemm_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    gemm_acc_pooled(lardb_pool::global(), a, b, out)
+}
+
+/// `gemm_acc` scheduled on a caller-supplied pool (tests use a
+/// dedicated multi-worker pool so the parallel path is exercised even on
+/// single-core machines).
+pub fn gemm_acc_pooled(
+    pool: &lardb_pool::WorkerPool,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(out.shape(), (m, n));
+
+    let skip_zero = zero_fraction(a.as_slice()) > SPARSE_CUTOFF;
+    let cutoff = parallel_flops();
+    let flops = m.saturating_mul(n).saturating_mul(k);
+    if cutoff > 0 && flops >= cutoff && pool.workers() > 1 && m * n > PAR_BLOCK {
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        let ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+        pool.scope(|s| {
+            for ib in par_ranges(m) {
+                for jb in par_ranges(n) {
+                    s.spawn(move || unsafe {
+                        // Disjoint (ib, jb) block of `out` per morsel.
+                        if skip_zero {
+                            gemm_block::<true>(a_data, b_data, ptr, k, n, ib, jb);
+                        } else {
+                            gemm_block::<false>(a_data, b_data, ptr, k, n, ib, jb);
+                        }
+                    });
+                }
+            }
+        })
+        .expect("gemm morsel panicked");
+    } else {
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        let ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+        unsafe {
+            if skip_zero {
+                gemm_block::<true>(a_data, b_data, ptr, k, n, (0, m), (0, n));
+            } else {
+                gemm_block::<false>(a_data, b_data, ptr, k, n, (0, m), (0, n));
+            }
+        }
+    }
+}
+
+/// `out += a × b` through the branch-free dense inner loop, sequentially.
+/// Public for differential tests and the kernel bench.
+pub fn gemm_acc_dense(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "gemm shape mismatch");
+    assert_eq!(out.shape(), (m, n), "gemm output shape mismatch");
+    let ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+    unsafe { gemm_block::<false>(a.as_slice(), b.as_slice(), ptr, k, n, (0, m), (0, n)) }
+}
+
+/// `out += a × b` through the zero-skipping (branchy) inner loop,
+/// sequentially. Wins when `a` is sparse; public for the kernel bench.
+pub fn gemm_acc_skipzero(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "gemm shape mismatch");
+    assert_eq!(out.shape(), (m, n), "gemm output shape mismatch");
+    let ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+    unsafe { gemm_block::<true>(a.as_slice(), b.as_slice(), ptr, k, n, (0, m), (0, n)) }
+}
+
+/// The SYRK inner kernel: accumulates `aᵀa` rows `[p0,p1)` of the upper
+/// triangle into `out`, iterating input rows outermost (the canonical
+/// order, so parallel row-blocks accumulate bit-identically).
+///
+/// # Safety
+/// `out` must point at an `n × n` row-major buffer; no other thread may
+/// touch rows `[p0,p1)` while this runs.
+unsafe fn syrk_rows<const SKIP_ZERO: bool>(
+    data: &[f64],
+    out: OutPtr,
+    m: usize,
+    n: usize,
+    (p0, p1): (usize, usize),
+) {
+    for i in 0..m {
+        let row = &data[i * n..(i + 1) * n];
+        for p in p0..p1 {
+            let v = row[p];
+            if SKIP_ZERO && v == 0.0 {
+                continue;
+            }
+            let out_row =
+                std::slice::from_raw_parts_mut(out.0.add(p * n + p), n - p);
+            for (o, &w) in out_row.iter_mut().zip(row[p..].iter()) {
+                *o += v * w;
+            }
+        }
+    }
+}
+
 /// Symmetric rank-k update: computes `aᵀ × a`, touching only the upper
 /// triangle and mirroring — about half the flops of a general GEMM. This is
 /// the kernel behind Gram-matrix computation (Figure 1) and the normal
 /// equations of least squares (Figure 2).
+///
+/// Large updates parallelize over output-row blocks on the worker pool;
+/// the density dispatch mirrors [`gemm_acc`].
 pub(crate) fn syrk_t(a: &Matrix) -> Matrix {
+    syrk_t_pooled(lardb_pool::global(), a)
+}
+
+/// `syrk_t` scheduled on a caller-supplied pool.
+pub fn syrk_t_pooled(pool: &lardb_pool::WorkerPool, a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
     let data = a.as_slice();
     let mut out = Matrix::zeros(n, n);
-    // Accumulate row-by-row: aᵀa = Σ_i a_i a_iᵀ over rows a_i.
-    for i in 0..m {
-        let row = &data[i * n..(i + 1) * n];
-        for p in 0..n {
-            let v = row[p];
-            if v == 0.0 {
-                continue;
+    let skip_zero = zero_fraction(data) > SPARSE_CUTOFF;
+    let cutoff = parallel_flops();
+    // ~half the multiplies of a full m×n×n GEMM.
+    let flops = m.saturating_mul(n).saturating_mul(n) / 2;
+    let ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+    if cutoff > 0 && flops >= cutoff && pool.workers() > 1 && n > PAR_BLOCK {
+        pool.scope(|s| {
+            for pb in par_ranges(n) {
+                s.spawn(move || unsafe {
+                    // Disjoint output rows [pb.0, pb.1) per morsel.
+                    if skip_zero {
+                        syrk_rows::<true>(data, ptr, m, n, pb);
+                    } else {
+                        syrk_rows::<false>(data, ptr, m, n, pb);
+                    }
+                });
             }
-            let out_row = &mut out.as_mut_slice()[p * n + p..(p + 1) * n];
-            for (o, &w) in out_row.iter_mut().zip(row[p..].iter()) {
-                *o += v * w;
+        })
+        .expect("syrk morsel panicked");
+    } else {
+        unsafe {
+            if skip_zero {
+                syrk_rows::<true>(data, ptr, m, n, (0, n));
+            } else {
+                syrk_rows::<false>(data, ptr, m, n, (0, n));
             }
         }
     }
@@ -155,5 +372,71 @@ mod tests {
         let d = b.multiply(&a).unwrap();
         assert_eq!(d.shape(), (5, 5));
         assert_eq!(d.sum_elements(), 0.0);
+    }
+
+    #[test]
+    fn dense_and_skipzero_loops_agree() {
+        for &(m, k, n) in &[(7, 11, 5), (64, 64, 64), (130, 70, 129)] {
+            let a = Matrix::from_vec(m, k, rngish(3 + k as u64, m * k)).unwrap();
+            let b = Matrix::from_vec(k, n, rngish(5 + n as u64, k * n)).unwrap();
+            let mut dense = Matrix::zeros(m, n);
+            let mut branchy = Matrix::zeros(m, n);
+            gemm_acc_dense(&a, &b, &mut dense);
+            gemm_acc_skipzero(&a, &b, &mut branchy);
+            // Identical loop order ⇒ bitwise-equal accumulation.
+            assert_eq!(dense.as_slice(), branchy.as_slice(), "at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn sparse_input_dispatch_is_correct() {
+        // ~70% zeros: gemm_acc takes the skip-zero path; result must
+        // still match the naive reference exactly.
+        let m = 40;
+        let data: Vec<f64> =
+            rngish(11, m * m).iter().map(|&v| if v < 1.0 { 0.0 } else { v }).collect();
+        let a = Matrix::from_vec(m, m, data).unwrap();
+        let b = Matrix::from_vec(m, m, rngish(13, m * m)).unwrap();
+        let fast = a.multiply(&b).unwrap();
+        assert!(fast.approx_eq(&gemm_naive(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn parallel_gemm_is_bitwise_identical_to_inline() {
+        let (m, k, n) = (300, 150, 280);
+        let a = Matrix::from_vec(m, k, rngish(21, m * k)).unwrap();
+        let b = Matrix::from_vec(k, n, rngish(22, k * n)).unwrap();
+        let mut inline_out = Matrix::zeros(m, n);
+        gemm_acc_dense(&a, &b, &mut inline_out);
+        // A dedicated multi-worker pool + tiny cutoff forces the morsel
+        // path even on single-core machines. The flop count here is far
+        // above the default cutoff, so the global setting is irrelevant.
+        let pool = lardb_pool::WorkerPool::new(4);
+        let mut par_out = Matrix::zeros(m, n);
+        gemm_acc_pooled(&pool, &a, &b, &mut par_out);
+        // Same per-element accumulation order ⇒ identical bits.
+        assert_eq!(inline_out.as_slice(), par_out.as_slice());
+    }
+
+    #[test]
+    fn parallel_syrk_is_bitwise_identical_to_inline() {
+        let (m, n) = (200, 260);
+        let a = Matrix::from_vec(m, n, rngish(31, m * n)).unwrap();
+        let inline_pool = lardb_pool::WorkerPool::new(1);
+        let inline_out = syrk_t_pooled(&inline_pool, &a);
+        let pool = lardb_pool::WorkerPool::new(4);
+        let par_out = syrk_t_pooled(&pool, &a);
+        assert_eq!(inline_out.as_slice(), par_out.as_slice());
+    }
+
+    #[test]
+    fn zero_fraction_sampling() {
+        assert_eq!(zero_fraction(&[]), 0.0);
+        assert_eq!(zero_fraction(&[1.0, 2.0]), 0.0);
+        assert_eq!(zero_fraction(&[0.0; 8]), 1.0);
+        let half: Vec<f64> =
+            (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let f = zero_fraction(&half);
+        assert!((f - 0.5).abs() < 0.1, "sampled {f}");
     }
 }

@@ -22,6 +22,8 @@ pub mod metrics;
 pub mod profile;
 pub mod span;
 
-pub use metrics::{global, MetricKind, MetricSample, MetricsRegistry};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, MetricKind, MetricSample, MetricsRegistry,
+};
 pub use profile::{q_error, OperatorProfile, QueryProfile, StageTiming};
 pub use span::{CollectingSink, SpanGuard, SpanRecord, Stage, TraceSink};

@@ -1,17 +1,22 @@
 //! Tuples.
 
+use std::sync::Arc;
+
 use crate::value::Value;
 
-/// One tuple. Cloning a row is cheap: LA payloads are `Arc`-shared.
+/// One tuple. The attribute slice is `Arc`-shared, so cloning a row —
+/// which replicated scans, broadcasts, and gather-replica exchanges do
+/// for every worker — is a refcount bump, not a value copy. (LA payloads
+/// inside [`Value`] are additionally `Arc`-shared on their own.)
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Row {
-    values: Vec<Value>,
+    values: Arc<Vec<Value>>,
 }
 
 impl Row {
     /// Builds a row from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Row { values }
+        Row { values: Arc::new(values) }
     }
 
     /// Number of attributes.
@@ -32,9 +37,13 @@ impl Row {
         &self.values
     }
 
-    /// Consumes the row, yielding its values.
+    /// Consumes the row, yielding its values. Free when this row holds
+    /// the last reference to its attribute slice; clones otherwise.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        match Arc::try_unwrap(self.values) {
+            Ok(values) => values,
+            Err(shared) => shared.as_slice().to_vec(),
+        }
     }
 
     /// Appends the attributes of `other` — the row-level concatenation a
@@ -43,12 +52,12 @@ impl Row {
         let mut values = Vec::with_capacity(self.values.len() + other.values.len());
         values.extend_from_slice(&self.values);
         values.extend_from_slice(&other.values);
-        Row { values }
+        Row::new(values)
     }
 
     /// Projects positions `indices` into a fresh row.
     pub fn project(&self, indices: &[usize]) -> Row {
-        Row { values: indices.iter().map(|&i| self.values[i].clone()).collect() }
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
     }
 
     /// Total payload size in bytes (what a shuffle of this row would cost).
@@ -101,5 +110,25 @@ mod tests {
     fn display_row() {
         let r = Row::new(vec![Value::Integer(1), Value::varchar("hi")]);
         assert_eq!(r.to_string(), "(1, hi)");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let r = Row::new(vec![Value::Integer(7), Value::varchar("x")]);
+        let c = r.clone();
+        assert!(std::ptr::eq(r.values(), c.values()));
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn into_values_round_trips() {
+        let vals = vec![Value::Integer(1), Value::Double(2.5)];
+        // Unique reference: values move out.
+        assert_eq!(Row::new(vals.clone()).into_values(), vals);
+        // Shared reference: values are copied out, original unaffected.
+        let r = Row::new(vals.clone());
+        let keep = r.clone();
+        assert_eq!(r.into_values(), vals);
+        assert_eq!(keep.values(), vals.as_slice());
     }
 }
