@@ -11,10 +11,17 @@
 
 use std::io::{BufRead, Write};
 
-use lardb::{Database, DatabaseConfig, Response, SchedulerMode, TransportMode};
+use lardb::{
+    Database, DatabaseConfig, FaultKind, FaultPlan, Response, SchedulerMode,
+    TransportMode,
+};
 
 fn main() {
     let mut config = DatabaseConfig::default();
+    let mut fault_kind: Option<FaultKind> = None;
+    let mut fault_seed: u64 = 42;
+    let mut fault_rate_ppm: Option<u32> = None;
+    let mut fault_after: Option<u64> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -63,8 +70,66 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--net-timeout-ms" => {
+                config.net.timeout_ms = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-frame-bytes" => {
+                config.net.max_frame_bytes = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fault-kind" => {
+                fault_kind = Some(
+                    argv.next()
+                        .and_then(|v| FaultKind::parse(&v))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--fault-seed" => {
+                fault_seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fault-rate-ppm" => {
+                fault_rate_ppm = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--fault-after" => {
+                fault_after = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
+    }
+    if let Some(kind) = fault_kind {
+        let mut plan = FaultPlan::new(kind, fault_seed);
+        if let Some(ppm) = fault_rate_ppm {
+            plan.rate_ppm = ppm;
+        }
+        if let Some(after) = fault_after {
+            plan.kill_after = after;
+        }
+        config.net.faults = Some(plan);
+        eprintln!(
+            "[lardb] fault injection armed: {kind} (seed {fault_seed}, \
+             rate {} ppm, kill-after {})",
+            config.net.faults.as_ref().map(|p| p.rate_ppm).unwrap_or_default(),
+            config.net.faults.as_ref().map(|p| p.kill_after).unwrap_or_default(),
+        );
+    } else if fault_rate_ppm.is_some() || fault_after.is_some() {
+        eprintln!("[lardb] --fault-rate-ppm/--fault-after require --fault-kind");
+        usage();
     }
 
     let workers = config.workers;
@@ -169,7 +234,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: lardb-cli [--workers N] [--transport pointer|serialized|tcp] \
          [--slow-ms MS] [--pool-workers N] [--morsel-rows N] \
-         [--scheduler pool|spawn] [--gemm-par-flops N]"
+         [--scheduler pool|spawn] [--gemm-par-flops N] \
+         [--net-timeout-ms MS] [--max-frame-bytes N] \
+         [--fault-kind drop|truncate|corrupt|delay|kill] [--fault-seed N] \
+         [--fault-rate-ppm N] [--fault-after N]"
     );
     std::process::exit(2);
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use lardb_exec::{Cluster, ExecStats, Executor, SchedulerMode, TransportMode};
+use lardb_exec::{Cluster, ExecStats, Executor, NetConfig, SchedulerMode, TransportMode};
 use lardb_pool::WorkerPool;
 use lardb_obs::{CollectingSink, OperatorProfile, QueryProfile, SpanGuard, Stage};
 use lardb_planner::physical::PhysicalPlanner;
@@ -51,6 +51,10 @@ pub struct DatabaseConfig {
     /// leaves the kernel's built-in cutoff untouched. Applied process-wide
     /// at database construction.
     pub gemm_parallel_flops: Option<usize>,
+    /// Network-layer knobs for serialized/TCP exchanges: I/O timeouts, the
+    /// maximum accepted frame size, and an optional deterministic fault
+    /// injection plan (see `lardb_exec::FaultPlan`) for chaos testing.
+    pub net: NetConfig,
 }
 
 impl Default for DatabaseConfig {
@@ -64,6 +68,7 @@ impl Default for DatabaseConfig {
             morsel_rows: lardb_exec::DEFAULT_MORSEL_ROWS,
             scheduler: SchedulerMode::default(),
             gemm_parallel_flops: None,
+            net: NetConfig::default(),
         }
     }
 }
@@ -239,7 +244,7 @@ impl Database {
     /// plan has run yet. The profile carries all five lifecycle stage
     /// timings plus per-operator estimate-vs-actual records.
     pub fn last_profile(&self) -> Option<QueryProfile> {
-        self.last_profile.lock().unwrap().clone()
+        self.last_profile.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Executes one SQL statement.
@@ -288,7 +293,7 @@ impl Database {
                 eprintln!("[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms): {sql}");
             }
         }
-        *self.last_profile.lock().unwrap() = Some(profile);
+        *self.last_profile.lock().unwrap_or_else(|e| e.into_inner()) = Some(profile);
     }
 
     /// Statement dispatch with lifecycle spans recorded into `sink` and
@@ -451,7 +456,7 @@ impl Database {
         let mut profile = QueryProfile::new("<logical plan>");
         let result = self.run_traced(plan, gather, &sink, &mut profile);
         profile.add_spans(&sink.take());
-        *self.last_profile.lock().unwrap() = Some(profile);
+        *self.last_profile.lock().unwrap_or_else(|e| e.into_inner()) = Some(profile);
         result.map(|(q, _)| q)
     }
 
@@ -490,7 +495,8 @@ impl Database {
         let mut result = {
             let _g = SpanGuard::enter(sink, Stage::Execute, "");
             let executor = Executor::new(&self.catalog, self.cluster())
-                .with_transport(self.config.transport);
+                .with_transport(self.config.transport)
+                .with_net_config(self.config.net.clone());
             executor.execute(&physical)?
         };
         let operators = join_estimates(&estimates, &result.stats);

@@ -40,8 +40,8 @@ pub use error::{EngineError, Result};
 
 // Re-exports for downstream convenience (examples, benches, tests).
 pub use lardb_exec::{
-    ChannelStats, Cluster, ExecStats, Executor, OperatorStats, SchedulerMode,
-    ShuffleStats, TransportMode,
+    CancelToken, ChannelStats, Cluster, ExecStats, Executor, FaultKind, FaultPlan,
+    NetConfig, OperatorStats, SchedulerMode, ShuffleStats, TransportMode,
 };
 pub use lardb_la::{LabeledScalar, Matrix, Vector};
 pub use lardb_obs::{

@@ -1,0 +1,205 @@
+//! Chaos suite: fault injection must never yield a silent wrong answer.
+//!
+//! Every combination of fault kind × seed × transport × worker count runs
+//! the scheduler-equivalence query set against a deterministic
+//! [`FaultPlan`]. The contract under test is exchange protocol v2's core
+//! guarantee: a faulted query either returns exactly the fault-free
+//! answer (the fault missed, or was harmless like a delay) or a clean
+//! `Err` — never a short or corrupted result set. A killed TCP peer in
+//! particular must be detected 100% of the time.
+
+use lardb::{
+    Database, DatabaseConfig, DataType, FaultKind, FaultPlan, Partitioning,
+    QueryResult, Row, Schema, Table, TransportMode, Value,
+};
+
+/// Builds the same skewed database as the scheduler-equivalence suite:
+/// 90% of `skew` rows hash into one partition, plus a 7-row `dim` table.
+fn skewed_db(config: DatabaseConfig) -> Database {
+    let workers = config.workers;
+    let db = Database::with_config(config);
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Integer),
+        ("g", DataType::Integer),
+        ("v", DataType::Double),
+    ]);
+    let mut t = Table::new("skew", schema, workers, Partitioning::Hash(0));
+    for i in 0..900i64 {
+        t.insert(Row::new(vec![
+            Value::Integer(0),
+            Value::Integer(i % 7),
+            Value::Double(i as f64 * 0.25),
+        ]))
+        .unwrap();
+    }
+    for i in 0..100i64 {
+        t.insert(Row::new(vec![
+            Value::Integer(i + 1),
+            Value::Integer(i % 7),
+            Value::Double(i as f64 * 1.5),
+        ]))
+        .unwrap();
+    }
+    db.catalog().create_table(t).unwrap();
+
+    let dim_schema =
+        Schema::from_pairs(&[("g", DataType::Integer), ("label", DataType::Integer)]);
+    let mut dim = Table::new("dim", dim_schema, workers, Partitioning::Hash(0));
+    for g in 0..7i64 {
+        dim.insert(Row::new(vec![Value::Integer(g), Value::Integer(g * 100)]))
+            .unwrap();
+    }
+    db.catalog().create_table(dim).unwrap();
+    db
+}
+
+fn sorted_rows(r: &QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = r.rows.iter().map(|row| row.to_string()).collect();
+    rows.sort();
+    rows
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT k * 2 AS kk, g FROM skew WHERE k >= 10",
+    "SELECT g, COUNT(*) AS c, SUM(k) AS s FROM skew GROUP BY g",
+    "SELECT COUNT(*) AS n, SUM(g) AS sg FROM skew",
+    "SELECT s.k, d.label FROM skew AS s, dim AS d WHERE s.g = d.g AND s.k >= 990",
+];
+
+fn config(
+    workers: usize,
+    transport: TransportMode,
+    faults: Option<FaultPlan>,
+) -> DatabaseConfig {
+    let mut cfg = DatabaseConfig {
+        workers,
+        transport,
+        morsel_rows: 16,
+        pool_workers: Some(4),
+        ..DatabaseConfig::default()
+    };
+    cfg.net.faults = faults;
+    cfg
+}
+
+/// Fault-free answers for every query at this worker count/transport.
+fn baselines(workers: usize, transport: TransportMode) -> Vec<Vec<String>> {
+    let db = skewed_db(config(workers, transport, None));
+    QUERIES.iter().map(|q| sorted_rows(&db.query(q).unwrap())).collect()
+}
+
+/// The core chaos matrix: under every fault kind, at three distinct seeds,
+/// across both wire transports and W ∈ {1, 4}, each query either matches
+/// the fault-free answer exactly or fails with a clean error.
+#[test]
+fn faults_never_shorten_answers_silently() {
+    // Count detections per destructive fault kind: across the whole
+    // matrix each kind must be caught at least once, otherwise the
+    // injection→detection pipeline is silently disconnected. The fault
+    // schedule is pure arithmetic on (seed, channel, frame index), so
+    // these counts are deterministic run-to-run.
+    let mut detected: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for workers in [1usize, 4] {
+        for transport in [TransportMode::Serialized, TransportMode::Tcp] {
+            let want = baselines(workers, transport);
+            for kind in FaultKind::ALL {
+                for seed in [1u64, 2, 3] {
+                    let mut plan = FaultPlan::new(kind, seed);
+                    // High enough that multi-frame exchanges almost always
+                    // take at least one hit.
+                    plan.rate_ppm = 300_000;
+                    let db = skewed_db(config(workers, transport, Some(plan)));
+                    for (q, base) in QUERIES.iter().zip(&want) {
+                        let ctx = format!(
+                            "W={workers} transport={transport:?} fault={kind} seed={seed} query={q}"
+                        );
+                        match db.query(q) {
+                            Ok(got) => assert_eq!(
+                                &sorted_rows(&got),
+                                base,
+                                "silent wrong answer under fault: {ctx}"
+                            ),
+                            Err(e) => {
+                                // A clean, typed error is the other
+                                // acceptable outcome — but delays must
+                                // never fail a query.
+                                assert_ne!(
+                                    kind,
+                                    FaultKind::DelaySend,
+                                    "delay fault errored ({e}): {ctx}"
+                                );
+                                *detected.entry(kind.to_string()).or_default() += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for kind in [
+        FaultKind::DropFrame,
+        FaultKind::TruncateFrame,
+        FaultKind::CorruptBytes,
+        FaultKind::KillSender,
+    ] {
+        assert!(
+            detected.get(&kind.to_string()).copied().unwrap_or(0) >= 1,
+            "fault kind {kind} was never detected anywhere in the matrix: {detected:?}"
+        );
+    }
+}
+
+/// A peer killed mid-exchange is detected 100% of the time: with
+/// `kill_after = 1` the victim always has more than one frame left to
+/// ship on a W=4 hash exchange (three fin frames at minimum), so every
+/// seed must produce an error, never a short answer.
+#[test]
+fn killed_peer_is_always_detected() {
+    for transport in [TransportMode::Tcp, TransportMode::Serialized] {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let mut plan = FaultPlan::new(FaultKind::KillSender, seed);
+            plan.kill_after = 1;
+            let db = skewed_db(config(4, transport, Some(plan)));
+            let q = "SELECT g, COUNT(*) AS c, SUM(k) AS s FROM skew GROUP BY g";
+            let err = db.query(q).expect_err(&format!(
+                "killed peer went undetected: transport={transport:?} seed={seed}"
+            ));
+            let msg = err.to_string();
+            assert!(
+                !msg.is_empty(),
+                "empty error for killed peer: transport={transport:?} seed={seed}"
+            );
+        }
+    }
+}
+
+/// The fault-tolerance counters surface in SHOW METRICS after chaos runs:
+/// injected faults, detected truncations, and query-wide aborts.
+#[test]
+fn chaos_counters_surface_in_show_metrics() {
+    // Guarantee at least one detected truncation + abort in this process.
+    let mut plan = FaultPlan::new(FaultKind::KillSender, 7);
+    plan.kill_after = 1;
+    let db = skewed_db(config(4, TransportMode::Tcp, Some(plan)));
+    let _ = db.query("SELECT g, COUNT(*) AS c FROM skew GROUP BY g");
+
+    // Read the process-wide registry through a fault-free database so the
+    // metrics query itself can't be chaos-injected.
+    let clean = Database::new(2);
+    let r = clean.query("SHOW METRICS").unwrap();
+    let value_of = |name: &str| -> Option<f64> {
+        r.rows
+            .iter()
+            .find(|row| row.value(0).to_string() == name)
+            .and_then(|row| row.value(2).as_double())
+    };
+    for metric in
+        ["net.faults_injected", "exchange.truncations_detected", "query.aborts"]
+    {
+        let v = value_of(metric).unwrap_or_else(|| {
+            panic!("metric {metric} missing from SHOW METRICS")
+        });
+        assert!(v >= 1.0, "metric {metric} = {v}, expected >= 1");
+    }
+}

@@ -189,12 +189,12 @@ fn add_into(acc: &mut Option<Value>, v: &Value) -> Result<()> {
         }
         Some(Value::Matrix(m)) => {
             let rhs = v.as_matrix().ok_or_else(|| mix_err("SUM", v))?;
-            let lhs = Arc::get_mut(m).expect("accumulator uniquely owned");
+            let lhs = Arc::make_mut(m);
             lhs.add_in_place(rhs)?;
         }
         Some(Value::Vector(x)) => {
             let rhs = v.as_vector().ok_or_else(|| mix_err("SUM", v))?;
-            let lhs = Arc::get_mut(x).expect("accumulator uniquely owned");
+            let lhs = Arc::make_mut(x);
             lhs.add_in_place(rhs)?;
         }
         Some(other) => {
@@ -218,7 +218,7 @@ fn minmax_into(acc: &mut Option<Value>, v: &Value, is_min: bool) -> Result<()> {
         }
         Some(Value::Matrix(m)) => {
             let rhs = v.as_matrix().ok_or_else(|| mix_err("MIN/MAX", v))?;
-            let lhs = Arc::get_mut(m).expect("accumulator uniquely owned");
+            let lhs = Arc::make_mut(m);
             if is_min {
                 lhs.min_in_place(rhs)?;
             } else {
@@ -227,7 +227,7 @@ fn minmax_into(acc: &mut Option<Value>, v: &Value, is_min: bool) -> Result<()> {
         }
         Some(Value::Vector(x)) => {
             let rhs = v.as_vector().ok_or_else(|| mix_err("MIN/MAX", v))?;
-            let lhs = Arc::get_mut(x).expect("accumulator uniquely owned");
+            let lhs = Arc::make_mut(x);
             if is_min {
                 lhs.min_in_place(rhs)?;
             } else {

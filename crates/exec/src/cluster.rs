@@ -1,10 +1,57 @@
 //! The simulated shared-nothing cluster and its morsel scheduler.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lardb_pool::WorkerPool;
 
 use crate::{ExecError, Result};
+
+/// A query-wide cancellation flag: the first worker to hit an error flips
+/// it, and every sibling checks it at morsel boundaries (and exchange
+/// senders before each frame), so a failing query stops shuffling instead
+/// of draining work whose result will be discarded.
+///
+/// Clones share the flag (it is the *query's* token, carried by the
+/// query's [`Cluster`] and all its clones).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Flips the token. Returns `true` only for the flipping caller —
+    /// the winner of the race is the query's *first* failure.
+    pub fn cancel(&self) -> bool {
+        !self.0.swap(true, Ordering::AcqRel)
+    }
+
+    /// True once any worker has cancelled the query.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Re-arms the token (a fresh execution on a reused cluster).
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Records a worker failure on the query token: the first (non-cancel)
+/// error flips the token and counts one `query.aborts`. Cancellation
+/// errors themselves don't re-flip — they are the *effect* of an abort,
+/// not a cause.
+pub(crate) fn flag_abort(cancel: &CancelToken, e: &ExecError) {
+    if matches!(e, ExecError::Cancelled(_)) {
+        return;
+    }
+    if cancel.cancel() {
+        lardb_obs::global().counter("query.aborts").inc();
+    }
+}
 
 /// Best-effort extraction of a panic payload's message.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -66,6 +113,8 @@ pub struct Cluster {
     pool: Option<Arc<WorkerPool>>,
     scheduler: SchedulerMode,
     morsel_rows: usize,
+    /// Query-wide cancellation token, shared by clones of this cluster.
+    cancel: CancelToken,
 }
 
 impl Cluster {
@@ -78,6 +127,7 @@ impl Cluster {
             pool: None,
             scheduler: SchedulerMode::default(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -114,6 +164,11 @@ impl Cluster {
         self.scheduler
     }
 
+    /// The query-wide cancellation token (shared across clones).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
     /// The pool this cluster schedules on.
     pub fn pool(&self) -> &WorkerPool {
         match &self.pool {
@@ -137,6 +192,7 @@ impl Cluster {
         R: Send,
         F: Fn(usize, T) -> Result<R> + Sync,
     {
+        let f = self.guard(f);
         // Single worker or single item: run inline, no scheduling overhead.
         if items.len() <= 1 {
             return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
@@ -144,6 +200,28 @@ impl Cluster {
         match self.scheduler {
             SchedulerMode::Pool => self.pool_map(items, f),
             SchedulerMode::Spawn => spawn_map(items, f),
+        }
+    }
+
+    /// Wraps a work closure with the query's cancellation protocol: a
+    /// cancelled query skips the work outright (morsel-boundary abort),
+    /// and any failure flips the token so siblings stop too.
+    fn guard<T, R, F>(&self, f: F) -> impl Fn(usize, T) -> Result<R> + Sync
+    where
+        F: Fn(usize, T) -> Result<R> + Sync,
+    {
+        let cancel = self.cancel.clone();
+        move |i, item| {
+            if cancel.is_cancelled() {
+                return Err(ExecError::Cancelled(
+                    "a sibling worker failed first".into(),
+                ));
+            }
+            let r = f(i, item);
+            if let Err(e) = &r {
+                flag_abort(&cancel, e);
+            }
+            r
         }
     }
 
@@ -172,6 +250,7 @@ impl Cluster {
                 .par_map(parts, |p, rows| f(p, rows).map(|r| vec![r]))
                 .map(|v| v.into_iter().collect());
         }
+        let f = self.guard(f);
         // Split partitions into (partition, rows) morsels, partition-major.
         let num_parts = parts.len();
         let mut homes: Vec<usize> = Vec::new();
@@ -204,9 +283,9 @@ impl Cluster {
             });
             if let Err(msg) = scoped {
                 lardb_obs::global().counter("exec.worker_panics").inc();
-                return Err(ExecError::Runtime(format!(
-                    "worker thread panicked: {msg}"
-                )));
+                let e = ExecError::Runtime(format!("worker thread panicked: {msg}"));
+                flag_abort(&self.cancel, &e);
+                return Err(e);
             }
             slots.into_iter().map(|r| r.expect("scope ran every morsel")).collect()
         };
@@ -239,7 +318,9 @@ impl Cluster {
         });
         if let Err(msg) = scoped {
             lardb_obs::global().counter("exec.worker_panics").inc();
-            return Err(ExecError::Runtime(format!("worker thread panicked: {msg}")));
+            let e = ExecError::Runtime(format!("worker thread panicked: {msg}"));
+            flag_abort(&self.cancel, &e);
+            return Err(e);
         }
         slots.into_iter().map(|r| r.expect("scope ran every task")).collect()
     }
@@ -361,6 +442,31 @@ mod tests {
     }
 
     #[test]
+    fn first_error_cancels_siblings() {
+        // After one item fails, later items on the same cluster see the
+        // flipped token and come back Cancelled instead of running.
+        let c = Cluster::new(2);
+        let _ = c.par_map(vec![1], |_, _| -> Result<i32> {
+            Err(ExecError::Runtime("first failure".into()))
+        });
+        assert!(c.cancel_token().is_cancelled());
+        let out: Result<Vec<i32>> = c.par_map(vec![1], |_, x| Ok(x));
+        assert!(matches!(out, Err(ExecError::Cancelled(_))), "got {out:?}");
+        // Re-arming restores normal operation.
+        c.cancel_token().reset();
+        assert_eq!(c.par_map(vec![1], |_, x| Ok(x)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn cancel_token_flips_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.cancel(), "first cancel must win");
+        assert!(!t.cancel(), "second cancel must lose");
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
     fn chunk_rows_splits_and_preserves_order() {
         assert_eq!(chunk_rows(Vec::<i32>::new(), 4), vec![Vec::<i32>::new()]);
         assert_eq!(chunk_rows(vec![1, 2, 3], 4), vec![vec![1, 2, 3]]);
@@ -430,6 +536,9 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, ExecError::Runtime(ref m) if m.contains("bad morsel")));
+        // The error flipped the query-wide cancel token; re-arm it the way
+        // Executor::execute does at the start of each query.
+        c.cancel_token().reset();
         let err = c
             .morsel_map(vec![vec![1, 2, 3]], |_, rows: Vec<i32>| {
                 if rows == [3] {

@@ -5,8 +5,14 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
-use lardb_net::codec::{decode_frame, encode_rows_frame, encode_schema_frame, Frame};
-use lardb_net::{ChannelTransport, Mesh, TcpTransport, Transport, TransportMode};
+use lardb_net::codec::{
+    checksum_update, decode_frame, encode_fin_frame, encode_rows_frame, encode_schema_frame,
+    FinSummary, Frame, CHECKSUM_SEED,
+};
+use lardb_net::{
+    ChannelTransport, FaultyTransport, Mesh, NetConfig, NetError, TcpTransport, Transport,
+    TransportMode,
+};
 use lardb_planner::physical::{AggMode, ExchangeKind, PhysicalPlan};
 use lardb_planner::{AggExpr, Expr};
 use lardb_storage::ops::CompositeKey;
@@ -14,7 +20,7 @@ use lardb_storage::table::hash_partition;
 use lardb_storage::{Catalog, Partitioning, Row, Schema, Value};
 
 use crate::agg::{state_arity, Accumulator};
-use crate::cluster::{panic_message, Cluster};
+use crate::cluster::{flag_abort, panic_message, CancelToken, Cluster};
 use crate::eval::{eval, eval_predicate};
 use crate::stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};
 use crate::{ExecError, Result};
@@ -64,13 +70,20 @@ pub struct Executor<'a> {
     cluster: Cluster,
     fuse: bool,
     mode: TransportMode,
+    net: NetConfig,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor (join→aggregate fusion enabled, pointer
     /// transport).
     pub fn new(catalog: &'a Catalog, cluster: Cluster) -> Self {
-        Executor { catalog, cluster, fuse: true, mode: TransportMode::default() }
+        Executor {
+            catalog,
+            cluster,
+            fuse: true,
+            mode: TransportMode::default(),
+            net: NetConfig::default(),
+        }
     }
 
     /// Enables or disables pipelined join→aggregate fusion (the ablation
@@ -89,6 +102,14 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Applies network-layer knobs (timeouts, frame-size cap) and the
+    /// optional chaos-testing fault plan to this executor's serialized
+    /// exchanges.
+    pub fn with_net_config(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
     /// The transport mode exchanges run under.
     pub fn transport_mode(&self) -> TransportMode {
         self.mode
@@ -101,6 +122,9 @@ impl<'a> Executor<'a> {
 
     /// Runs a plan to completion, materializing its output.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
+        // A reused cluster may carry a flipped token from an earlier
+        // failed execution; each run starts un-cancelled.
+        self.cluster.cancel_token().reset();
         let mut stats = ExecStats::new();
         let partitions = self.run(plan, &mut stats)?;
         publish_metrics(&stats);
@@ -581,27 +605,51 @@ impl<'a> Executor<'a> {
         schema: &Schema,
     ) -> Result<(Parts, ShuffleStats)> {
         let w = input.len();
-        let transport: Box<dyn Transport> = match self.mode {
-            TransportMode::Serialized => Box::new(ChannelTransport::default()),
-            TransportMode::Tcp => Box::new(TcpTransport::default()),
+        let base: Box<dyn Transport> = match self.mode {
+            TransportMode::Serialized => Box::new(ChannelTransport {
+                max_frame_bytes: self.net.max_frame_bytes,
+                ..ChannelTransport::default()
+            }),
+            TransportMode::Tcp => Box::new(TcpTransport {
+                timeout_ms: self.net.timeout_ms,
+                max_frame_bytes: self.net.max_frame_bytes,
+                ..TcpTransport::default()
+            }),
             TransportMode::Pointer => unreachable!("pointer mode uses the in-memory exchange"),
+        };
+        let transport: Box<dyn Transport> = match &self.net.faults {
+            Some(plan) => Box::new(FaultyTransport::new(base, plan.clone())),
+            None => base,
         };
         let mesh_box = transport.mesh(w)?;
         let mesh: &dyn Mesh = mesh_box.as_ref();
+        let cancel = self.cluster.cancel_token();
 
         type SenderOut = (Vec<Row>, Vec<ChannelStats>);
         type ScopeOut = (Vec<Vec<Row>>, Vec<Vec<Vec<Row>>>, Vec<ChannelStats>);
         let (locals, received, mut channels) = std::thread::scope(
             |s| -> Result<ScopeOut> {
                 let receivers: Vec<_> = (0..w)
-                    .map(|to| s.spawn(move || receive_partition(mesh, w, to, schema)))
+                    .map(|to| {
+                        s.spawn(move || {
+                            let r = receive_partition(mesh, w, to, schema, cancel);
+                            if let Err(e) = &r {
+                                flag_abort(cancel, e);
+                            }
+                            r
+                        })
+                    })
                     .collect();
                 let senders: Vec<_> = input
                     .into_iter()
                     .enumerate()
                     .map(|(p, rows)| {
                         s.spawn(move || -> Result<SenderOut> {
-                            send_partition(mesh, w, p, rows, kind, schema)
+                            let r = send_partition(mesh, w, p, rows, kind, schema, cancel);
+                            if let Err(e) = &r {
+                                flag_abort(cancel, e);
+                            }
+                            r
                         })
                     })
                     .collect();
@@ -674,8 +722,13 @@ fn publish_metrics(stats: &ExecStats) {
 
 /// Sender side of one serialized exchange partition: routes rows, keeps
 /// local ones, encodes and ships the rest (a schema frame first, then
-/// row batches), and always closes its mesh endpoint — even on error —
-/// so receivers never hang waiting for EOF.
+/// row batches), and ends **every** channel with a fin frame carrying
+/// the channel's frame count, row count and checksum (protocol v2) —
+/// receivers prove completeness against it. The mesh endpoint always
+/// ends — closed on success, *failed* on error — so receivers never hang
+/// waiting for EOF and a partial stream is never mistaken for a full
+/// one. Senders check the query's cancellation token between frames and
+/// stop shuffling as soon as a sibling fails.
 fn send_partition(
     mesh: &dyn Mesh,
     w: usize,
@@ -683,6 +736,7 @@ fn send_partition(
     rows: Vec<Row>,
     kind: &ExchangeKind,
     schema: &Schema,
+    cancel: &CancelToken,
 ) -> Result<(Vec<Row>, Vec<ChannelStats>)> {
     let (local, outbound): (Vec<Row>, Vec<Vec<Row>>) = match kind {
         ExchangeKind::Hash(keys) => {
@@ -724,9 +778,10 @@ fn send_partition(
     let mut channels = Vec::new();
     let send_result = (|| -> Result<()> {
         for (to, bucket) in outbound.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
+            if to == p {
+                continue; // never ship to self; local rows stay in-process
             }
+            let mut fin = FinSummary { frames: 0, rows: 0, checksum: CHECKSUM_SEED };
             let mut ch = ChannelStats {
                 from: p,
                 to,
@@ -735,82 +790,235 @@ fn send_partition(
                 frames: 0,
                 enqueue_block: Duration::ZERO,
             };
-            let schema_frame = encode_schema_frame(schema);
-            ch.bytes += schema_frame.len();
-            ch.frames += 1;
-            let t = Instant::now();
-            mesh.send(p, to, schema_frame)?;
-            ch.enqueue_block += t.elapsed();
-            for chunk in bucket.chunks(ROWS_PER_FRAME) {
-                let frame = encode_rows_frame(chunk);
-                ch.rows += chunk.len();
-                ch.bytes += frame.len();
+            if !bucket.is_empty() {
+                let schema_frame = encode_schema_frame(schema);
+                fin.frames += 1;
+                fin.checksum = checksum_update(fin.checksum, &schema_frame);
+                ch.bytes += schema_frame.len();
                 ch.frames += 1;
+                check_cancelled(cancel)?;
                 let t = Instant::now();
-                mesh.send(p, to, frame)?;
+                mesh.send(p, to, schema_frame)?;
                 ch.enqueue_block += t.elapsed();
+                for chunk in bucket.chunks(ROWS_PER_FRAME) {
+                    let frame = encode_rows_frame(chunk);
+                    fin.frames += 1;
+                    fin.rows += chunk.len() as u64;
+                    fin.checksum = checksum_update(fin.checksum, &frame);
+                    ch.rows += chunk.len();
+                    ch.bytes += frame.len();
+                    ch.frames += 1;
+                    check_cancelled(cancel)?;
+                    let t = Instant::now();
+                    mesh.send(p, to, frame)?;
+                    ch.enqueue_block += t.elapsed();
+                }
             }
-            channels.push(ch);
+            // Protocol v2: EVERY channel ends with a fin — an empty one
+            // proves "I really had nothing for you", so a dropped stream
+            // can't masquerade as an empty stream.
+            let fin_frame = encode_fin_frame(&fin);
+            ch.bytes += fin_frame.len();
+            ch.frames += 1;
+            check_cancelled(cancel)?;
+            let t = Instant::now();
+            mesh.send(p, to, fin_frame)?;
+            ch.enqueue_block += t.elapsed();
+            if ch.rows > 0 {
+                channels.push(ch);
+            }
         }
         Ok(())
     })();
-    let close_result = mesh.close(p).map_err(ExecError::from);
+    match &send_result {
+        // A clean close is only ever sent after every fin went out.
+        Ok(()) => mesh.close(p)?,
+        // On failure the endpoint ends abnormally: receivers see a
+        // sender error, not EOF, and can never accept the partial stream.
+        Err(e) => {
+            let _ = mesh.fail(p, &e.to_string());
+        }
+    }
     send_result?;
-    close_result?;
     Ok((local, channels))
 }
 
+/// Returns [`ExecError::Cancelled`] once the query-wide token flips —
+/// the exchange sender's fast-abort check, run before every frame.
+fn check_cancelled(cancel: &CancelToken) -> Result<()> {
+    if cancel.is_cancelled() {
+        return Err(ExecError::Cancelled("exchange stopped: query aborted".into()));
+    }
+    Ok(())
+}
+
 /// Receiver side of one serialized exchange partition: drains the mesh
-/// until every sender closes, validating that each channel leads with a
+/// until every sender ends, validating that each channel leads with a
 /// schema frame matching the exchange schema, and buckets decoded rows
-/// per sender. On a decode error it keeps draining (so senders never
-/// block forever against a full channel) and reports the first error.
+/// per sender. On any error it keeps draining (so senders never block
+/// forever against a full channel) and reports the first error.
+///
+/// Protocol v2 completeness proof: per channel the receiver counts
+/// frames and rows and folds every frame's bytes into a running
+/// checksum; the sender's fin frame must arrive and match all three.
+/// A missing fin (channel ended early), a mismatching fin (frames lost
+/// or mangled in flight), or an abnormal channel end all surface as
+/// errors and bump `exchange.truncations_detected` — a dead worker can
+/// shorten the answer *only* into an error, never silently.
 fn receive_partition(
     mesh: &dyn Mesh,
     w: usize,
     to: usize,
     schema: &Schema,
+    cancel: &CancelToken,
 ) -> Result<Vec<Vec<Row>>> {
+    /// Per-sender channel bookkeeping.
+    #[derive(Default)]
+    struct ChannelRecv {
+        frames: u64,
+        rows: u64,
+        checksum: u64,
+        fin: Option<FinSummary>,
+        errored: bool,
+    }
+    let truncation = |from: usize, what: String| -> ExecError {
+        lardb_obs::global().counter("exchange.truncations_detected").inc();
+        ExecError::Runtime(format!("exchange channel {from}→{to} truncated: {what}"))
+    };
+
     let mut per_from: Vec<Vec<Row>> = vec![Vec::new(); w];
     let mut schema_seen = vec![false; w];
+    let mut chans: Vec<ChannelRecv> = (0..w)
+        .map(|_| ChannelRecv { checksum: CHECKSUM_SEED, ..ChannelRecv::default() })
+        .collect();
     let mut first_err: Option<ExecError> = None;
+    let record_err = |e: ExecError, first_err: &mut Option<ExecError>| {
+        if first_err.is_none() {
+            *first_err = Some(e);
+        }
+    };
     loop {
         match mesh.recv(to) {
             Ok(Some((from, frame))) => {
                 if first_err.is_some() {
                     continue; // drain to EOF so senders don't deadlock
                 }
+                let chan = &mut chans[from];
                 match decode_frame(&frame) {
-                    Ok(Frame::Schema(s)) => {
-                        if s == *schema {
-                            schema_seen[from] = true;
-                        } else {
-                            first_err = Some(ExecError::Runtime(format!(
-                                "exchange schema mismatch from worker {from}"
-                            )));
+                    Ok(Frame::Fin(fin)) => {
+                        if chan.fin.is_some() {
+                            record_err(
+                                truncation(from, "second fin frame".into()),
+                                &mut first_err,
+                            );
+                            continue;
+                        }
+                        chan.fin = Some(fin);
+                        if fin.frames != chan.frames
+                            || fin.rows != chan.rows
+                            || fin.checksum != chan.checksum
+                        {
+                            record_err(
+                                truncation(
+                                    from,
+                                    format!(
+                                        "sender shipped {} frames / {} rows, receiver saw {} / {} \
+                                         (checksum {})",
+                                        fin.frames,
+                                        fin.rows,
+                                        chan.frames,
+                                        chan.rows,
+                                        if fin.checksum == chan.checksum {
+                                            "ok"
+                                        } else {
+                                            "MISMATCH"
+                                        },
+                                    ),
+                                ),
+                                &mut first_err,
+                            );
                         }
                     }
-                    Ok(Frame::Rows(rows)) => {
-                        if schema_seen[from] {
-                            per_from[from].extend(rows);
-                        } else {
-                            first_err = Some(ExecError::Runtime(format!(
-                                "rows frame before schema frame from worker {from}"
-                            )));
+                    other => {
+                        if chan.fin.is_some() {
+                            record_err(
+                                truncation(from, "frame after fin".into()),
+                                &mut first_err,
+                            );
+                            continue;
+                        }
+                        chan.frames += 1;
+                        chan.checksum = checksum_update(chan.checksum, &frame);
+                        match other {
+                            Ok(Frame::Schema(s)) => {
+                                if s == *schema {
+                                    schema_seen[from] = true;
+                                } else {
+                                    record_err(
+                                        ExecError::Runtime(format!(
+                                            "exchange schema mismatch from worker {from}"
+                                        )),
+                                        &mut first_err,
+                                    );
+                                }
+                            }
+                            Ok(Frame::Rows(rows)) => {
+                                if schema_seen[from] {
+                                    chan.rows += rows.len() as u64;
+                                    per_from[from].extend(rows);
+                                } else {
+                                    record_err(
+                                        ExecError::Runtime(format!(
+                                            "rows frame before schema frame from worker {from}"
+                                        )),
+                                        &mut first_err,
+                                    );
+                                }
+                            }
+                            Ok(Frame::Fin(_)) => unreachable!("handled above"),
+                            Err(e) => {
+                                record_err(NetError::from(e).into(), &mut first_err)
+                            }
                         }
                     }
-                    Err(e) => first_err = Some(lardb_net::NetError::from(e).into()),
                 }
             }
             Ok(None) => break,
+            Err(NetError::Sender { from, reason }) => {
+                // One channel died; its stream is untrustworthy, but the
+                // rest must still be drained so no sender deadlocks.
+                chans[from].errored = true;
+                record_err(
+                    truncation(from, format!("channel ended abnormally: {reason}")),
+                    &mut first_err,
+                );
+            }
             Err(e) => {
-                first_err = Some(e.into());
+                // The whole inbox is gone — nothing left to drain.
+                record_err(e.into(), &mut first_err);
                 break;
             }
         }
     }
+    // End of stream: every remote channel must have proven completeness.
+    for (from, chan) in chans.iter().enumerate() {
+        if from == to || chan.errored || first_err.is_some() {
+            continue;
+        }
+        if chan.fin.is_none() {
+            record_err(
+                truncation(from, "channel closed without a fin frame".into()),
+                &mut first_err,
+            );
+        }
+    }
     match first_err {
-        Some(e) => Err(e),
+        Some(e) => {
+            // Fast abort: tell every sibling to stop shuffling data this
+            // query will never use.
+            flag_abort(cancel, &e);
+            Err(e)
+        }
         None => Ok(per_from),
     }
 }
@@ -1009,7 +1217,13 @@ impl<'a> GroupedAgg<'a> {
                 let mut off = self.group_by.len();
                 for (a, acc) in self.aggs.iter().zip(self.accs[idx].iter_mut()) {
                     let n = state_arity(a.func);
-                    let state = &row.values()[off..off + n];
+                    let state = row.values().get(off..off + n).ok_or_else(|| {
+                        ExecError::Runtime(format!(
+                            "partial row arity {} too short for state columns at {off}..{}",
+                            row.arity(),
+                            off + n
+                        ))
+                    })?;
                     acc.merge_state(state)?;
                     off += n;
                 }

@@ -24,9 +24,9 @@ pub mod eval;
 pub mod executor;
 pub mod stats;
 
-pub use cluster::{Cluster, SchedulerMode, DEFAULT_MORSEL_ROWS};
+pub use cluster::{CancelToken, Cluster, SchedulerMode, DEFAULT_MORSEL_ROWS};
 pub use executor::{ExecutionResult, Executor};
-pub use lardb_net::TransportMode;
+pub use lardb_net::{FaultKind, FaultPlan, NetConfig, TransportMode};
 pub use stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};
 
 use lardb_net::NetError;
@@ -43,6 +43,11 @@ pub enum ExecError {
     Storage(StorageError),
     /// Error from expression machinery shared with the planner.
     Plan(PlanError),
+    /// The query was aborted: some sibling worker hit an error first and
+    /// flipped the query-wide cancellation token, so this worker stopped
+    /// at the next morsel / exchange boundary instead of finishing work
+    /// whose result will be thrown away.
+    Cancelled(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Runtime(m) => write!(f, "runtime error: {m}"),
             ExecError::Storage(e) => write!(f, "{e}"),
             ExecError::Plan(e) => write!(f, "{e}"),
+            ExecError::Cancelled(m) => write!(f, "query aborted: {m}"),
         }
     }
 }

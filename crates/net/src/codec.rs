@@ -12,6 +12,12 @@
 //!
 //! * kind `1` (rows): `count` rows follow, each `u32 arity` + values.
 //! * kind `2` (schema): `count` is the column count; columns follow.
+//! * kind `3` (fin): `count` is 0; three `u64`s follow — the channel's
+//!   frame count, row count, and running FNV-1a checksum over every
+//!   preceding frame's bytes. Exchange protocol v2: every sender ends
+//!   every channel with a fin frame, so a receiver can prove it saw the
+//!   whole stream (a missing or mismatching fin = truncation, surfaced
+//!   as an error, never as a silently short result).
 //!
 //! Every value starts with a tag byte:
 //!
@@ -39,11 +45,28 @@ use lardb_storage::{Column, DataType, Row, Schema, Value};
 
 /// First byte of every frame.
 pub const FRAME_MAGIC: u8 = 0xA7;
-/// Wire-format version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire-format version this build speaks. Version 2 added the fin frame
+/// (kind 3) that ends every exchange channel.
+pub const WIRE_VERSION: u8 = 2;
 
 const KIND_ROWS: u8 = 1;
 const KIND_SCHEMA: u8 = 2;
+const KIND_FIN: u8 = 3;
+
+/// FNV-1a 64-bit offset basis: the seed of a fresh channel checksum.
+pub const CHECKSUM_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a 64 checksum. Start from
+/// [`CHECKSUM_SEED`]; feed every frame the channel ships, in order.
+/// Dependency-free and byte-order-independent-input, which is all a
+/// truncation/corruption tripwire needs (this is not a MAC).
+pub fn checksum_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
 
 const TAG_NULL: u8 = 0;
 const TAG_INTEGER: u8 = 1;
@@ -114,6 +137,22 @@ pub enum Frame {
     Rows(Vec<Row>),
     /// A schema — handshake / catalog shipment.
     Schema(Schema),
+    /// End-of-channel summary (exchange protocol v2).
+    Fin(FinSummary),
+}
+
+/// What one sender shipped down one channel, carried by the fin frame
+/// that ends the channel. A receiver recomputes all three independently;
+/// any mismatch (or a missing fin) is a detected truncation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FinSummary {
+    /// Frames shipped before the fin (schema + row frames).
+    pub frames: u64,
+    /// Total rows across those frames.
+    pub rows: u64,
+    /// Running FNV-1a 64 over every preceding frame's encoded bytes,
+    /// seeded with [`CHECKSUM_SEED`].
+    pub checksum: u64,
 }
 
 // ------------------------------------------------------------- encoding
@@ -254,6 +293,15 @@ pub fn encode_schema_frame(schema: &Schema) -> Vec<u8> {
     buf
 }
 
+/// Encodes an end-of-channel summary as one self-contained frame.
+pub fn encode_fin_frame(fin: &FinSummary) -> Vec<u8> {
+    let mut buf = frame_header(KIND_FIN, 0);
+    buf.extend_from_slice(&fin.frames.to_le_bytes());
+    buf.extend_from_slice(&fin.rows.to_le_bytes());
+    buf.extend_from_slice(&fin.checksum.to_le_bytes());
+    buf
+}
+
 // ------------------------------------------------------------- decoding
 
 /// A checked little-endian reader over a byte slice.
@@ -296,6 +344,11 @@ impl<'a> Reader<'a> {
     fn i64(&mut self, what: &'static str) -> Result<i64> {
         let b = self.take(8, what)?;
         Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
     fn f64(&mut self, what: &'static str) -> Result<f64> {
@@ -472,6 +525,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame> {
             }
             Frame::Schema(Schema::new(cols))
         }
+        KIND_FIN => {
+            let count = r.u32("fin count")?;
+            if count != 0 {
+                return Err(CodecError::BadTag { what: "fin count", tag: count as u8 });
+            }
+            Frame::Fin(FinSummary {
+                frames: r.u64("fin frame count")?,
+                rows: r.u64("fin row count")?,
+                checksum: r.u64("fin checksum")?,
+            })
+        }
         tag => return Err(CodecError::BadTag { what: "frame kind", tag }),
     };
     if r.remaining() > 0 {
@@ -612,6 +676,31 @@ mod tests {
         let mut long = frame;
         long.push(0xFF);
         assert!(matches!(decode_frame(&long), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn fin_frame_roundtrip() {
+        let fin = FinSummary { frames: 17, rows: 4096, checksum: 0xDEAD_BEEF_0BAD_F00D };
+        let frame = encode_fin_frame(&fin);
+        assert_eq!(decode_frame(&frame).unwrap(), Frame::Fin(fin));
+        // Truncated fins must error, never decode short.
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_deterministic() {
+        let a = checksum_update(CHECKSUM_SEED, b"frame one");
+        let b = checksum_update(a, b"frame two");
+        assert_eq!(
+            b,
+            checksum_update(checksum_update(CHECKSUM_SEED, b"frame one"), b"frame two")
+        );
+        let swapped = checksum_update(checksum_update(CHECKSUM_SEED, b"frame two"), b"frame one");
+        assert_ne!(b, swapped, "checksum ignored frame order");
+        assert_ne!(a, CHECKSUM_SEED);
+        assert_eq!(checksum_update(CHECKSUM_SEED, b""), CHECKSUM_SEED);
     }
 
     #[test]

@@ -26,9 +26,11 @@
 //! through the codec and meter **actual encoded bytes**.
 
 pub mod codec;
+pub mod fault;
 pub mod transport;
 
-pub use codec::{CodecError, Frame, FRAME_MAGIC, WIRE_VERSION};
+pub use codec::{CodecError, FinSummary, Frame, FRAME_MAGIC, WIRE_VERSION};
+pub use fault::{FaultKind, FaultPlan, FaultyTransport};
 pub use transport::{ChannelTransport, Mesh, TcpTransport, Transport};
 
 /// How exchange operators move rows between workers.
@@ -85,6 +87,40 @@ impl std::fmt::Display for TransportMode {
     }
 }
 
+/// Default cap on a single frame's length prefix: 64 MiB. A corrupt or
+/// hostile `u32` prefix must never drive `vec![0u8; len]` past this.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Default network operation timeout (connect / accept / handshake /
+/// frame read), in milliseconds.
+pub const DEFAULT_NET_TIMEOUT_MS: u64 = 30_000;
+
+/// Network-layer knobs shared by every transport, plus the optional
+/// fault-injection plan for chaos testing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Timeout for connect/accept/handshake and per-frame reads, in
+    /// milliseconds. A stalled peer surfaces as [`NetError::Timeout`]
+    /// instead of hanging the query forever.
+    pub timeout_ms: u64,
+    /// Maximum accepted frame size in bytes, enforced on both the send
+    /// path and the receive path *before* the frame buffer is allocated.
+    pub max_frame_bytes: usize,
+    /// When set, serialized exchanges wrap their transport in a
+    /// [`FaultyTransport`] driven by this deterministic schedule.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            timeout_ms: DEFAULT_NET_TIMEOUT_MS,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            faults: None,
+        }
+    }
+}
+
 /// Errors raised by the codec or a transport.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
@@ -92,6 +128,14 @@ pub enum NetError {
     Codec(CodecError),
     /// A channel or socket failed (peer gone, bind/connect refused, …).
     Transport(String),
+    /// A network operation exceeded its configured deadline.
+    Timeout(String),
+    /// A frame's length prefix exceeded the configured maximum.
+    FrameTooLarge { len: u64, max: u64 },
+    /// One sender's channel ended abnormally (mid-frame EOF, read error,
+    /// injected kill) — distinct from a clean close, so the receiver can
+    /// flag truncation instead of silently accepting short results.
+    Sender { from: usize, reason: String },
 }
 
 impl std::fmt::Display for NetError {
@@ -99,6 +143,13 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Codec(e) => write!(f, "codec error: {e}"),
             NetError::Transport(m) => write!(f, "transport error: {m}"),
+            NetError::Timeout(m) => write!(f, "network timeout: {m}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max} bytes")
+            }
+            NetError::Sender { from, reason } => {
+                write!(f, "sender {from} failed: {reason}")
+            }
         }
     }
 }

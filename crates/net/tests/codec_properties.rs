@@ -7,9 +7,11 @@ use std::sync::Arc;
 
 use lardb_la::{LabeledScalar, Matrix, Vector};
 use lardb_net::codec::{
-    decode_frame, decode_value, encode_rows_frame, encode_schema_frame, encode_value,
-    encoded_value_size, wire_eq, Frame,
+    checksum_update, decode_frame, decode_value, encode_fin_frame, encode_rows_frame,
+    encode_schema_frame, encode_value, encoded_value_size, wire_eq, FinSummary, Frame,
+    CHECKSUM_SEED,
 };
+use lardb_net::{ChannelTransport, NetError, Transport};
 use lardb_storage::{Column, DataType, Row, Schema, Value};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -171,6 +173,67 @@ proptest! {
         let cut = cut_sel % frame.len();
         prop_assert!(decode_frame(&frame[..cut]).is_err());
     }
+
+    #[test]
+    fn fin_frames_roundtrip_and_reject_prefixes(
+        frames in 0u64..=u64::MAX,
+        rows in 0u64..=u64::MAX,
+        checksum in 0u64..=u64::MAX,
+        cut_sel in 0usize..10_000,
+    ) {
+        let fin = FinSummary { frames, rows, checksum };
+        let frame = encode_fin_frame(&fin);
+        match decode_frame(&frame) {
+            Ok(Frame::Fin(back)) => prop_assert_eq!(back, fin),
+            other => prop_assert!(false, "expected fin frame, got {:?}", other),
+        }
+        let cut = cut_sel % frame.len();
+        prop_assert!(decode_frame(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn checksum_chunking_is_associative(
+        bytes in vec(0u8..=255, 0..256),
+        split_sel in 0usize..10_000,
+    ) {
+        // Senders checksum whole frames, receivers too — but the fold must
+        // not depend on chunk boundaries, only on the byte stream.
+        let whole = checksum_update(CHECKSUM_SEED, &bytes);
+        let split = if bytes.is_empty() { 0 } else { split_sel % bytes.len() };
+        let halves =
+            checksum_update(checksum_update(CHECKSUM_SEED, &bytes[..split]), &bytes[split..]);
+        prop_assert_eq!(whole, halves);
+    }
+}
+
+/// The transport-level frame cap: a frame exactly at `max_frame_bytes`
+/// passes, one byte over is rejected as `FrameTooLarge` before it is
+/// buffered or shipped, and a zero-length frame moves cleanly through the
+/// transport (decoding it then fails, but bounded and typed).
+#[test]
+fn frame_size_boundary_is_enforced() {
+    let cap = 256usize;
+    let transport =
+        ChannelTransport { max_frame_bytes: cap, ..ChannelTransport::default() };
+    let mesh = transport.mesh(2).unwrap();
+
+    mesh.send(0, 1, vec![0xAB; cap]).unwrap();
+    match mesh.send(0, 1, vec![0xAB; cap + 1]) {
+        Err(NetError::FrameTooLarge { len, max }) => {
+            assert_eq!((len, max), ((cap + 1) as u64, cap as u64));
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    mesh.send(0, 1, Vec::new()).unwrap();
+    mesh.close(0).unwrap();
+    mesh.close(1).unwrap();
+
+    let (from, boundary) = mesh.recv(1).unwrap().unwrap();
+    assert_eq!((from, boundary.len()), (0, cap));
+    let (_, empty) = mesh.recv(1).unwrap().unwrap();
+    assert!(empty.is_empty());
+    assert!(decode_frame(&empty).is_err(), "zero-length frame must not decode");
+    assert_eq!(mesh.recv(1).unwrap(), None);
 }
 
 #[test]
