@@ -27,6 +27,12 @@ pub struct Args {
     /// stage timings + per-operator estimate-vs-actual records) to this
     /// path at the end of the run.
     pub profile_json: Option<String>,
+    /// Memory budget for pipeline-breaking operators, in MiB. `None` =
+    /// inherit the process default (`LARDB_MEM_BUDGET_MB` or unbounded);
+    /// `Some(0)` = explicitly unbounded; `Some(n)` = spill past `n` MiB.
+    pub mem_budget_mb: Option<u64>,
+    /// Spill directory override (default: `LARDB_SPILL_DIR` or OS temp).
+    pub spill_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -41,6 +47,8 @@ impl Default for Args {
             quick: false,
             transport: TransportMode::Pointer,
             profile_json: None,
+            mem_budget_mb: None,
+            spill_dir: None,
         }
     }
 }
@@ -78,11 +86,17 @@ impl Args {
                     });
                 }
                 "--profile-json" => args.profile_json = Some(value("--profile-json")),
+                "--mem-budget-mb" => {
+                    args.mem_budget_mb =
+                        Some(parse_num(&value("--mem-budget-mb")) as u64);
+                }
+                "--spill-dir" => args.spill_dir = Some(value("--spill-dir")),
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --n N --n-dist N --dims 10,100,1000 --workers W \
                          --block B --seed S --transport pointer|serialized|tcp \
-                         --profile-json PATH --quick"
+                         --profile-json PATH --mem-budget-mb N --spill-dir PATH \
+                         --quick"
                     );
                     std::process::exit(0);
                 }
@@ -164,6 +178,16 @@ mod tests {
             parse(&["--profile-json", "out.json"]).profile_json,
             Some("out.json".to_string())
         );
+    }
+
+    #[test]
+    fn memory_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.mem_budget_mb, None);
+        assert_eq!(a.spill_dir, None);
+        let a = parse(&["--mem-budget-mb", "64", "--spill-dir", "/tmp/sp"]);
+        assert_eq!(a.mem_budget_mb, Some(64));
+        assert_eq!(a.spill_dir, Some("/tmp/sp".to_string()));
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Byte-accounted memory reservations with RAII release.
+//!
+//! Operators call [`MemoryGovernor::try_reserve`] before materialising large
+//! state. A `None` answer is the backpressure signal: the operator must take
+//! its out-of-core path (spill) instead of growing the heap. Reservations
+//! release their bytes on drop, so an abort mid-query cannot leak budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A byte-budget accountant. `budget = None` means unbounded: every
+/// reservation succeeds and the governor only tracks usage for metrics.
+#[derive(Debug)]
+pub struct MemoryGovernor {
+    budget: Option<u64>,
+    reserved: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryGovernor {
+    pub fn new(budget: Option<u64>) -> Self {
+        MemoryGovernor {
+            budget,
+            reserved: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured budget in bytes, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Try to reserve `bytes`. Returns `None` (and counts a denial) if the
+    /// reservation would exceed the budget. Zero-byte reservations always
+    /// succeed and are useful as growable anchors.
+    pub fn try_reserve(self: &Arc<Self>, bytes: u64) -> Option<MemoryReservation> {
+        if self.try_add(bytes) {
+            Some(MemoryReservation {
+                gov: Arc::clone(self),
+                bytes,
+            })
+        } else {
+            lardb_obs::global().counter("mem.denials").inc();
+            None
+        }
+    }
+
+    /// Reserve `bytes` unconditionally, even past the budget. Used at the
+    /// recursion floor of the grace join (a bucket that will not shrink no
+    /// matter how often we re-partition it): better to overcommit and finish
+    /// than to loop forever. Counts `mem.overcommits` when it actually
+    /// exceeds the budget.
+    pub fn force_reserve(self: &Arc<Self>, bytes: u64) -> MemoryReservation {
+        let prev = self.reserved.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(b) = self.budget {
+            if prev + bytes > b {
+                lardb_obs::global().counter("mem.overcommits").inc();
+            }
+        }
+        self.after_change(prev + bytes);
+        MemoryReservation {
+            gov: Arc::clone(self),
+            bytes,
+        }
+    }
+
+    /// CAS loop: add `bytes` iff the result stays within budget.
+    fn try_add(&self, bytes: u64) -> bool {
+        let mut cur = self.reserved.load(Ordering::Relaxed);
+        loop {
+            let next = match cur.checked_add(bytes) {
+                Some(n) => n,
+                None => return false,
+            };
+            if let Some(b) = self.budget {
+                if next > b {
+                    return false;
+                }
+            }
+            match self
+                .reserved
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.after_change(next);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        let prev = self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+        self.after_change(prev.saturating_sub(bytes));
+    }
+
+    fn after_change(&self, now: u64) {
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        let m = lardb_obs::global();
+        m.gauge("mem.reserved_bytes").set(now as f64);
+        m.gauge("mem.peak_bytes")
+            .set(self.peak.load(Ordering::Relaxed) as f64);
+    }
+}
+
+/// An RAII byte reservation; releases its bytes back to the governor on drop.
+#[derive(Debug)]
+pub struct MemoryReservation {
+    gov: Arc<MemoryGovernor>,
+    bytes: u64,
+}
+
+impl MemoryReservation {
+    /// Bytes currently held by this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Try to grow (or shrink) the reservation to `new_bytes`. On a denied
+    /// grow the reservation keeps its current size and `false` is returned —
+    /// the caller should spill. Shrinks always succeed.
+    pub fn try_resize(&mut self, new_bytes: u64) -> bool {
+        if new_bytes >= self.bytes {
+            let delta = new_bytes - self.bytes;
+            if delta > 0 && !self.gov.try_add(delta) {
+                lardb_obs::global().counter("mem.denials").inc();
+                return false;
+            }
+        } else {
+            self.gov.release(self.bytes - new_bytes);
+        }
+        self.bytes = new_bytes;
+        true
+    }
+}
+
+impl Drop for MemoryReservation {
+    fn drop(&mut self) {
+        self.gov.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_always_grants() {
+        let g = Arc::new(MemoryGovernor::new(None));
+        let r = g.try_reserve(u64::MAX / 4).expect("unbounded grant");
+        assert_eq!(r.bytes(), u64::MAX / 4);
+        assert_eq!(g.reserved(), u64::MAX / 4);
+        drop(r);
+        assert_eq!(g.reserved(), 0);
+    }
+
+    #[test]
+    fn budget_denies_past_limit_and_releases_on_drop() {
+        let g = Arc::new(MemoryGovernor::new(Some(1000)));
+        let a = g.try_reserve(600).expect("first fits");
+        assert!(g.try_reserve(600).is_none(), "would exceed budget");
+        let b = g.try_reserve(400).expect("exactly fills");
+        assert_eq!(g.reserved(), 1000);
+        drop(a);
+        assert_eq!(g.reserved(), 400);
+        let c = g.try_reserve(600).expect("freed bytes reusable");
+        drop(b);
+        drop(c);
+        assert_eq!(g.reserved(), 0);
+        assert_eq!(g.peak(), 1000);
+    }
+
+    #[test]
+    fn resize_grows_shrinks_and_denies() {
+        let g = Arc::new(MemoryGovernor::new(Some(1000)));
+        let mut r = g.try_reserve(100).expect("grant");
+        assert!(r.try_resize(900));
+        assert_eq!(g.reserved(), 900);
+        assert!(!r.try_resize(1001), "grow past budget denied");
+        assert_eq!(r.bytes(), 900, "denied grow keeps old size");
+        assert_eq!(g.reserved(), 900);
+        assert!(r.try_resize(200), "shrink always succeeds");
+        assert_eq!(g.reserved(), 200);
+        drop(r);
+        assert_eq!(g.reserved(), 0);
+    }
+
+    #[test]
+    fn force_reserve_overcommits() {
+        let g = Arc::new(MemoryGovernor::new(Some(100)));
+        let a = g.try_reserve(80).expect("fits");
+        let b = g.force_reserve(80);
+        assert_eq!(g.reserved(), 160, "forced past budget");
+        drop(a);
+        drop(b);
+        assert_eq!(g.reserved(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_budget() {
+        let g = Arc::new(MemoryGovernor::new(Some(10_000)));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if let Some(r) = g.try_reserve(7) {
+                            assert!(g.reserved() <= 10_000);
+                            drop(r);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(g.reserved(), 0);
+        assert!(g.peak() <= 10_000);
+    }
+}

@@ -1,0 +1,99 @@
+//! Memory governor and disk-backed spill files for out-of-core execution.
+//!
+//! This crate gives the executor two primitives:
+//!
+//! * [`MemoryGovernor`] — a process-wide (or per-database) accountant that
+//!   operators ask for byte reservations before materialising large state
+//!   (hash-join build tables, aggregation maps). A denied reservation is the
+//!   backpressure signal that flips an operator into its out-of-core path.
+//! * [`SpillWriter`] / [`SpillFile`] — row batches serialized to temp files
+//!   through the `lardb-net` wire codec with the protocol-v2 fin discipline
+//!   (frame count, row count, FNV-1a-64 checksum), so a truncated or
+//!   corrupted spill file surfaces as a typed [`BufError`], never as silently
+//!   wrong rows.
+//!
+//! Governor and spill activity is reported through `lardb-obs` as the
+//! `mem.*` and `spill.*` metrics.
+
+pub mod governor;
+pub mod spill;
+
+pub use governor::{MemoryGovernor, MemoryReservation};
+pub use spill::{SpillFile, SpillWriter};
+
+use lardb_net::codec::CodecError;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Errors from the spill subsystem. IO errors carry the path and operation so
+/// a failed spill names the file that broke; integrity failures distinguish
+/// truncation (EOF before the fin frame) from corruption (bad bytes,
+/// checksum/count mismatch, or trailing data).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufError {
+    /// An OS-level IO failure; `op` is what we were doing (create/write/read/...).
+    Io {
+        path: PathBuf,
+        op: &'static str,
+        err: String,
+    },
+    /// The wire codec rejected a frame (bad magic, version, kind, length...).
+    Codec(CodecError),
+    /// The file ended before its fin frame: the writer died mid-spill.
+    Truncated { path: PathBuf, detail: String },
+    /// The file is structurally complete but its contents are wrong:
+    /// checksum/count mismatch, or bytes after the fin frame.
+    Corrupt { path: PathBuf, detail: String },
+}
+
+impl std::fmt::Display for BufError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufError::Io { path, op, err } => {
+                write!(f, "spill io error ({op} {}): {err}", path.display())
+            }
+            BufError::Codec(e) => write!(f, "spill codec error: {e}"),
+            BufError::Truncated { path, detail } => {
+                write!(f, "spill file truncated ({}): {detail}", path.display())
+            }
+            BufError::Corrupt { path, detail } => {
+                write!(f, "spill file corrupt ({}): {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BufError {}
+
+impl From<CodecError> for BufError {
+    fn from(e: CodecError) -> Self {
+        BufError::Codec(e)
+    }
+}
+
+/// Result alias for the spill subsystem.
+pub type Result<T> = std::result::Result<T, BufError>;
+
+/// The process-wide governor, sized by `LARDB_MEM_BUDGET_MB` (unset or `0`
+/// means unbounded). Databases without an explicit `mem` config share this
+/// instance, so a single env var turns on spilling for a whole test suite.
+pub fn global() -> &'static Arc<MemoryGovernor> {
+    static GLOBAL: OnceLock<Arc<MemoryGovernor>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let budget = std::env::var("LARDB_MEM_BUDGET_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&mb| mb > 0)
+            .map(|mb| mb * 1024 * 1024);
+        Arc::new(MemoryGovernor::new(budget))
+    })
+}
+
+/// Where spill files go: `LARDB_SPILL_DIR` if set and non-empty, else the
+/// OS temp dir. Callers with an explicit `--spill-dir` bypass this.
+pub fn default_spill_dir() -> PathBuf {
+    match std::env::var("LARDB_SPILL_DIR") {
+        Ok(d) if !d.trim().is_empty() => PathBuf::from(d),
+        _ => std::env::temp_dir(),
+    }
+}

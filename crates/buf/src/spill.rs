@@ -1,0 +1,448 @@
+//! Disk-backed row batches with end-to-end integrity checking.
+//!
+//! File format: a sequence of `[u32 le length][wire frame]` records — zero or
+//! more rows frames followed by exactly one fin frame carrying the frame
+//! count, row count and running FNV-1a-64 checksum of every rows frame, in
+//! order (the same protocol-v2 discipline the exchange channels use). A file
+//! that ends before its fin frame is [`BufError::Truncated`]; a file whose
+//! contents disagree with the fin, or that has bytes after it, is
+//! [`BufError::Corrupt`].
+//!
+//! Both [`SpillWriter`] (before `finish`) and [`SpillFile`] delete their file
+//! on drop, so neither a completed query nor an abort mid-spill leaves
+//! anything behind in the spill directory.
+
+use crate::{BufError, Result};
+use lardb_net::codec::{
+    checksum_update, decode_frame, encode_fin_frame, encode_rows_frame, FinSummary, Frame,
+    CHECKSUM_SEED,
+};
+use lardb_storage::Row;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows per encoded frame — matches the exchange transports' batch size.
+const ROWS_PER_FRAME: usize = 256;
+
+/// Refuse to allocate for a frame whose length prefix exceeds this. Spill
+/// frames hold ≤256 rows; anything near this size is corruption, not data.
+const MAX_SPILL_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> BufError {
+    BufError::Io {
+        path: path.to_path_buf(),
+        op,
+        err: e.to_string(),
+    }
+}
+
+fn stale_writer(op: &'static str) -> BufError {
+    BufError::Io {
+        path: PathBuf::new(),
+        op,
+        err: "spill writer already finished".to_string(),
+    }
+}
+
+/// An open spill file being written. Call [`finish`](SpillWriter::finish) to
+/// seal it with a fin frame and obtain the readable [`SpillFile`]; dropping
+/// an unfinished writer deletes the partial file.
+#[derive(Debug)]
+pub struct SpillWriter {
+    // `None` only after `finish` has consumed the writer's state.
+    inner: Option<WriterInner>,
+}
+
+#[derive(Debug)]
+struct WriterInner {
+    out: BufWriter<File>,
+    path: PathBuf,
+    fin: FinSummary,
+    rows: u64,
+    bytes: u64,
+}
+
+impl SpillWriter {
+    /// Create a fresh, uniquely named spill file under `dir` (created if
+    /// missing). `label` goes into the file name for debuggability.
+    pub fn create(dir: &Path, label: &str) -> Result<SpillWriter> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "create spill dir", e))?;
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!(
+            "lardb-spill-{}-{}-{}.spl",
+            std::process::id(),
+            seq,
+            label
+        ));
+        let file = File::create(&path).map_err(|e| io_err(&path, "create", e))?;
+        lardb_obs::global().counter("spill.files").inc();
+        Ok(SpillWriter {
+            inner: Some(WriterInner {
+                out: BufWriter::new(file),
+                path,
+                fin: FinSummary {
+                    frames: 0,
+                    rows: 0,
+                    checksum: CHECKSUM_SEED,
+                },
+                rows: 0,
+                bytes: 0,
+            }),
+        })
+    }
+
+    /// Append `rows`, encoded as ≤256-row wire frames.
+    pub fn write_rows(&mut self, rows: &[Row]) -> Result<()> {
+        // `finish()` consumes the writer, so `inner` is always present
+        // here; stay panic-free anyway and surface a typed error.
+        let Some(w) = self.inner.as_mut() else {
+            return Err(stale_writer("write"));
+        };
+        for chunk in rows.chunks(ROWS_PER_FRAME) {
+            let frame = encode_rows_frame(chunk);
+            w.out
+                .write_all(&(frame.len() as u32).to_le_bytes())
+                .and_then(|()| w.out.write_all(&frame))
+                .map_err(|e| io_err(&w.path, "write", e))?;
+            w.fin.frames += 1;
+            w.fin.rows += chunk.len() as u64;
+            w.fin.checksum = checksum_update(w.fin.checksum, &frame);
+            w.rows += chunk.len() as u64;
+            w.bytes += 4 + frame.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |w| w.rows)
+    }
+
+    /// Seal the file with its fin frame and flush it to disk.
+    pub fn finish(mut self) -> Result<SpillFile> {
+        let Some(mut w) = self.inner.take() else {
+            return Err(stale_writer("finish"));
+        };
+        let fin = encode_fin_frame(&w.fin);
+        let r = w
+            .out
+            .write_all(&(fin.len() as u32).to_le_bytes())
+            .and_then(|()| w.out.write_all(&fin))
+            .and_then(|()| w.out.flush());
+        if let Err(e) = r {
+            let err = io_err(&w.path, "finish", e);
+            drop(w.out);
+            let _ = std::fs::remove_file(&w.path);
+            return Err(err);
+        }
+        w.bytes += 4 + fin.len() as u64;
+        let m = lardb_obs::global();
+        m.counter("spill.bytes_written").add(w.bytes);
+        Ok(SpillFile {
+            path: w.path,
+            rows: w.rows,
+            bytes: w.bytes,
+        })
+    }
+}
+
+impl Drop for SpillWriter {
+    fn drop(&mut self) {
+        if let Some(w) = self.inner.take() {
+            drop(w.out);
+            let _ = std::fs::remove_file(&w.path);
+        }
+    }
+}
+
+/// A sealed spill file; deleted from disk when dropped.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl SpillFile {
+    /// Path of the backing file (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rows stored in the file.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Bytes on disk, including framing and the fin frame.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Read the whole file back, verifying every frame and the fin summary.
+    /// Any mismatch — short file, bad bytes, wrong counts or checksum,
+    /// trailing garbage — is a typed error, never silently wrong rows.
+    pub fn read_rows(&self) -> Result<Vec<Row>> {
+        let file = File::open(&self.path).map_err(|e| io_err(&self.path, "open", e))?;
+        let mut r = BufReader::new(file);
+        let mut rows: Vec<Row> = Vec::with_capacity(self.rows as usize);
+        let mut running = FinSummary {
+            frames: 0,
+            rows: 0,
+            checksum: CHECKSUM_SEED,
+        };
+        let mut bytes_read: u64 = 0;
+        loop {
+            let mut len_buf = [0u8; 4];
+            match read_exact_or_eof(&mut r, &mut len_buf) {
+                Ok(false) => {
+                    return Err(BufError::Truncated {
+                        path: self.path.clone(),
+                        detail: format!(
+                            "ended after {} frames ({} rows) with no fin frame",
+                            running.frames, running.rows
+                        ),
+                    });
+                }
+                Ok(true) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    return Err(BufError::Truncated {
+                        path: self.path.clone(),
+                        detail: format!(
+                            "mid-length-prefix EOF after {} complete frames",
+                            running.frames
+                        ),
+                    });
+                }
+                Err(e) => return Err(io_err(&self.path, "read", e)),
+            }
+            let len = u32::from_le_bytes(len_buf);
+            if len > MAX_SPILL_FRAME_BYTES {
+                return Err(BufError::Corrupt {
+                    path: self.path.clone(),
+                    detail: format!("frame length prefix {len} exceeds spill frame cap"),
+                });
+            }
+            let mut frame = vec![0u8; len as usize];
+            r.read_exact(&mut frame).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    BufError::Truncated {
+                        path: self.path.clone(),
+                        detail: format!(
+                            "mid-frame EOF after {} complete frames",
+                            running.frames
+                        ),
+                    }
+                } else {
+                    io_err(&self.path, "read", e)
+                }
+            })?;
+            bytes_read += 4 + len as u64;
+            match decode_frame(&frame)? {
+                Frame::Rows(batch) => {
+                    running.frames += 1;
+                    running.rows += batch.len() as u64;
+                    running.checksum = checksum_update(running.checksum, &frame);
+                    rows.extend(batch);
+                }
+                Frame::Schema(_) => {
+                    return Err(BufError::Corrupt {
+                        path: self.path.clone(),
+                        detail: "unexpected schema frame in spill file".to_string(),
+                    });
+                }
+                Frame::Fin(fin) => {
+                    if fin != running {
+                        return Err(BufError::Corrupt {
+                            path: self.path.clone(),
+                            detail: format!(
+                                "fin mismatch: fin says {} frames/{} rows/checksum {:#x}, \
+                                 file has {} frames/{} rows/checksum {:#x}",
+                                fin.frames,
+                                fin.rows,
+                                fin.checksum,
+                                running.frames,
+                                running.rows,
+                                running.checksum
+                            ),
+                        });
+                    }
+                    // Exactly one fin, and nothing after it.
+                    let mut trailing = [0u8; 1];
+                    match read_exact_or_eof(&mut r, &mut trailing) {
+                        Ok(false) => {}
+                        Ok(true) => {
+                            return Err(BufError::Corrupt {
+                                path: self.path.clone(),
+                                detail: "bytes after fin frame".to_string(),
+                            });
+                        }
+                        Err(e) => return Err(io_err(&self.path, "read", e)),
+                    }
+                    lardb_obs::global().counter("spill.bytes_read").add(bytes_read);
+                    return Ok(rows);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// `Ok(true)` if `buf` was filled, `Ok(false)` on clean EOF at offset 0.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-record",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_storage::Value;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lardb-buf-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("test dir");
+        d
+    }
+
+    fn sample_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Integer(i as i64),
+                    Value::Double(i as f64 * 0.5),
+                    Value::varchar(format!("row-{i}")),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_multi_frame() {
+        let dir = test_dir("roundtrip");
+        let rows = sample_rows(700); // 3 frames at 256 rows/frame
+        let mut w = SpillWriter::create(&dir, "rt").expect("create");
+        w.write_rows(&rows[..300]).expect("write");
+        w.write_rows(&rows[300..]).expect("write");
+        assert_eq!(w.rows(), 700);
+        let f = w.finish().expect("finish");
+        assert_eq!(f.rows(), 700);
+        assert!(f.bytes() > 0);
+        let back = f.read_rows().expect("read");
+        assert_eq!(back.len(), rows.len());
+        for (a, b) in rows.iter().zip(&back) {
+            assert_eq!(a.values().len(), b.values().len());
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert!(lardb_net::codec::wire_eq(x, y));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let dir = test_dir("empty");
+        let w = SpillWriter::create(&dir, "empty").expect("create");
+        let f = w.finish().expect("finish");
+        assert_eq!(f.read_rows().expect("read").len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unfinished_writer_removes_file_on_drop() {
+        let dir = test_dir("drop-writer");
+        let mut w = SpillWriter::create(&dir, "d").expect("create");
+        w.write_rows(&sample_rows(10)).expect("write");
+        let path = w.inner.as_ref().expect("open").path.clone();
+        drop(w);
+        assert!(!path.exists(), "partial spill file must be deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_file_removed_on_drop() {
+        let dir = test_dir("drop-file");
+        let mut w = SpillWriter::create(&dir, "d").expect("create");
+        w.write_rows(&sample_rows(10)).expect("write");
+        let f = w.finish().expect("finish");
+        let path = f.path().to_path_buf();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists(), "sealed spill file must be deleted on drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let dir = test_dir("trunc");
+        let mut w = SpillWriter::create(&dir, "t").expect("create");
+        w.write_rows(&sample_rows(600)).expect("write");
+        let f = w.finish().expect("finish");
+        let full = std::fs::read(f.path()).expect("slurp");
+        for cut in [full.len() - 1, full.len() - 20, full.len() / 2, 3, 0] {
+            std::fs::write(f.path(), &full[..cut]).expect("truncate");
+            match f.read_rows() {
+                Err(BufError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let dir = test_dir("trailing");
+        let mut w = SpillWriter::create(&dir, "t").expect("create");
+        w.write_rows(&sample_rows(5)).expect("write");
+        let f = w.finish().expect("finish");
+        let mut full = std::fs::read(f.path()).expect("slurp");
+        full.push(0x00);
+        std::fs::write(f.path(), &full).expect("append");
+        match f.read_rows() {
+            Err(BufError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("after fin"), "detail: {detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = test_dir("missing");
+        let mut w = SpillWriter::create(&dir, "m").expect("create");
+        w.write_rows(&sample_rows(3)).expect("write");
+        let f = w.finish().expect("finish");
+        std::fs::remove_file(f.path()).expect("remove");
+        match f.read_rows() {
+            Err(BufError::Io { op, .. }) => assert_eq!(op, "open"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

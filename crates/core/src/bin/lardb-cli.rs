@@ -109,6 +109,18 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--mem-budget-mb" => {
+                config.mem = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--spill-dir" => {
+                config.spill_dir = Some(
+                    argv.next().map(std::path::PathBuf::from).unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
     }
@@ -237,7 +249,8 @@ fn usage() -> ! {
          [--scheduler pool|spawn] [--gemm-par-flops N] \
          [--net-timeout-ms MS] [--max-frame-bytes N] \
          [--fault-kind drop|truncate|corrupt|delay|kill] [--fault-seed N] \
-         [--fault-rate-ppm N] [--fault-after N]"
+         [--fault-rate-ppm N] [--fault-after N] \
+         [--mem-budget-mb N (0 = unbounded)] [--spill-dir PATH]"
     );
     std::process::exit(2);
 }

@@ -5,7 +5,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use lardb_exec::{Cluster, ExecStats, Executor, NetConfig, SchedulerMode, TransportMode};
+use lardb_exec::{
+    Cluster, ExecStats, Executor, MemoryConfig, NetConfig, SchedulerMode, TransportMode,
+};
 use lardb_pool::WorkerPool;
 use lardb_obs::{CollectingSink, OperatorProfile, QueryProfile, SpanGuard, Stage};
 use lardb_planner::physical::PhysicalPlanner;
@@ -55,6 +57,18 @@ pub struct DatabaseConfig {
     /// maximum accepted frame size, and an optional deterministic fault
     /// injection plan (see `lardb_exec::FaultPlan`) for chaos testing.
     pub net: NetConfig,
+    /// Memory budget for pipeline-breaking operators, in MiB. `None`
+    /// (the default) shares the process-wide governor sized from
+    /// `LARDB_MEM_BUDGET_MB` (unset ⇒ unbounded); `Some(0)` gives this
+    /// database a dedicated *unbounded* governor; `Some(n)` gives it a
+    /// dedicated `n`-MiB governor. When a hash join or grouped aggregate
+    /// cannot reserve its working set it spills partitions to disk and
+    /// finishes out-of-core (see `lardb_buf`).
+    pub mem: Option<u64>,
+    /// Directory for spill files. `None` (the default) uses
+    /// `LARDB_SPILL_DIR`, falling back to the OS temp dir. Spill files
+    /// are removed as soon as they are drained (and on abort).
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DatabaseConfig {
@@ -69,6 +83,8 @@ impl Default for DatabaseConfig {
             scheduler: SchedulerMode::default(),
             gemm_parallel_flops: None,
             net: NetConfig::default(),
+            mem: None,
+            spill_dir: None,
         }
     }
 }
@@ -157,6 +173,11 @@ pub struct Database {
     /// set — created once here and shared by every query's cluster (and
     /// by clones of this database). `None` ⇒ the process-wide pool.
     pool: Option<Arc<WorkerPool>>,
+    /// Memory governor + spill directory every query's executor runs
+    /// under, built once from [`DatabaseConfig::mem`] /
+    /// [`DatabaseConfig::spill_dir`] so reservations and peak tracking
+    /// are shared across queries (and clones) of this database.
+    mem: MemoryConfig,
 }
 
 impl Database {
@@ -175,12 +196,23 @@ impl Database {
             lardb_la::gemm::set_parallel_flops(flops);
         }
         let pool = config.pool_workers.map(|n| Arc::new(WorkerPool::new(n)));
+        let mem = match config.mem {
+            None => match &config.spill_dir {
+                None => MemoryConfig::shared(),
+                Some(dir) => MemoryConfig::shared().with_spill_dir(dir.clone()),
+            },
+            Some(0) => MemoryConfig::with_budget(None, config.spill_dir.clone()),
+            Some(mb) => {
+                MemoryConfig::with_budget(Some(mb * 1024 * 1024), config.spill_dir.clone())
+            }
+        };
         Database {
             catalog: Arc::new(Catalog::new()),
             config,
             last_profile: Arc::new(Mutex::new(None)),
             metrics_table_auto: Arc::new(AtomicBool::new(false)),
             pool,
+            mem,
         }
     }
 
@@ -496,7 +528,8 @@ impl Database {
             let _g = SpanGuard::enter(sink, Stage::Execute, "");
             let executor = Executor::new(&self.catalog, self.cluster())
                 .with_transport(self.config.transport)
-                .with_net_config(self.config.net.clone());
+                .with_net_config(self.config.net.clone())
+                .with_memory(self.mem.clone());
             executor.execute(&physical)?
         };
         let operators = join_estimates(&estimates, &result.stats);

@@ -41,7 +41,8 @@ pub use error::{EngineError, Result};
 // Re-exports for downstream convenience (examples, benches, tests).
 pub use lardb_exec::{
     CancelToken, ChannelStats, Cluster, ExecStats, Executor, FaultKind, FaultPlan,
-    NetConfig, OperatorStats, SchedulerMode, ShuffleStats, TransportMode,
+    MemoryConfig, NetConfig, OperatorStats, SchedulerMode, ShuffleStats, SpillStats,
+    TransportMode,
 };
 pub use lardb_la::{LabeledScalar, Matrix, Vector};
 pub use lardb_obs::{

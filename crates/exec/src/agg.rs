@@ -150,6 +150,25 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Approximate heap bytes held by this accumulator's state — what the
+    /// spilling aggregation charges against its memory reservation. Cheap
+    /// per variant (the builder aggregates are O(entries), but entry counts
+    /// are exactly what the estimate must track).
+    pub fn state_bytes(&self) -> usize {
+        fn opt(v: &Option<Value>) -> usize {
+            v.as_ref().map_or(1, Value::byte_size)
+        }
+        match self {
+            Accumulator::Sum(acc) | Accumulator::Min(acc) | Accumulator::Max(acc) => opt(acc),
+            Accumulator::Count(_) => 8,
+            Accumulator::Avg(acc, _) => opt(acc) + 8,
+            Accumulator::Vectorize(b) => b.entries().len() * 16,
+            Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => {
+                b.entries().iter().map(|(_, v)| 8 + v.len() * 8).sum()
+            }
+        }
+    }
+
     /// Produces the final aggregate value.
     pub fn finish(self) -> Value {
         match self {
@@ -436,6 +455,20 @@ mod tests {
         let mut s = Accumulator::new(AggFunc::Sum);
         s.update(&Value::vector(Vector::zeros(2))).unwrap();
         assert!(s.update(&Value::Double(1.0)).is_err());
+    }
+
+    #[test]
+    fn state_bytes_tracks_growth() {
+        let mut s = Accumulator::new(AggFunc::Sum);
+        let empty = s.state_bytes();
+        s.update(&Value::matrix(Matrix::from_fn(8, 8, |_, _| 1.0))).unwrap();
+        assert!(s.state_bytes() >= 8 * 8 * 8, "matrix sum charged its payload");
+        assert!(s.state_bytes() > empty);
+
+        let mut v = Accumulator::new(AggFunc::Vectorize);
+        let before = v.state_bytes();
+        v.update(&Value::LabeledScalar(LabeledScalar::new(1.0, 3))).unwrap();
+        assert!(v.state_bytes() > before);
     }
 
     #[test]

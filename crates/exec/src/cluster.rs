@@ -287,7 +287,17 @@ impl Cluster {
                 flag_abort(&self.cancel, &e);
                 return Err(e);
             }
-            slots.into_iter().map(|r| r.expect("scope ran every morsel")).collect()
+            // An unfilled slot means the pool dropped a morsel without
+            // running it — surface as an error instead of panicking the
+            // coordinating thread.
+            slots
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|| {
+                        Err(ExecError::Runtime("pool dropped a morsel unrun".into()))
+                    })
+                })
+                .collect()
         };
         // Reassemble per partition, morsel order preserved.
         let mut out: Vec<Vec<R>> = (0..num_parts).map(|_| Vec::new()).collect();
@@ -322,7 +332,14 @@ impl Cluster {
             flag_abort(&self.cancel, &e);
             return Err(e);
         }
-        slots.into_iter().map(|r| r.expect("scope ran every task")).collect()
+        slots
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(ExecError::Runtime("pool dropped a task unrun".into()))
+                })
+            })
+            .collect()
     }
 }
 

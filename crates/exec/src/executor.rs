@@ -3,8 +3,11 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lardb_buf::{MemoryGovernor, MemoryReservation, SpillFile, SpillWriter};
 use lardb_net::codec::{
     checksum_update, decode_frame, encode_fin_frame, encode_rows_frame, encode_schema_frame,
     FinSummary, Frame, CHECKSUM_SEED,
@@ -22,7 +25,7 @@ use lardb_storage::{Catalog, Partitioning, Row, Schema, Value};
 use crate::agg::{state_arity, Accumulator};
 use crate::cluster::{flag_abort, panic_message, CancelToken, Cluster};
 use crate::eval::{eval, eval_predicate};
-use crate::stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};
+use crate::stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats, SpillStats};
 use crate::{ExecError, Result};
 
 /// Rows per encoded frame on serialized transports: large enough to
@@ -32,6 +35,75 @@ const ROWS_PER_FRAME: usize = 256;
 
 /// Partitioned rows: one `Vec<Row>` per worker.
 type Parts = Vec<Vec<Row>>;
+
+/// Buckets a spilled build side (or aggregation state) fans out into per
+/// spill level. 8 buckets per level × up to [`MAX_SPILL_DEPTH`] levels
+/// bounds each bucket at fanout^depth-th of the input.
+const SPILL_FANOUT: usize = 8;
+
+/// Recursion cap for the grace join. A bucket still over budget at this
+/// depth is duplicate-key-heavy and will not shrink by re-partitioning, so
+/// it is processed under a forced (overcommitted) reservation instead of
+/// recursing forever.
+const MAX_SPILL_DEPTH: usize = 6;
+
+/// Memory-budget knobs for out-of-core execution: which [`MemoryGovernor`]
+/// operators reserve against, and where spill files go.
+#[derive(Debug, Clone)]
+pub struct MemoryConfig {
+    governor: Arc<MemoryGovernor>,
+    spill_dir: PathBuf,
+}
+
+impl MemoryConfig {
+    /// The shared process-wide governor, sized by `LARDB_MEM_BUDGET_MB`
+    /// (unset or `0` = unbounded), spilling to `LARDB_SPILL_DIR` or the OS
+    /// temp dir.
+    pub fn shared() -> Self {
+        MemoryConfig {
+            governor: Arc::clone(lardb_buf::global()),
+            spill_dir: lardb_buf::default_spill_dir(),
+        }
+    }
+
+    /// A dedicated governor with an explicit budget in bytes (`None` =
+    /// unbounded) and an optional spill directory override.
+    pub fn with_budget(budget: Option<u64>, spill_dir: Option<PathBuf>) -> Self {
+        MemoryConfig {
+            governor: Arc::new(MemoryGovernor::new(budget)),
+            spill_dir: spill_dir.unwrap_or_else(lardb_buf::default_spill_dir),
+        }
+    }
+
+    /// Overrides the spill directory (builder style), keeping the
+    /// governor unchanged.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = dir;
+        self
+    }
+
+    /// The governor operators reserve bytes against.
+    pub fn governor(&self) -> &Arc<MemoryGovernor> {
+        &self.governor
+    }
+
+    /// Directory spill files are created in.
+    pub fn spill_dir(&self) -> &Path {
+        &self.spill_dir
+    }
+
+    /// True when a finite budget is configured — the only case where the
+    /// out-of-core paths can engage.
+    pub fn bounded(&self) -> bool {
+        self.governor.budget().is_some()
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::shared()
+    }
+}
 
 /// The result of executing a physical plan.
 #[derive(Debug)]
@@ -71,6 +143,7 @@ pub struct Executor<'a> {
     fuse: bool,
     mode: TransportMode,
     net: NetConfig,
+    mem: MemoryConfig,
 }
 
 impl<'a> Executor<'a> {
@@ -83,7 +156,16 @@ impl<'a> Executor<'a> {
             fuse: true,
             mode: TransportMode::default(),
             net: NetConfig::default(),
+            mem: MemoryConfig::default(),
         }
+    }
+
+    /// Applies a memory budget: hash joins and grouped aggregations reserve
+    /// their state against the config's governor and fall back to disk-backed
+    /// out-of-core execution when a reservation is denied.
+    pub fn with_memory(mut self, mem: MemoryConfig) -> Self {
+        self.mem = mem;
+        self
     }
 
     /// Enables or disables pipelined join→aggregate fusion (the ablation
@@ -183,18 +265,9 @@ impl<'a> Executor<'a> {
                 let l = self.run(left, stats)?;
                 let r = self.run(right, stats)?;
                 let t0 = Instant::now();
-                // Build phase: one hash table per partition (partition-
-                // granular; the build side is the smaller input and a
-                // shared-table build would need synchronization).
-                let tables: Vec<HashMap<CompositeKey, Vec<Row>>> =
-                    self.cluster.par_map(l, |_, lp| build_join_table(lp, left_keys))?;
-                // Probe phase: row-range morsels against the (read-only)
-                // per-partition tables.
-                let morsels = self.cluster.morsel_map(r, |p, rows| {
-                    probe_join_table(&tables[p], rows, right_keys, residual.as_ref())
-                })?;
-                let out = flatten_morsels(morsels);
-                self.record(plan, stats, t0, &out, ShuffleStats::default());
+                let (out, spill) =
+                    self.hash_join(l, r, left_keys, right_keys, residual.as_ref())?;
+                self.record_spill(plan, stats, t0, &out, ShuffleStats::default(), spill);
                 out
             }
             PhysicalPlan::NestedLoopJoin { left, right, residual, .. } => {
@@ -253,20 +326,33 @@ impl<'a> Executor<'a> {
                     }
                     Ok(agg)
                 })?;
-                let out = partials
-                    .into_iter()
-                    .map(merge_partials)
-                    .collect::<Result<Parts>>()?;
+                // Under a memory budget, grouped merges go through the
+                // spilling path (identical to the in-memory merge while the
+                // reservation holds). Global aggregates hold a single
+                // group's state and gain nothing from bucketing it.
+                let mut spill = SpillStats::default();
+                let mut out = Vec::with_capacity(partials.len());
+                if self.mem.bounded() && !group_by.is_empty() {
+                    for pp in partials {
+                        let (rows, sp) =
+                            merge_partials_spilling(pp, group_by.len(), aggs, *mode, &self.mem)?;
+                        spill.merge(sp);
+                        out.push(rows);
+                    }
+                } else {
+                    for pp in partials {
+                        out.push(merge_partials(pp)?);
+                    }
+                }
                 // Global aggregates produce exactly one row even over empty
                 // input — but only on partition 0 of a gathered stream.
-                let mut out = out;
                 if group_by.is_empty()
                     && matches!(mode, AggMode::Final | AggMode::Complete)
                     && out.iter().all(Vec::is_empty)
                 {
                     out[0] = vec![empty_global_row(aggs)];
                 }
-                self.record(plan, stats, t0, &out, ShuffleStats::default());
+                self.record_spill(plan, stats, t0, &out, ShuffleStats::default(), spill);
                 out
             }
             PhysicalPlan::Exchange { input, kind, .. } => {
@@ -302,6 +388,97 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
+    /// Hash join with out-of-core fallback. Each partition's build side
+    /// first asks the memory governor for a reservation sized to its rows;
+    /// granted partitions build and probe exactly as before (morselized
+    /// probe). A denied partition runs as a Grace join: the build rows fan
+    /// out into hashed spill buckets on disk, the probe rows are routed to
+    /// the same buckets (tagged with their original position), and each
+    /// bucket joins independently — recursively re-partitioning while its
+    /// rows still exceed the budget. Output rows are restored to exact
+    /// probe order, so the result is bit-identical to the in-memory path.
+    fn hash_join(
+        &self,
+        l: Parts,
+        r: Parts,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        residual: Option<&Expr>,
+    ) -> Result<(Parts, SpillStats)> {
+        let mem = &self.mem;
+        // Build phase: one hash table (or spilled bucket set) per partition
+        // (partition-granular; the build side is the smaller input and a
+        // shared-table build would need synchronization).
+        let prepped: Vec<(BuildSide, SpillStats)> =
+            self.cluster.par_map(l, |_, lp| {
+                let mut spill = SpillStats::default();
+                let footprint = rows_footprint(&lp);
+                match mem.governor().try_reserve(footprint) {
+                    Some(res) => Ok((
+                        BuildSide::InMem {
+                            table: build_join_table(lp, left_keys)?,
+                            _res: res,
+                        },
+                        spill,
+                    )),
+                    None => {
+                        let buckets =
+                            spill_build_buckets(lp, left_keys, mem, 0, &mut spill)?;
+                        Ok((BuildSide::Spilled { buckets }, spill))
+                    }
+                }
+            })?;
+        // Probe rows for spilled partitions are held aside; in-memory
+        // partitions go through the unchanged morselized probe.
+        let mut probe_parts: Parts = Vec::with_capacity(r.len());
+        let mut grace_probe: Vec<Vec<Row>> = Vec::with_capacity(r.len());
+        for (p, rp) in r.into_iter().enumerate() {
+            match prepped.get(p).map(|(side, _)| side) {
+                Some(BuildSide::Spilled { .. }) => {
+                    probe_parts.push(Vec::new());
+                    grace_probe.push(rp);
+                }
+                _ => {
+                    probe_parts.push(rp);
+                    grace_probe.push(Vec::new());
+                }
+            }
+        }
+        let morsels = self.cluster.morsel_map(probe_parts, |p, rows| {
+            match &prepped[p].0 {
+                BuildSide::InMem { table, .. } => {
+                    probe_join_table(table, rows, right_keys, residual)
+                }
+                // Spilled partitions got an empty probe vector above.
+                BuildSide::Spilled { .. } => Ok(Vec::new()),
+            }
+        })?;
+        let mut out = flatten_morsels(morsels);
+        // Grace phase: spilled partitions join bucket-by-bucket, in
+        // parallel across partitions.
+        let mut spill_total = SpillStats::default();
+        let mut jobs: Vec<(usize, Vec<SpillFile>, Vec<Row>)> = Vec::new();
+        for (p, (side, sp)) in prepped.into_iter().enumerate() {
+            spill_total.merge(sp);
+            if let BuildSide::Spilled { buckets } = side {
+                jobs.push((p, buckets, std::mem::take(&mut grace_probe[p])));
+            }
+        }
+        if !jobs.is_empty() {
+            let results = self.cluster.par_map(jobs, |_, (p, buckets, probe)| {
+                let (rows, spill) = grace_join_partition(
+                    buckets, probe, left_keys, right_keys, residual, mem,
+                )?;
+                Ok((p, rows, spill))
+            })?;
+            for (p, rows, sp) in results {
+                out[p] = rows;
+                spill_total.merge(sp);
+            }
+        }
+        Ok((out, spill_total))
+    }
+
     /// Pipelined join→aggregate execution. Joined rows flow through the
     /// projection/filter chain straight into the aggregation hash table,
     /// in chunks so join time and aggregation time can still be attributed
@@ -324,8 +501,10 @@ impl<'a> Executor<'a> {
             joined_rows: usize,
             join_ns: u64,
             agg_ns: u64,
+            spill: SpillStats,
         }
 
+        let mem = &self.mem;
         let fuse_partition = |lp: Vec<Row>,
                               rp: Vec<Row>,
                               join: &PhysicalPlan|
@@ -335,6 +514,7 @@ impl<'a> Executor<'a> {
             let mut buf: Vec<Row> = Vec::with_capacity(CHUNK);
             let mut joined_rows = 0usize;
             let mut agg_ns = 0u64;
+            let mut spill = SpillStats::default();
 
             let mut flush = |buf: &mut Vec<Row>, agg: &mut GroupedAgg| -> Result<()> {
                 let t = Instant::now();
@@ -358,37 +538,54 @@ impl<'a> Executor<'a> {
 
             match join {
                 PhysicalPlan::HashJoin { left_keys, right_keys, residual, .. } => {
-                    let mut table: HashMap<CompositeKey, Vec<Row>> =
-                        HashMap::with_capacity(lp.len());
-                    'build: for r in lp {
-                        let mut vals = Vec::with_capacity(left_keys.len());
-                        for k in left_keys {
-                            let v = eval(k, &r)?;
-                            if v.is_null() {
-                                continue 'build;
-                            }
-                            vals.push(v);
-                        }
-                        table.entry(CompositeKey::from_values(vals)).or_default().push(r);
-                    }
-                    'probe: for r in rp {
-                        let mut vals = Vec::with_capacity(right_keys.len());
-                        for k in right_keys {
-                            let v = eval(k, &r)?;
-                            if v.is_null() {
-                                continue 'probe;
-                            }
-                            vals.push(v);
-                        }
-                        if let Some(matches) = table.get(&CompositeKey::from_values(vals)) {
-                            for l in matches {
-                                let joined = l.concat(&r);
-                                if let Some(res) = residual {
-                                    if !eval_predicate(res, &joined)? {
-                                        continue;
+                    let footprint = rows_footprint(&lp);
+                    match mem.governor().try_reserve(footprint) {
+                        Some(_res) => {
+                            let table = build_join_table(lp, left_keys)?;
+                            'probe: for r in rp {
+                                let mut vals = Vec::with_capacity(right_keys.len());
+                                for k in right_keys {
+                                    let v = eval(k, &r)?;
+                                    if v.is_null() {
+                                        continue 'probe;
+                                    }
+                                    vals.push(v);
+                                }
+                                if let Some(matches) =
+                                    table.get(&CompositeKey::from_values(vals))
+                                {
+                                    for l in matches {
+                                        let joined = l.concat(&r);
+                                        if let Some(res) = residual {
+                                            if !eval_predicate(res, &joined)? {
+                                                continue;
+                                            }
+                                        }
+                                        emit(joined, &mut buf, &mut agg)?;
                                     }
                                 }
-                                emit(joined, &mut buf, &mut agg)?;
+                            }
+                        }
+                        None => {
+                            // Out-of-core fused join: grace-join the
+                            // partition, then stream the joined rows into
+                            // the aggregate in exact probe order, so the
+                            // result stays bit-identical to the in-memory
+                            // fused path.
+                            let buckets = spill_build_buckets(
+                                lp, left_keys, mem, 0, &mut spill,
+                            )?;
+                            let (joined, sp) = grace_join_partition(
+                                buckets,
+                                rp,
+                                left_keys,
+                                right_keys,
+                                residual.as_ref(),
+                                mem,
+                            )?;
+                            spill.merge(sp);
+                            for row in joined {
+                                emit(row, &mut buf, &mut agg)?;
                             }
                         }
                     }
@@ -415,6 +612,7 @@ impl<'a> Executor<'a> {
                 joined_rows,
                 join_ns: total_ns.saturating_sub(agg_ns),
                 agg_ns,
+                spill,
             })
         };
 
@@ -434,6 +632,10 @@ impl<'a> Executor<'a> {
         let join_ns = parts.iter().map(|p| p.join_ns).max().unwrap_or(0);
         let agg_ns = parts.iter().map(|p| p.agg_ns).max().unwrap_or(0);
         let joined_rows: usize = parts.iter().map(|p| p.joined_rows).sum();
+        let mut join_spill = SpillStats::default();
+        for p in &parts {
+            join_spill.merge(p.spill);
+        }
         let mut out: Parts = parts.into_iter().map(|p| p.rows).collect();
 
         if group_by.is_empty()
@@ -449,6 +651,7 @@ impl<'a> Executor<'a> {
             wall: std::time::Duration::from_nanos(join_ns),
             rows_out: joined_rows,
             shuffle: ShuffleStats::default(),
+            spill: join_spill,
         });
         stats.record(OperatorStats {
             id: agg_plan.id(),
@@ -456,6 +659,7 @@ impl<'a> Executor<'a> {
             wall: std::time::Duration::from_nanos(agg_ns),
             rows_out: out.iter().map(Vec::len).sum(),
             shuffle: ShuffleStats::default(),
+            spill: SpillStats::default(),
         });
         Ok(out)
     }
@@ -468,12 +672,25 @@ impl<'a> Executor<'a> {
         out: &Parts,
         shuffle: ShuffleStats,
     ) {
+        self.record_spill(plan, stats, t0, out, shuffle, SpillStats::default());
+    }
+
+    fn record_spill(
+        &self,
+        plan: &PhysicalPlan,
+        stats: &mut ExecStats,
+        t0: Instant,
+        out: &Parts,
+        shuffle: ShuffleStats,
+        spill: SpillStats,
+    ) {
         stats.record(OperatorStats {
             id: plan.id(),
             label: plan.label(),
             wall: t0.elapsed(),
             rows_out: out.iter().map(Vec::len).sum(),
             shuffle,
+            spill,
         });
     }
 
@@ -674,7 +891,17 @@ impl<'a> Executor<'a> {
             let mut local = Some(local);
             for (from, received_rows) in per_from.iter_mut().enumerate() {
                 if from == q {
-                    part.append(&mut local.take().expect("local rows consumed once"));
+                    // `from == q` holds exactly once per outer iteration;
+                    // a missing value is a logic bug, but surface it as a
+                    // typed error rather than panicking the coordinator.
+                    match local.take() {
+                        Some(mut l) => part.append(&mut l),
+                        None => {
+                            return Err(ExecError::Runtime(
+                                "exchange local rows consumed twice".into(),
+                            ))
+                        }
+                    }
                 } else {
                     part.append(received_rows);
                 }
@@ -717,6 +944,12 @@ fn publish_metrics(stats: &ExecStats) {
         registry
             .histogram("exec.enqueue_block_us")
             .observe(blocked.as_micros() as u64);
+    }
+    // spill.files / spill.bytes_written / spill.bytes_read are fed by
+    // lardb-buf as files are produced; per-query bucket counts land here.
+    let buckets: usize = stats.operators().iter().map(|o| o.spill.partitions).sum();
+    if buckets > 0 {
+        registry.counter("spill.partitions").add(buckets as u64);
     }
 }
 
@@ -1157,6 +1390,191 @@ fn probe_join_table(
     Ok(out)
 }
 
+/// A prepared hash-join build partition: resident (holding its memory
+/// reservation for the probe's duration) or spilled to hashed bucket files.
+enum BuildSide {
+    InMem {
+        table: HashMap<CompositeKey, Vec<Row>>,
+        _res: MemoryReservation,
+    },
+    Spilled { buckets: Vec<SpillFile> },
+}
+
+/// Bytes a materialized row set is charged against the governor: payload
+/// bytes plus per-row container overhead (Arc + Vec headers).
+fn rows_footprint(rows: &[Row]) -> u64 {
+    rows.iter().map(|r| r.byte_size() as u64 + 48).sum()
+}
+
+/// The composite join key of `row`, or `None` when any key column is NULL
+/// (NULL never joins).
+fn join_key(row: &Row, keys: &[Expr]) -> Result<Option<CompositeKey>> {
+    let mut vals = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = eval(k, row)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        vals.push(v);
+    }
+    Ok(Some(CompositeKey::from_values(vals)))
+}
+
+/// Spill bucket for a key at a recursion level. The level salts the hash so
+/// every recursion re-partitions differently (and differently from the
+/// worker routing in `hash_route`, which uses the unsalted key hash — the
+/// very hash that put all these rows in one partition).
+fn bucket_of(key: &CompositeKey, level: usize, fanout: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    (0xB0F1_5EEDu64 ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() % fanout as u64) as usize
+}
+
+/// Fans a build side out into [`SPILL_FANOUT`] hashed bucket files at the
+/// given recursion level, preserving relative row order within each bucket
+/// (what keeps grace output bit-identical to the in-memory join). NULL-key
+/// rows are dropped here — they can never join.
+fn spill_build_buckets(
+    rows: Vec<Row>,
+    keys: &[Expr],
+    mem: &MemoryConfig,
+    level: usize,
+    spill: &mut SpillStats,
+) -> Result<Vec<SpillFile>> {
+    let fanout = SPILL_FANOUT;
+    let mut writers = Vec::with_capacity(fanout);
+    for b in 0..fanout {
+        writers.push(SpillWriter::create(
+            mem.spill_dir(),
+            &format!("join-l{level}-b{b}"),
+        )?);
+    }
+    spill.partitions += fanout;
+    let mut bufs: Vec<Vec<Row>> = vec![Vec::new(); fanout];
+    for r in rows {
+        let Some(key) = join_key(&r, keys)? else { continue };
+        let b = bucket_of(&key, level, fanout);
+        bufs[b].push(r);
+        if bufs[b].len() >= ROWS_PER_FRAME {
+            writers[b].write_rows(&bufs[b])?;
+            bufs[b].clear();
+        }
+    }
+    let mut files = Vec::with_capacity(fanout);
+    for (mut w, buf) in writers.into_iter().zip(bufs) {
+        if !buf.is_empty() {
+            w.write_rows(&buf)?;
+        }
+        let f = w.finish()?;
+        spill.files += 1;
+        spill.bytes_written += f.bytes() as usize;
+        files.push(f);
+    }
+    Ok(files)
+}
+
+/// Joins one spilled partition: probe rows are tagged with their original
+/// position, routed to the build's buckets, joined bucket-by-bucket
+/// (recursing while a bucket still exceeds the budget), and the output
+/// restored to exact probe order.
+fn grace_join_partition(
+    buckets: Vec<SpillFile>,
+    probe: Vec<Row>,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    residual: Option<&Expr>,
+    mem: &MemoryConfig,
+) -> Result<(Vec<Row>, SpillStats)> {
+    let mut spill = SpillStats::default();
+    let fanout = buckets.len();
+    let mut probe_buckets: Vec<Vec<(usize, Row)>> = vec![Vec::new(); fanout];
+    for (i, r) in probe.into_iter().enumerate() {
+        if let Some(key) = join_key(&r, right_keys)? {
+            probe_buckets[bucket_of(&key, 0, fanout)].push((i, r));
+        }
+    }
+    let mut tagged: Vec<(usize, Row)> = Vec::new();
+    for (file, probes) in buckets.into_iter().zip(probe_buckets) {
+        grace_bucket(
+            file, probes, left_keys, right_keys, residual, mem, 1, &mut tagged, &mut spill,
+        )?;
+    }
+    // Stable sort: a probe row's multiple matches keep their build order.
+    tagged.sort_by_key(|&(i, _)| i);
+    Ok((tagged.into_iter().map(|(_, r)| r).collect(), spill))
+}
+
+/// Joins one grace bucket, re-partitioning recursively while the bucket's
+/// build rows exceed the budget. `level` is the salt the *next* spill
+/// level would use.
+#[allow(clippy::too_many_arguments)]
+fn grace_bucket(
+    file: SpillFile,
+    probes: Vec<(usize, Row)>,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    residual: Option<&Expr>,
+    mem: &MemoryConfig,
+    level: usize,
+    out: &mut Vec<(usize, Row)>,
+    spill: &mut SpillStats,
+) -> Result<()> {
+    if file.rows() == 0 || probes.is_empty() {
+        return Ok(()); // no matches possible; the file is deleted on drop
+    }
+    let rows = file.read_rows()?;
+    spill.bytes_read += file.bytes() as usize;
+    drop(file); // delete before building: halves peak disk usage
+    let footprint = rows_footprint(&rows);
+    let _res = match mem.governor().try_reserve(footprint) {
+        Some(res) => res,
+        None if level < MAX_SPILL_DEPTH => {
+            // Still too big: re-partition under the next level's salt.
+            let sub = spill_build_buckets(rows, left_keys, mem, level, spill)?;
+            let fanout = sub.len();
+            let mut sub_probes: Vec<Vec<(usize, Row)>> = vec![Vec::new(); fanout];
+            for (i, r) in probes {
+                if let Some(key) = join_key(&r, right_keys)? {
+                    sub_probes[bucket_of(&key, level, fanout)].push((i, r));
+                }
+            }
+            for (f, ps) in sub.into_iter().zip(sub_probes) {
+                grace_bucket(
+                    f, ps, left_keys, right_keys, residual, mem, level + 1, out, spill,
+                )?;
+            }
+            return Ok(());
+        }
+        // Recursion floor: a duplicate-heavy key set that re-partitioning
+        // cannot shrink. Overcommit and finish rather than loop forever.
+        None => mem.governor().force_reserve(footprint),
+    };
+    let table = build_join_table(rows, left_keys)?;
+    'probe: for (i, r) in probes {
+        let mut vals = Vec::with_capacity(right_keys.len());
+        for k in right_keys {
+            let v = eval(k, &r)?;
+            if v.is_null() {
+                continue 'probe;
+            }
+            vals.push(v);
+        }
+        if let Some(matches) = table.get(&CompositeKey::from_values(vals)) {
+            for l in matches {
+                let joined = l.concat(&r);
+                if let Some(res) = residual {
+                    if !eval_predicate(res, &joined)? {
+                        continue;
+                    }
+                }
+                out.push((i, joined));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A grouped-aggregation hash table, usable both batch-at-a-time and
 /// streamed (the fused join→aggregate path feeds it row by row).
 struct GroupedAgg<'a> {
@@ -1252,6 +1670,40 @@ impl<'a> GroupedAgg<'a> {
         Ok(())
     }
 
+    /// Approximate heap bytes of this table's state (group keys +
+    /// accumulator payloads + per-group bookkeeping), as charged against
+    /// the memory governor by the spilling merge.
+    fn state_bytes(&self) -> usize {
+        let keys: usize = self
+            .key_vals
+            .iter()
+            .map(|kv| kv.iter().map(Value::byte_size).sum::<usize>())
+            .sum();
+        let states: usize = self
+            .accs
+            .iter()
+            .map(|group| group.iter().map(Accumulator::state_bytes).sum::<usize>())
+            .sum();
+        keys + states + self.accs.len() * 64
+    }
+
+    /// Consumes the table into `[group cols][state cols]` rows in
+    /// first-seen order — the same layout `AggMode::Final` consumes, and
+    /// what the spilling merge writes to its bucket files.
+    fn into_state_rows(self) -> Vec<Row> {
+        self.key_vals
+            .into_iter()
+            .zip(self.accs)
+            .map(|(kv, accs)| {
+                let mut vals = kv;
+                for a in accs {
+                    vals.extend(a.state());
+                }
+                Row::new(vals)
+            })
+            .collect()
+    }
+
     /// Emits groups in first-seen order.
     fn finish(self) -> Vec<Row> {
         let mode = self.mode;
@@ -1285,6 +1737,174 @@ fn merge_partials(partials: Vec<GroupedAgg<'_>>) -> Result<Vec<Row>> {
         first.merge(p)?;
     }
     Ok(first.finish())
+}
+
+/// [`merge_partials`] under a memory budget. While the governor lets the
+/// merged table's reservation grow this IS the in-memory merge. On the
+/// first denial the merged prefix is flushed once to hashed bucket files
+/// as `[group cols][state cols]` rows, every remaining partial streams its
+/// state rows to the same buckets, and the buckets are drained one at a
+/// time. Per group, a bucket file replays accumulator states in exactly
+/// the morsel order the in-memory merge would have applied them, and a
+/// first-seen order map (keys only — small next to the states being
+/// spilled) restores the output order, so the result is bit-identical,
+/// float accumulation included.
+fn merge_partials_spilling(
+    partials: Vec<GroupedAgg<'_>>,
+    group_by_len: usize,
+    aggs: &[AggExpr],
+    mode: AggMode,
+    mem: &MemoryConfig,
+) -> Result<(Vec<Row>, SpillStats)> {
+    let mut spill = SpillStats::default();
+    let gov = mem.governor();
+    let mut parts = partials.into_iter();
+    let mut acc = match parts.next() {
+        Some(p) => p,
+        None => return Ok((Vec::new(), spill)),
+    };
+
+    // Phase 1: plain in-memory merge while the reservation can grow.
+    let mut reservation = gov.try_reserve(acc.state_bytes() as u64);
+    let mut overflow: Option<GroupedAgg> = None;
+    if let Some(res) = reservation.as_mut() {
+        for p in parts.by_ref() {
+            if !res.try_resize((acc.state_bytes() + p.state_bytes()) as u64) {
+                overflow = Some(p);
+                break;
+            }
+            acc.merge(p)?;
+        }
+        if overflow.is_none() {
+            return Ok((acc.finish(), spill));
+        }
+    }
+    drop(reservation); // the flush below is about to free that heap state
+
+    // Phase 2: out of core.
+    let fanout = SPILL_FANOUT;
+    let mut writers = Vec::with_capacity(fanout);
+    for b in 0..fanout {
+        writers.push(SpillWriter::create(mem.spill_dir(), &format!("agg-b{b}"))?);
+    }
+    spill.partitions += fanout;
+    let mut bufs: Vec<Vec<Row>> = vec![Vec::new(); fanout];
+    let mut order: HashMap<CompositeKey, usize> = HashMap::new();
+    let rest: Vec<GroupedAgg> = overflow.into_iter().chain(parts).collect();
+    for g in std::iter::once(acc).chain(rest) {
+        for row in g.into_state_rows() {
+            let kv = row.values().get(..group_by_len).ok_or_else(|| {
+                ExecError::Runtime(
+                    "aggregate state row shorter than its group key".to_string(),
+                )
+            })?;
+            let key = CompositeKey::from_values(kv.to_vec());
+            let next = order.len();
+            order.entry(key.clone()).or_insert(next);
+            let b = bucket_of(&key, 0, fanout);
+            bufs[b].push(row);
+            if bufs[b].len() >= ROWS_PER_FRAME {
+                writers[b].write_rows(&bufs[b])?;
+                bufs[b].clear();
+            }
+        }
+    }
+    let mut files = Vec::with_capacity(fanout);
+    for (mut w, buf) in writers.into_iter().zip(bufs) {
+        if !buf.is_empty() {
+            w.write_rows(&buf)?;
+        }
+        let f = w.finish()?;
+        spill.files += 1;
+        spill.bytes_written += f.bytes() as usize;
+        files.push(f);
+    }
+
+    // Drain: merge each bucket independently (a group never straddles
+    // buckets), then restore first-seen output order.
+    let mut tagged: Vec<(usize, Row)> = Vec::with_capacity(order.len());
+    for f in files {
+        if f.rows() == 0 {
+            continue;
+        }
+        let rows = f.read_rows()?;
+        spill.bytes_read += f.bytes() as usize;
+        drop(f);
+        let footprint = rows_footprint(&rows);
+        let _res = gov
+            .try_reserve(footprint)
+            .unwrap_or_else(|| gov.force_reserve(footprint));
+        drain_spilled_agg_bucket(rows, group_by_len, aggs, mode, &order, &mut tagged)?;
+    }
+    tagged.sort_by_key(|&(i, _)| i);
+    Ok((tagged.into_iter().map(|(_, r)| r).collect(), spill))
+}
+
+/// Replays one bucket's `[group cols][state cols]` rows into fresh
+/// accumulators (file order = in-memory merge order per group) and emits
+/// each group's output row tagged with its global first-seen index.
+fn drain_spilled_agg_bucket(
+    rows: Vec<Row>,
+    group_by_len: usize,
+    aggs: &[AggExpr],
+    out_mode: AggMode,
+    order: &HashMap<CompositeKey, usize>,
+    out: &mut Vec<(usize, Row)>,
+) -> Result<()> {
+    let mut groups: HashMap<CompositeKey, usize> = HashMap::new();
+    let mut key_vals: Vec<Vec<Value>> = Vec::new();
+    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
+    for row in rows {
+        let vals = row.values();
+        let kv = vals.get(..group_by_len).ok_or_else(|| {
+            ExecError::Runtime("spilled aggregate row shorter than its group key".to_string())
+        })?;
+        let key = CompositeKey::from_values(kv.to_vec());
+        let idx = match groups.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = accs.len();
+                groups.insert(key, i);
+                key_vals.push(kv.to_vec());
+                accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+                i
+            }
+        };
+        let mut off = group_by_len;
+        for (a, acc) in aggs.iter().zip(accs[idx].iter_mut()) {
+            let n = state_arity(a.func);
+            let state = vals.get(off..off + n).ok_or_else(|| {
+                ExecError::Runtime(format!(
+                    "spilled state row arity {} too short for state columns at {off}..{}",
+                    row.arity(),
+                    off + n
+                ))
+            })?;
+            acc.merge_state(state)?;
+            off += n;
+        }
+        if off != row.arity() {
+            return Err(ExecError::Runtime(format!(
+                "spilled state row arity {} does not match states ({off})",
+                row.arity()
+            )));
+        }
+    }
+    for (kv, group_accs) in key_vals.into_iter().zip(accs) {
+        let key = CompositeKey::from_values(kv.clone());
+        let ord = *order.get(&key).ok_or_else(|| {
+            ExecError::Runtime("spilled group missing from first-seen order map".to_string())
+        })?;
+        let mut vals = kv;
+        for acc in group_accs {
+            match out_mode {
+                AggMode::Partial => vals.extend(acc.state()),
+                AggMode::Final | AggMode::Complete => vals.push(acc.finish()),
+            }
+        }
+        out.push((ord, Row::new(vals)));
+    }
+    Ok(())
 }
 
 /// The one row a global aggregate yields over an empty input
@@ -1569,6 +2189,133 @@ mod tests {
             assert_eq!(fused.rows()[0].value(0), materialized.rows()[0].value(0));
             assert_eq!(fused.rows()[0].value(1), materialized.rows()[0].value(1));
         }
+    }
+
+    /// A MemoryConfig with a dedicated governor, a tiny budget, and its own
+    /// spill directory (so the test can assert cleanup).
+    fn tiny_mem(tag: &str) -> (MemoryConfig, std::path::PathBuf) {
+        let dir = std::env::temp_dir()
+            .join(format!("lardb-exec-spill-{}-{tag}", std::process::id()));
+        (MemoryConfig::with_budget(Some(64), Some(dir.clone())), dir)
+    }
+
+    fn spill_dir_empty(dir: &std::path::Path) -> bool {
+        match std::fs::read_dir(dir) {
+            Ok(mut it) => it.next().is_none(),
+            Err(_) => true, // never created — nothing leaked either
+        }
+    }
+
+    #[test]
+    fn budgeted_join_matches_unbounded_bit_exactly() {
+        let c = setup();
+        let stats_src: std::collections::HashMap<String, usize> = Default::default();
+        let join = LogicalPlan::Join {
+            left: Box::new(scan_plan(&c, "nums")),
+            right: Box::new(scan_plan(&c, "nums")),
+            kind: JoinKind::Inner,
+            equi: vec![(Expr::col(0), Expr::col(0))],
+            residual: None,
+        };
+        let mut pp = PhysicalPlanner::new(&c, &stats_src);
+        let plan = pp.plan_gathered(&join).unwrap();
+        let base = Executor::new(&c, Cluster::new(4)).execute(&plan).unwrap();
+        let (mem, dir) = tiny_mem("join");
+        let out = Executor::new(&c, Cluster::new(4))
+            .with_memory(mem)
+            .execute(&plan)
+            .unwrap();
+        assert_eq!(out.partitions, base.partitions, "grace join diverged");
+        assert!(out.stats.total_spill_bytes() > 0, "64-byte budget must spill");
+        assert!(out.stats.total_spill_files() > 0);
+        assert!(
+            out.stats.operators().iter().any(|o| o.label.starts_with("HashJoin")
+                && o.spill.spilled()
+                && o.spill.bytes_read > 0),
+            "spill must be attributed to the join operator"
+        );
+        assert!(spill_dir_empty(&dir), "spill files must be cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_grouped_aggregate_matches_unbounded_bit_exactly() {
+        use lardb_storage::ops::ArithOp;
+        let c = setup();
+        let stats_src: std::collections::HashMap<String, usize> = Default::default();
+        let parity = Expr::arith(
+            ArithOp::Sub,
+            Expr::col(0),
+            Expr::arith(
+                ArithOp::Mul,
+                Expr::arith(ArithOp::Div, Expr::col(0), Expr::lit(2i64)),
+                Expr::lit(2i64),
+            ),
+        );
+        let agg = LogicalPlan::aggregate(
+            scan_plan(&c, "nums"),
+            vec![(parity, "p".into())],
+            vec![
+                AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() },
+                AggExpr { func: AggFunc::Avg, arg: Some(Expr::col(1)), name: "a".into() },
+                AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+            ],
+        )
+        .unwrap();
+        let mut pp = PhysicalPlanner::new(&c, &stats_src);
+        let plan = pp.plan_gathered(&agg).unwrap();
+        let base = Executor::new(&c, Cluster::new(4)).execute(&plan).unwrap();
+        let (mem, dir) = tiny_mem("agg");
+        let out = Executor::new(&c, Cluster::new(4))
+            .with_memory(mem)
+            .execute(&plan)
+            .unwrap();
+        // Bit-identical including row (group first-seen) order.
+        assert_eq!(out.partitions, base.partitions, "spilling aggregation diverged");
+        assert!(out.stats.total_spill_bytes() > 0, "64-byte budget must spill");
+        assert!(spill_dir_empty(&dir), "spill files must be cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_fused_aggregate_matches_unbounded() {
+        let c = setup();
+        let stats_src: std::collections::HashMap<String, usize> = Default::default();
+        let logical = LogicalPlan::aggregate(
+            LogicalPlan::Join {
+                left: Box::new(scan_plan(&c, "nums")),
+                right: Box::new(scan_plan(&c, "nums")),
+                kind: JoinKind::Inner,
+                equi: vec![(Expr::col(0), Expr::col(0))],
+                residual: None,
+            },
+            vec![],
+            vec![
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::arith(
+                        lardb_storage::ops::ArithOp::Mul,
+                        Expr::col(1),
+                        Expr::col(3),
+                    )),
+                    name: "s".into(),
+                },
+                AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+            ],
+        )
+        .unwrap();
+        let mut pp = PhysicalPlanner::new(&c, &stats_src);
+        let plan = pp.plan_gathered(&logical).unwrap();
+        let base = Executor::new(&c, Cluster::new(4)).execute(&plan).unwrap();
+        let (mem, dir) = tiny_mem("fused");
+        let out = Executor::new(&c, Cluster::new(4))
+            .with_memory(mem)
+            .execute(&plan)
+            .unwrap();
+        assert_eq!(out.partitions, base.partitions, "fused grace join diverged");
+        assert!(out.stats.total_spill_bytes() > 0, "fused path must spill too");
+        assert!(spill_dir_empty(&dir), "spill files must be cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

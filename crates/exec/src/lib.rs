@@ -25,9 +25,9 @@ pub mod executor;
 pub mod stats;
 
 pub use cluster::{CancelToken, Cluster, SchedulerMode, DEFAULT_MORSEL_ROWS};
-pub use executor::{ExecutionResult, Executor};
+pub use executor::{ExecutionResult, Executor, MemoryConfig};
 pub use lardb_net::{FaultKind, FaultPlan, NetConfig, TransportMode};
-pub use stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats};
+pub use stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats, SpillStats};
 
 use lardb_net::NetError;
 use lardb_planner::PlanError;
@@ -48,6 +48,9 @@ pub enum ExecError {
     /// at the next morsel / exchange boundary instead of finishing work
     /// whose result will be thrown away.
     Cancelled(String),
+    /// The out-of-core path failed: a spill file could not be written,
+    /// or was truncated/corrupted when read back.
+    Spill(lardb_buf::BufError),
 }
 
 impl std::fmt::Display for ExecError {
@@ -57,6 +60,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Storage(e) => write!(f, "{e}"),
             ExecError::Plan(e) => write!(f, "{e}"),
             ExecError::Cancelled(m) => write!(f, "query aborted: {m}"),
+            ExecError::Spill(e) => write!(f, "{e}"),
         }
     }
 }
@@ -84,6 +88,12 @@ impl From<lardb_la::LaError> for ExecError {
 impl From<NetError> for ExecError {
     fn from(e: NetError) -> Self {
         ExecError::Runtime(e.to_string())
+    }
+}
+
+impl From<lardb_buf::BufError> for ExecError {
+    fn from(e: lardb_buf::BufError) -> Self {
+        ExecError::Spill(e)
     }
 }
 

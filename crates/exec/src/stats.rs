@@ -73,6 +73,36 @@ impl ShuffleStats {
     }
 }
 
+/// Out-of-core activity of one operator: what it wrote to and read back
+/// from spill files when its memory reservation was denied. All zeros for
+/// operators that stayed in memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Spill files created.
+    pub files: usize,
+    /// Bytes written to spill files (framing and fin frames included).
+    pub bytes_written: usize,
+    /// Bytes read back from spill files.
+    pub bytes_read: usize,
+    /// Partition buckets the operator's state was spilled into.
+    pub partitions: usize,
+}
+
+impl SpillStats {
+    /// Accumulates another record (e.g. a recursive grace-join level).
+    pub fn merge(&mut self, other: SpillStats) {
+        self.files += other.files;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+        self.partitions += other.partitions;
+    }
+
+    /// True when any out-of-core activity happened.
+    pub fn spilled(&self) -> bool {
+        self.files > 0 || self.bytes_written > 0
+    }
+}
+
 /// Statistics for one operator instance.
 #[derive(Debug, Clone)]
 pub struct OperatorStats {
@@ -87,6 +117,9 @@ pub struct OperatorStats {
     /// Rows, bytes and per-channel traffic moved between partitions
     /// (exchanges only; empty elsewhere).
     pub shuffle: ShuffleStats,
+    /// Out-of-core activity (hash join / aggregation under a memory
+    /// budget; all zeros for in-memory execution).
+    pub spill: SpillStats,
 }
 
 impl OperatorStats {
@@ -148,6 +181,17 @@ impl ExecStats {
     /// Total sender time spent blocked on full channels.
     pub fn total_enqueue_block(&self) -> Duration {
         self.ops.iter().map(|o| o.shuffle.enqueue_block).sum()
+    }
+
+    /// Total bytes written to spill files across all operators (0 unless
+    /// a memory budget forced out-of-core execution).
+    pub fn total_spill_bytes(&self) -> usize {
+        self.ops.iter().map(|o| o.spill.bytes_written).sum()
+    }
+
+    /// Total spill files created across all operators.
+    pub fn total_spill_files(&self) -> usize {
+        self.ops.iter().map(|o| o.spill.files).sum()
     }
 
     /// Wall time grouped by operator label — the Figure 4 breakdown.
@@ -216,6 +260,15 @@ impl ExecStats {
                     c.enqueue_block.as_secs_f64() * 1e3,
                 ));
             }
+            if o.spill.spilled() {
+                out.push_str(&format!(
+                    "        spill: {}, {} buckets, {} bytes written, {} bytes read\n",
+                    plural(o.spill.files, "file"),
+                    o.spill.partitions,
+                    o.spill.bytes_written,
+                    o.spill.bytes_read,
+                ));
+            }
         }
         out
     }
@@ -241,6 +294,7 @@ mod tests {
             wall: Duration::from_millis(ms),
             rows_out: id * 10,
             shuffle: ShuffleStats::estimated(id, bytes),
+            spill: SpillStats::default(),
         }
     }
 
@@ -307,6 +361,7 @@ mod tests {
             wall: Duration::from_millis(2),
             rows_out: 15,
             shuffle,
+            spill: SpillStats::default(),
         });
         assert_eq!(s.total_frames(), 3);
         assert_eq!(s.total_enqueue_block(), Duration::from_millis(4));
@@ -333,6 +388,7 @@ mod tests {
                 frames: 1,
                 enqueue_block: Duration::ZERO,
             }]),
+            spill: SpillStats::default(),
         });
         let table = s.display_table();
         // Pointer-mode estimate is marked; measured bytes are not.
@@ -342,8 +398,32 @@ mod tests {
         // full-width row is the same length.
         let rows: Vec<&str> = table
             .lines()
-            .filter(|l| !l.trim_start().starts_with("ch "))
+            .filter(|l| !l.starts_with(' '))
             .collect();
         assert!(rows.iter().all(|r| r.len() == rows[0].len()), "{table}");
+    }
+
+    #[test]
+    fn spill_totals_and_display() {
+        let mut s = ExecStats::new();
+        let mut o = op(1, "HashJoin", 3, 0);
+        o.spill = SpillStats { files: 2, bytes_written: 4096, bytes_read: 4096, partitions: 8 };
+        assert!(o.spill.spilled());
+        s.record(o);
+        s.record(op(2, "Filter", 1, 0)); // no spill → no detail line
+        assert_eq!(s.total_spill_bytes(), 4096);
+        assert_eq!(s.total_spill_files(), 2);
+        let table = s.display_table();
+        assert!(
+            table.contains("spill: 2 files, 8 buckets, 4096 bytes written, 4096 bytes read"),
+            "{table}"
+        );
+        assert_eq!(table.matches("spill:").count(), 1, "{table}");
+
+        let mut merged = SpillStats::default();
+        assert!(!merged.spilled());
+        merged.merge(SpillStats { files: 1, bytes_written: 10, bytes_read: 5, partitions: 4 });
+        merged.merge(SpillStats { files: 2, bytes_written: 30, bytes_read: 45, partitions: 4 });
+        assert_eq!(merged, SpillStats { files: 3, bytes_written: 40, bytes_read: 50, partitions: 8 });
     }
 }

@@ -196,7 +196,7 @@ impl MetricsRegistry {
 
     /// Returns (creating if needed) the counter named `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
@@ -208,7 +208,7 @@ impl MetricsRegistry {
 
     /// Returns (creating if needed) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
@@ -220,7 +220,7 @@ impl MetricsRegistry {
 
     /// Returns (creating if needed) the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
@@ -235,7 +235,7 @@ impl MetricsRegistry {
     /// Histograms expand into `<name>.count`, `<name>.sum`, `<name>.p50`,
     /// and `<name>.p99` derived samples.
     pub fn snapshot(&self) -> Vec<MetricSample> {
-        let m = self.metrics.lock().unwrap();
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = Vec::with_capacity(m.len());
         for (name, metric) in m.iter() {
             match metric {

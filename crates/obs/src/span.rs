@@ -85,18 +85,18 @@ impl CollectingSink {
 
     /// Drains and returns all spans recorded so far.
     pub fn take(&self) -> Vec<SpanRecord> {
-        std::mem::take(&mut *self.spans.lock().unwrap())
+        std::mem::take(&mut *self.spans.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Clones the spans recorded so far without draining.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.spans.lock().unwrap().clone()
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 }
 
 impl TraceSink for CollectingSink {
     fn record(&self, span: SpanRecord) {
-        self.spans.lock().unwrap().push(span);
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).push(span);
     }
 }
 
