@@ -1,0 +1,179 @@
+//! Server concurrency ablation: query latency under 1 / 8 / 64
+//! concurrent TCP clients, with a uniform and a skewed query mix.
+//!
+//! Each wave starts a fresh in-process server (loopback TCP, port 0),
+//! spins up N client connections, and has every client run a fixed
+//! number of queries. *Uniform* clients all run the same medium
+//! aggregate; in the *skewed* mix every fourth client runs a heavy join
+//! while the rest run cheap point lookups — the interesting question is
+//! how much the heavy tail inflates the cheap queries' p99 once
+//! admission control is the only thing between them and the worker pool.
+//!
+//! With `--profile-json PATH` the harness runs the full
+//! clients × mix matrix once and writes
+//! `{clients, mix, queries, p50_ms, p99_ms, rejected}` records as JSON
+//! (the CI artifact). Saturated rejections are *counted*, not retried:
+//! the admission queue is deliberately small so the 64-client skewed
+//! wave shows typed backpressure instead of unbounded queueing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use lardb::{Database, DatabaseConfig};
+use lardb_server::{Client, Server, ServerConfig, ServerError};
+
+const ROWS: usize = 2_000;
+const QUERIES_PER_CLIENT: usize = 4;
+
+const CHEAP: &str = "SELECT v FROM pts WHERE id = 977";
+const MEDIUM: &str = "SELECT grp, COUNT(*) AS n, SUM(v) AS s FROM pts GROUP BY grp";
+const HEAVY: &str = "SELECT COUNT(*) AS n FROM pts AS a, pts AS b \
+                     WHERE a.grp = b.grp AND a.v + b.v > 1.0e12";
+
+fn seeded_db() -> Database {
+    let db = Database::with_config(DatabaseConfig {
+        workers: 4,
+        pool_workers: Some(4),
+        ..DatabaseConfig::default()
+    });
+    db.execute("CREATE TABLE pts (id INTEGER, grp INTEGER, v DOUBLE)").unwrap();
+    let rows: Vec<String> = (0..ROWS)
+        .map(|i| format!("({i}, {}, {})", i % 50, (i % 997) as f64 * 0.25))
+        .collect();
+    for chunk in rows.chunks(500) {
+        db.execute(&format!("INSERT INTO pts VALUES {}", chunk.join(", "))).unwrap();
+    }
+    db
+}
+
+fn start_server() -> Server {
+    Server::start(
+        seeded_db(),
+        ServerConfig {
+            max_sessions: 80,
+            max_concurrent: 4,
+            queue_depth: 32,
+            queue_wait_ms: 10_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+}
+
+/// One wave: `clients` connections, each running its mix-assigned query
+/// `QUERIES_PER_CLIENT` times. Returns per-query latencies (ms) and the
+/// number of Saturated rejections.
+fn run_wave(addr: &str, clients: usize, skewed: bool) -> (Vec<f64>, usize) {
+    let rejected = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let rejected = Arc::clone(&rejected);
+            let sql = if skewed {
+                if c % 4 == 0 { HEAVY } else { CHEAP }
+            } else {
+                MEDIUM
+            };
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(&addr, &format!("t{}", c % 8), "").unwrap();
+                let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
+                for _ in 0..QUERIES_PER_CLIENT {
+                    let t0 = Instant::now();
+                    match client.query(sql) {
+                        Ok(_) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
+                        Err(ServerError::Saturated { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("query failed under load: {e}"),
+                    }
+                }
+                let _ = client.close();
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("client thread panicked"));
+    }
+    (all, rejected.load(Ordering::Relaxed))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn bench_client_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_concurrency");
+    g.sample_size(10);
+    for &clients in &[1usize, 8] {
+        for &(mix, skewed) in &[("uniform", false), ("skewed", true)] {
+            let server = start_server();
+            let addr = server.local_addr().to_string();
+            g.bench_function(format!("wave/{clients}clients/{mix}"), |b| {
+                b.iter(|| run_wave(&addr, clients, skewed))
+            });
+            server.shutdown();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_client_sweep);
+
+fn profile_json_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--profile-json" {
+            return argv.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    benches();
+    if let Some(path) = profile_json_path() {
+        let mut records = Vec::new();
+        for &clients in &[1usize, 8, 64] {
+            for &(mix, skewed) in &[("uniform", false), ("skewed", true)] {
+                let server = start_server();
+                let addr = server.local_addr().to_string();
+                let (mut latencies, rejected) = run_wave(&addr, clients, skewed);
+                server.shutdown();
+                latencies.sort_by(|x, y| x.total_cmp(y));
+                let p50 = percentile(&latencies, 0.50);
+                let p99 = percentile(&latencies, 0.99);
+                records.push(format!(
+                    "{{\"clients\":{clients},\"mix\":\"{mix}\",\
+                     \"queries\":{},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
+                     \"rejected\":{rejected}}}",
+                    latencies.len(),
+                ));
+                println!(
+                    "serve_concurrency {clients} clients {mix}: \
+                     p50 {p50:.1} ms, p99 {p99:.1} ms, {rejected} rejected"
+                );
+            }
+        }
+        let doc = format!(
+            "{{\"bench\":\"serve_concurrency\",\"queries_per_client\":{QUERIES_PER_CLIENT},\
+             \"runs\":[{}]}}",
+            records.join(",")
+        );
+        match std::fs::write(&path, &doc) {
+            Ok(()) => println!("wrote serve-concurrency profile to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -10,11 +10,25 @@ use std::sync::Arc;
 
 /// A byte-budget accountant. `budget = None` means unbounded: every
 /// reservation succeeds and the governor only tracks usage for metrics.
+///
+/// Governors form a tree: a *child* governor (see [`MemoryGovernor::child`])
+/// charges every byte against its own budget **and** its parent's, so a
+/// tenant's sub-budget can never grant memory the process-wide governor
+/// does not have. Releases cascade the same way, keeping both ledgers
+/// consistent no matter which side aborts.
 #[derive(Debug)]
 pub struct MemoryGovernor {
     budget: Option<u64>,
     reserved: AtomicU64,
     peak: AtomicU64,
+    /// Every reservation here is mirrored in the parent (sub-budget
+    /// semantics); `None` for root governors.
+    parent: Option<Arc<MemoryGovernor>>,
+    /// Metric prefix this governor publishes gauges under. Root governors
+    /// use the historical `mem.*` names; labeled children (tenant
+    /// sub-budgets) publish `{label}.reserved_bytes` / `{label}.peak_bytes`
+    /// instead so they never fight the root's gauges.
+    label: Option<String>,
 }
 
 impl MemoryGovernor {
@@ -23,7 +37,32 @@ impl MemoryGovernor {
             budget,
             reserved: AtomicU64::new(0),
             peak: AtomicU64::new(0),
+            parent: None,
+            label: None,
         }
+    }
+
+    /// A sub-budget of `self`: reservations are granted only when both this
+    /// child's `budget` and every ancestor's budget admit them. `label` is
+    /// the metric prefix the child publishes its gauges under (e.g.
+    /// `server.tenant.acme` → `server.tenant.acme.reserved_bytes`).
+    pub fn child(
+        self: &Arc<Self>,
+        budget: Option<u64>,
+        label: impl Into<String>,
+    ) -> Arc<MemoryGovernor> {
+        Arc::new(MemoryGovernor {
+            budget,
+            reserved: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            parent: Some(Arc::clone(self)),
+            label: Some(label.into()),
+        })
+    }
+
+    /// The parent this governor mirrors reservations into, if any.
+    pub fn parent(&self) -> Option<&Arc<MemoryGovernor>> {
+        self.parent.as_ref()
     }
 
     /// The configured budget in bytes, if any.
@@ -62,6 +101,15 @@ impl MemoryGovernor {
     /// than to loop forever. Counts `mem.overcommits` when it actually
     /// exceeds the budget.
     pub fn force_reserve(self: &Arc<Self>, bytes: u64) -> MemoryReservation {
+        self.add_forced(bytes);
+        MemoryReservation {
+            gov: Arc::clone(self),
+            bytes,
+        }
+    }
+
+    /// Unconditional add, cascading to ancestors.
+    fn add_forced(&self, bytes: u64) {
         let prev = self.reserved.fetch_add(bytes, Ordering::Relaxed);
         if let Some(b) = self.budget {
             if prev + bytes > b {
@@ -69,13 +117,14 @@ impl MemoryGovernor {
             }
         }
         self.after_change(prev + bytes);
-        MemoryReservation {
-            gov: Arc::clone(self),
-            bytes,
+        if let Some(p) = &self.parent {
+            p.add_forced(bytes);
         }
     }
 
-    /// CAS loop: add `bytes` iff the result stays within budget.
+    /// CAS loop: add `bytes` iff the result stays within budget — here
+    /// *and* in every ancestor. A grant denied upstream is rolled back
+    /// locally, so a failed reservation leaves all ledgers untouched.
     fn try_add(&self, bytes: u64) -> bool {
         let mut cur = self.reserved.load(Ordering::Relaxed);
         loop {
@@ -93,7 +142,13 @@ impl MemoryGovernor {
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => {
-                    self.after_change(next);
+                    if let Some(p) = &self.parent {
+                        if !p.try_add(bytes) {
+                            self.sub_local(bytes);
+                            return false;
+                        }
+                    }
+                    self.after_change(self.reserved.load(Ordering::Relaxed));
                     return true;
                 }
                 Err(actual) => cur = actual,
@@ -101,17 +156,33 @@ impl MemoryGovernor {
         }
     }
 
-    fn release(&self, bytes: u64) {
+    fn sub_local(&self, bytes: u64) {
         let prev = self.reserved.fetch_sub(bytes, Ordering::Relaxed);
         self.after_change(prev.saturating_sub(bytes));
+    }
+
+    fn release(&self, bytes: u64) {
+        self.sub_local(bytes);
+        if let Some(p) = &self.parent {
+            p.release(bytes);
+        }
     }
 
     fn after_change(&self, now: u64) {
         self.peak.fetch_max(now, Ordering::Relaxed);
         let m = lardb_obs::global();
-        m.gauge("mem.reserved_bytes").set(now as f64);
-        m.gauge("mem.peak_bytes")
-            .set(self.peak.load(Ordering::Relaxed) as f64);
+        match &self.label {
+            None => {
+                m.gauge("mem.reserved_bytes").set(now as f64);
+                m.gauge("mem.peak_bytes")
+                    .set(self.peak.load(Ordering::Relaxed) as f64);
+            }
+            Some(l) => {
+                m.gauge(&format!("{l}.reserved_bytes")).set(now as f64);
+                m.gauge(&format!("{l}.peak_bytes"))
+                    .set(self.peak.load(Ordering::Relaxed) as f64);
+            }
+        }
     }
 }
 
@@ -206,6 +277,82 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(g.reserved(), 0);
+    }
+
+    #[test]
+    fn child_charges_both_ledgers() {
+        let root = Arc::new(MemoryGovernor::new(Some(1000)));
+        let child = root.child(Some(400), "server.tenant.a");
+        let r = child.try_reserve(300).expect("fits both budgets");
+        assert_eq!(child.reserved(), 300);
+        assert_eq!(root.reserved(), 300, "parent mirrors the child's bytes");
+        drop(r);
+        assert_eq!(child.reserved(), 0);
+        assert_eq!(root.reserved(), 0, "release cascades");
+    }
+
+    #[test]
+    fn child_denied_by_own_budget() {
+        let root = Arc::new(MemoryGovernor::new(None));
+        let child = root.child(Some(100), "server.tenant.b");
+        assert!(child.try_reserve(101).is_none(), "child budget enforced");
+        assert_eq!(root.reserved(), 0, "denied grant leaves parent untouched");
+    }
+
+    #[test]
+    fn child_denied_by_parent_rolls_back() {
+        let root = Arc::new(MemoryGovernor::new(Some(100)));
+        let hog = root.try_reserve(90).expect("fits");
+        let child = root.child(Some(1000), "server.tenant.c");
+        assert!(child.try_reserve(50).is_none(), "parent budget enforced");
+        assert_eq!(child.reserved(), 0, "local grant rolled back");
+        assert_eq!(root.reserved(), 90);
+        drop(hog);
+        let r = child.try_reserve(50).expect("parent freed");
+        assert_eq!(root.reserved(), 50);
+        drop(r);
+    }
+
+    #[test]
+    fn sibling_children_compete_for_parent() {
+        let root = Arc::new(MemoryGovernor::new(Some(100)));
+        let a = root.child(Some(80), "server.tenant.a");
+        let b = root.child(Some(80), "server.tenant.b");
+        let ra = a.try_reserve(80).expect("first tenant fits");
+        assert!(b.try_reserve(80).is_none(), "parent pool exhausted");
+        let rb = b.try_reserve(20).expect("remainder fits");
+        drop(ra);
+        drop(rb);
+        assert_eq!(root.reserved(), 0);
+        assert_eq!(a.reserved(), 0);
+        assert_eq!(b.reserved(), 0);
+    }
+
+    #[test]
+    fn child_force_reserve_cascades() {
+        let root = Arc::new(MemoryGovernor::new(Some(100)));
+        let child = root.child(Some(50), "server.tenant.d");
+        let r = child.force_reserve(200);
+        assert_eq!(child.reserved(), 200);
+        assert_eq!(root.reserved(), 200);
+        drop(r);
+        assert_eq!(child.reserved(), 0);
+        assert_eq!(root.reserved(), 0);
+    }
+
+    #[test]
+    fn child_resize_keeps_ledgers_consistent() {
+        let root = Arc::new(MemoryGovernor::new(Some(1000)));
+        let child = root.child(Some(500), "server.tenant.e");
+        let mut r = child.try_reserve(100).expect("grant");
+        assert!(r.try_resize(400));
+        assert_eq!(root.reserved(), 400);
+        assert!(!r.try_resize(600), "grow past child budget denied");
+        assert_eq!(root.reserved(), 400, "denied grow leaves parent unchanged");
+        assert!(r.try_resize(50));
+        assert_eq!(root.reserved(), 50);
+        drop(r);
+        assert_eq!(root.reserved(), 0);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lardb_exec::{
-    Cluster, ExecStats, Executor, MemoryConfig, NetConfig, SchedulerMode, TransportMode,
+    CancelToken, Cluster, ExecStats, Executor, MemoryConfig, NetConfig, SchedulerMode,
+    TransportMode,
 };
 use lardb_pool::WorkerPool;
 use lardb_obs::{CollectingSink, OperatorProfile, QueryProfile, SpanGuard, Stage};
@@ -17,6 +18,7 @@ use lardb_sql::{parse_statement, Binder};
 use lardb_storage::{Catalog, DataType, Partitioning, Row, Schema, Table, Value};
 
 use crate::error::{EngineError, Result};
+use crate::sessions::SessionRegistry;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -178,6 +180,13 @@ pub struct Database {
     /// [`DatabaseConfig::spill_dir`] so reservations and peak tracking
     /// are shared across queries (and clones) of this database.
     mem: MemoryConfig,
+    /// Session/query bookkeeping shared across clones: `SHOW SESSIONS`
+    /// renders it, `KILL <query-id>` cancels through it. The query server
+    /// registers each connection here.
+    sessions: Arc<SessionRegistry>,
+    /// Label appended to this clone's slow-query log lines (e.g.
+    /// `session 3 tenant acme`); per-clone, not shared.
+    session_label: Option<String>,
 }
 
 impl Database {
@@ -213,18 +222,24 @@ impl Database {
             metrics_table_auto: Arc::new(AtomicBool::new(false)),
             pool,
             mem,
+            sessions: Arc::new(SessionRegistry::new()),
+            session_label: None,
         }
     }
 
     /// The cluster every query of this database executes on: the
     /// configured worker count, scheduler, morsel size, and (if
-    /// dedicated) worker pool.
-    fn cluster(&self) -> Cluster {
+    /// dedicated) worker pool. With `cancel`, the query runs under an
+    /// externally-owned token (KILL / disconnect wiring).
+    fn cluster(&self, cancel: Option<&CancelToken>) -> Cluster {
         let mut cluster = Cluster::new(self.config.workers)
             .with_scheduler(self.config.scheduler)
             .with_morsel_rows(self.config.morsel_rows);
         if let Some(pool) = &self.pool {
             cluster = cluster.with_pool(Arc::clone(pool));
+        }
+        if let Some(token) = cancel {
+            cluster = cluster.with_cancel_token(token.clone());
         }
         cluster
     }
@@ -232,6 +247,35 @@ impl Database {
     /// The shared catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The session registry shared by every clone of this database (what
+    /// `SHOW SESSIONS` renders and `KILL` cancels through).
+    pub fn sessions(&self) -> &Arc<SessionRegistry> {
+        &self.sessions
+    }
+
+    /// The memory configuration (governor + spill directory) this
+    /// database's queries execute under.
+    pub fn memory(&self) -> &MemoryConfig {
+        &self.mem
+    }
+
+    /// Replaces the memory configuration (builder style). The query server
+    /// uses this to give a clone a *tenant* governor: a sub-budget of the
+    /// shared governor, so one tenant's reservations are capped without
+    /// losing process-wide accounting. Catalog, pool, profile slot and
+    /// session registry stay shared with the original.
+    pub fn with_memory_config(mut self, mem: MemoryConfig) -> Self {
+        self.mem = mem;
+        self
+    }
+
+    /// Tags this clone's slow-query log lines with a session label
+    /// (builder style), e.g. `session 3 tenant acme`.
+    pub fn with_session_label(mut self, label: impl Into<String>) -> Self {
+        self.session_label = Some(label.into());
+        self
     }
 
     /// Number of workers.
@@ -293,10 +337,24 @@ impl Database {
     /// assert!(db.query("SELECT matrix_vector_multiply(mat, vec) AS x FROM bad").is_err());
     /// ```
     pub fn execute(&self, sql: &str) -> Result<Response> {
+        self.execute_cancellable(sql, None)
+    }
+
+    /// Executes one SQL statement under an externally-owned cancel token:
+    /// flipping `cancel` (from any thread) aborts the statement at the
+    /// next morsel/row-batch boundary with `ExecError::Cancelled`. The
+    /// query server wires `KILL <query-id>` and client-disconnect
+    /// detection to this. A token already cancelled when execution starts
+    /// aborts immediately.
+    pub fn execute_with_cancel(&self, sql: &str, cancel: &CancelToken) -> Result<Response> {
+        self.execute_cancellable(sql, Some(cancel))
+    }
+
+    fn execute_cancellable(&self, sql: &str, cancel: Option<&CancelToken>) -> Result<Response> {
         let t0 = Instant::now();
         let sink = CollectingSink::new();
         let mut profile = QueryProfile::new(sql);
-        let result = self.execute_traced(sql, &sink, &mut profile);
+        let result = self.execute_traced(sql, cancel, &sink, &mut profile);
         profile.add_spans(&sink.take());
         self.finish_statement(sql, t0, result.is_err(), profile);
         result
@@ -322,7 +380,14 @@ impl Database {
         if let Some(threshold) = self.config.slow_query_ms {
             if ms >= threshold {
                 registry.counter("db.slow_queries").inc();
-                eprintln!("[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms): {sql}");
+                match &self.session_label {
+                    Some(label) => eprintln!(
+                        "[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms) [{label}]: {sql}"
+                    ),
+                    None => eprintln!(
+                        "[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms): {sql}"
+                    ),
+                }
             }
         }
         *self.last_profile.lock().unwrap_or_else(|e| e.into_inner()) = Some(profile);
@@ -333,6 +398,7 @@ impl Database {
     fn execute_traced(
         &self,
         sql: &str,
+        cancel: Option<&CancelToken>,
         sink: &CollectingSink,
         profile: &mut QueryProfile,
     ) -> Result<Response> {
@@ -356,7 +422,8 @@ impl Database {
                     let _g = SpanGuard::enter(sink, Stage::Bind, "");
                     Binder::new(&self.catalog).bind_select(&query)?
                 };
-                let (result, _) = self.run_traced(plan, /*gather=*/ false, sink, profile)?;
+                let (result, _) =
+                    self.run_traced(plan, /*gather=*/ false, cancel, sink, profile)?;
                 let mut table = Table::new(
                     &name,
                     result.schema.clone(),
@@ -416,7 +483,7 @@ impl Database {
                     let _g = SpanGuard::enter(sink, Stage::Bind, "");
                     Binder::new(&self.catalog).bind_select(&sel)?
                 };
-                let (result, _) = self.run_traced(plan, true, sink, profile)?;
+                let (result, _) = self.run_traced(plan, true, cancel, sink, profile)?;
                 Ok(Response::Rows(result))
             }
             Statement::Explain { query, analyze } => {
@@ -427,7 +494,8 @@ impl Database {
                 };
                 let mut text = self.explain_logical(plan.clone())?;
                 if analyze {
-                    let (result, operators) = self.run_traced(plan, true, sink, profile)?;
+                    let (result, operators) =
+                        self.run_traced(plan, true, cancel, sink, profile)?;
                     if !text.ends_with('\n') {
                         text.push('\n');
                     }
@@ -446,6 +514,18 @@ impl Database {
                 Ok(Response::Explained(text))
             }
             Statement::ShowMetrics => Ok(Response::Rows(metrics_snapshot_result())),
+            Statement::ShowSessions => {
+                Ok(Response::Rows(sessions_snapshot_result(&self.sessions)))
+            }
+            Statement::Kill { query_id } => {
+                if self.sessions.kill(query_id) {
+                    Ok(Response::Done)
+                } else {
+                    Err(EngineError::Usage(format!(
+                        "no running query with id {query_id} (see SHOW SESSIONS)"
+                    )))
+                }
+            }
         }
     }
 
@@ -486,7 +566,7 @@ impl Database {
     pub fn run_logical(&self, plan: LogicalPlan, gather: bool) -> Result<QueryResult> {
         let sink = CollectingSink::new();
         let mut profile = QueryProfile::new("<logical plan>");
-        let result = self.run_traced(plan, gather, &sink, &mut profile);
+        let result = self.run_traced(plan, gather, None, &sink, &mut profile);
         profile.add_spans(&sink.take());
         *self.last_profile.lock().unwrap_or_else(|e| e.into_inner()) = Some(profile);
         result.map(|(q, _)| q)
@@ -504,6 +584,7 @@ impl Database {
         &self,
         plan: LogicalPlan,
         gather: bool,
+        cancel: Option<&CancelToken>,
         sink: &CollectingSink,
         profile: &mut QueryProfile,
     ) -> Result<(QueryResult, Vec<OperatorProfile>)> {
@@ -526,7 +607,7 @@ impl Database {
         };
         let mut result = {
             let _g = SpanGuard::enter(sink, Stage::Execute, "");
-            let executor = Executor::new(&self.catalog, self.cluster())
+            let executor = Executor::new(&self.catalog, self.cluster(cancel))
                 .with_transport(self.config.transport)
                 .with_net_config(self.config.net.clone())
                 .with_memory(self.mem.clone());
@@ -623,6 +704,40 @@ fn metric_rows() -> Vec<Row> {
             ])
         })
         .collect()
+}
+
+/// Builds the `SHOW SESSIONS` response relation: one row per open
+/// session — `(session_id, tenant, peer, state, query_id, sql,
+/// elapsed_ms)`. Idle sessions carry NULL query columns.
+fn sessions_snapshot_result(sessions: &SessionRegistry) -> QueryResult {
+    let rows = sessions
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            Row::new(vec![
+                Value::Integer(s.session_id as i64),
+                Value::Varchar(s.tenant.as_str().into()),
+                Value::Varchar(s.peer.as_str().into()),
+                Value::Varchar(s.state.into()),
+                s.query_id.map_or(Value::Null, |q| Value::Integer(q as i64)),
+                s.sql.map_or(Value::Null, |q| Value::Varchar(q.as_str().into())),
+                Value::Double(s.elapsed_ms),
+            ])
+        })
+        .collect();
+    QueryResult {
+        schema: Schema::from_pairs(&[
+            ("session_id", DataType::Integer),
+            ("tenant", DataType::Varchar),
+            ("peer", DataType::Varchar),
+            ("state", DataType::Varchar),
+            ("query_id", DataType::Integer),
+            ("sql", DataType::Varchar),
+            ("elapsed_ms", DataType::Double),
+        ]),
+        rows,
+        stats: ExecStats::new(),
+    }
 }
 
 /// Builds the `SHOW METRICS` response relation.
@@ -888,6 +1003,52 @@ mod tests {
         let db = Database::new(2).with_slow_query_threshold(0.0);
         db.execute("CREATE TABLE t (id INTEGER)").unwrap();
         assert!(registry.counter("db.slow_queries").get() > before);
+    }
+
+    #[test]
+    fn show_sessions_and_kill_statements() {
+        let db = Database::new(2);
+        // No sessions registered: empty relation with the right shape.
+        let r = db.query("SHOW SESSIONS").unwrap();
+        assert_eq!(
+            r.schema.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            ["session_id", "tenant", "peer", "state", "query_id", "sql", "elapsed_ms"]
+        );
+        assert!(r.rows.is_empty());
+        // A registered session with a running query shows up and is
+        // killable by query id.
+        let sid = db.sessions().open("acme", "local");
+        let cancel = lardb_exec::CancelToken::new();
+        let qid = db.sessions().begin_query(sid, "SELECT 1", &cancel);
+        let r = db.query("SHOW SESSIONS").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].value(1).to_string(), "acme");
+        assert_eq!(r.rows[0].value(3).to_string(), "running");
+        assert!(matches!(
+            db.execute(&format!("KILL {qid}")).unwrap(),
+            Response::Done
+        ));
+        assert!(cancel.is_cancelled());
+        // Killing a finished (or unknown) query is a usage error.
+        db.sessions().end_query(sid);
+        assert!(db.execute(&format!("KILL {qid}")).is_err());
+        db.sessions().close(sid);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_execution() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let cancel = lardb_exec::CancelToken::new();
+        cancel.cancel();
+        let err = db.execute_with_cancel("SELECT id FROM t", &cancel).unwrap_err();
+        assert!(
+            err.to_string().contains("killed") || err.to_string().contains("cancel"),
+            "unexpected error: {err}"
+        );
+        // The same database still runs uncancelled statements fine.
+        assert!(db.query("SELECT id FROM t").is_ok());
     }
 
     #[test]

@@ -34,9 +34,11 @@
 
 pub mod database;
 pub mod error;
+pub mod sessions;
 
 pub use database::{Database, DatabaseConfig, QueryResult, Response};
 pub use error::{EngineError, Result};
+pub use sessions::{SessionRegistry, SessionSnapshot};
 
 // Re-exports for downstream convenience (examples, benches, tests).
 pub use lardb_exec::{

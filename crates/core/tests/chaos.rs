@@ -203,3 +203,63 @@ fn chaos_counters_surface_in_show_metrics() {
         assert!(v >= 1.0, "metric {metric} = {v}, expected >= 1");
     }
 }
+
+/// Cancellation latency: a KILL delivered mid-flight to a long-running
+/// cross join must abort the query promptly (the executor's scan,
+/// nested-loop, and fused join-aggregate loops all poll the token), and
+/// the governor ledger must return to zero — no leaked reservations.
+#[test]
+fn cancellation_latency_is_bounded() {
+    use std::time::{Duration, Instant};
+
+    let db = Database::with_config(DatabaseConfig {
+        workers: 2,
+        pool_workers: Some(2),
+        mem: Some(8),
+        ..DatabaseConfig::default()
+    });
+    let governor = std::sync::Arc::clone(db.memory().governor());
+    db.execute("CREATE TABLE big (a INTEGER, b DOUBLE)").unwrap();
+    let vals: Vec<String> =
+        (0..600).map(|i| format!("({i}, {}.5)", i % 50)).collect();
+    db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+
+    let cancel = lardb::CancelToken::new();
+    let worker_cancel = cancel.clone();
+    let worker_db = db.clone();
+    let worker = std::thread::spawn(move || {
+        worker_db.execute_with_cancel(
+            "SELECT COUNT(*) AS n FROM big AS x, big AS y, big AS z \
+             WHERE x.b + y.b + z.b < 0.0",
+            &worker_cancel,
+        )
+    });
+
+    // Let the join get going, then kill it and time the unwind.
+    std::thread::sleep(Duration::from_millis(300));
+    cancel.cancel();
+    let killed_at = Instant::now();
+    let result = worker.join().unwrap();
+    let latency = killed_at.elapsed();
+
+    match result {
+        Err(lardb::EngineError::Exec(e)) => {
+            assert!(
+                e.to_string().contains("cancel") || e.to_string().contains("abort"),
+                "expected a cancellation error, got: {e}"
+            );
+        }
+        other => panic!("expected Exec(Cancelled), got {other:?}"),
+    }
+    // The 600^3 cross join runs for minutes uncancelled; two seconds is
+    // generous headroom for the morsel-boundary + in-loop token checks.
+    assert!(
+        latency < Duration::from_secs(2),
+        "cancellation took {latency:?}, expected < 2s"
+    );
+    assert_eq!(
+        governor.reserved(),
+        0,
+        "governor ledger must be zero after a cancelled query"
+    );
+}

@@ -115,6 +115,11 @@ pub struct Cluster {
     morsel_rows: usize,
     /// Query-wide cancellation token, shared by clones of this cluster.
     cancel: CancelToken,
+    /// True when the token was supplied by an external controller (a
+    /// server session wiring `KILL` / disconnect into the query). The
+    /// executor must not re-arm an external token at query start — a kill
+    /// that lands before execution begins must still abort the query.
+    external_cancel: bool,
 }
 
 impl Cluster {
@@ -128,7 +133,24 @@ impl Cluster {
             scheduler: SchedulerMode::default(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
             cancel: CancelToken::new(),
+            external_cancel: false,
         }
+    }
+
+    /// Replaces the query's cancellation token with an externally-owned
+    /// one (e.g. a server session's), so `KILL` and client-disconnect
+    /// detection can abort the query from outside the executor. The
+    /// executor will not reset an external token at query start.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self.external_cancel = true;
+        self
+    }
+
+    /// True when the cancel token is externally owned (see
+    /// [`Self::with_cancel_token`]).
+    pub fn has_external_cancel(&self) -> bool {
+        self.external_cancel
     }
 
     /// Schedules on a dedicated pool instead of the global one.

@@ -33,6 +33,11 @@ use crate::{ExecError, Result};
 /// spans several frames and real backpressure can occur.
 const ROWS_PER_FRAME: usize = 256;
 
+/// How often tight row loops (nested-loop join pairs, scan re-deals)
+/// re-check the cancel token: every this many iterations. Cheap enough to
+/// be noise, frequent enough that a KILL lands in milliseconds.
+const CANCEL_CHECK_PAIRS: usize = 8192;
+
 /// Partitioned rows: one `Vec<Row>` per worker.
 type Parts = Vec<Vec<Row>>;
 
@@ -73,6 +78,12 @@ impl MemoryConfig {
             governor: Arc::new(MemoryGovernor::new(budget)),
             spill_dir: spill_dir.unwrap_or_else(lardb_buf::default_spill_dir),
         }
+    }
+
+    /// Wraps an existing governor (e.g. a tenant sub-governor created with
+    /// [`MemoryGovernor::child`]) with the given spill directory.
+    pub fn with_governor(governor: Arc<MemoryGovernor>, spill_dir: PathBuf) -> Self {
+        MemoryConfig { governor, spill_dir }
     }
 
     /// Overrides the spill directory (builder style), keeping the
@@ -205,8 +216,17 @@ impl<'a> Executor<'a> {
     /// Runs a plan to completion, materializing its output.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
         // A reused cluster may carry a flipped token from an earlier
-        // failed execution; each run starts un-cancelled.
-        self.cluster.cancel_token().reset();
+        // failed execution; each run starts un-cancelled. An *external*
+        // token (a server session's KILL / disconnect wiring) is never
+        // re-armed here: a kill landing before execution starts must
+        // still abort the query.
+        if self.cluster.has_external_cancel() {
+            if self.cluster.cancel_token().is_cancelled() {
+                return Err(ExecError::Cancelled("query killed before execution".into()));
+            }
+        } else {
+            self.cluster.cancel_token().reset();
+        }
         let mut stats = ExecStats::new();
         let partitions = self.run(plan, &mut stats)?;
         publish_metrics(&stats);
@@ -275,12 +295,31 @@ impl<'a> Executor<'a> {
                 let r = self.run(right, stats)?;
                 let t0 = Instant::now();
                 // Morselize the outer (left) side; every morsel scans the
-                // whole co-partitioned right side.
+                // whole co-partitioned right side. A morsel here can run
+                // for a long time (|morsel| × |right| pairs), so the
+                // cancel token is checked per outer row, not only at the
+                // morsel boundary — a KILL must not wait out a cross join.
+                let cancel = self.cluster.cancel_token().clone();
                 let morsels = self.cluster.morsel_map(l, |p, lrows| {
                     let rp = &r[p];
                     let mut rows = Vec::new();
+                    let mut pairs = 0usize;
                     for lr in &lrows {
+                        if cancel.is_cancelled() {
+                            return Err(ExecError::Cancelled(
+                                "nested-loop join cancelled".into(),
+                            ));
+                        }
                         for rr in rp {
+                            // One outer row against a huge inner side is
+                            // still one iteration of the outer check, so
+                            // re-check every CANCEL_CHECK_PAIRS pairs.
+                            pairs += 1;
+                            if pairs.is_multiple_of(CANCEL_CHECK_PAIRS) && cancel.is_cancelled() {
+                                return Err(ExecError::Cancelled(
+                                    "nested-loop join cancelled".into(),
+                                ));
+                            }
                             let joined = lr.concat(rr);
                             if let Some(res) = residual {
                                 if !eval_predicate(res, &joined)? {
@@ -505,10 +544,13 @@ impl<'a> Executor<'a> {
         }
 
         let mem = &self.mem;
+        let cancel = self.cluster.cancel_token().clone();
         let fuse_partition = |lp: Vec<Row>,
                               rp: Vec<Row>,
                               join: &PhysicalPlan|
          -> Result<PartOut> {
+            let fused_cancelled =
+                || ExecError::Cancelled("fused join-aggregate cancelled".into());
             let t_start = Instant::now();
             let mut agg = GroupedAgg::new(group_by, aggs, mode);
             let mut buf: Vec<Row> = Vec::with_capacity(CHUNK);
@@ -542,7 +584,14 @@ impl<'a> Executor<'a> {
                     match mem.governor().try_reserve(footprint) {
                         Some(_res) => {
                             let table = build_join_table(lp, left_keys)?;
+                            let mut probed = 0usize;
                             'probe: for r in rp {
+                                probed += 1;
+                                if probed.is_multiple_of(CANCEL_CHECK_PAIRS)
+                                    && cancel.is_cancelled()
+                                {
+                                    return Err(fused_cancelled());
+                                }
                                 let mut vals = Vec::with_capacity(right_keys.len());
                                 for k in right_keys {
                                     let v = eval(k, &r)?;
@@ -591,8 +640,20 @@ impl<'a> Executor<'a> {
                     }
                 }
                 PhysicalPlan::NestedLoopJoin { residual, .. } => {
+                    // Same discipline as the unfused nested-loop join: a
+                    // KILL must not wait out a cross join, so re-check the
+                    // token per outer row and every CANCEL_CHECK_PAIRS
+                    // pairs within one outer row's inner scan.
+                    let mut pairs = 0usize;
                     for l in &lp {
+                        if cancel.is_cancelled() {
+                            return Err(fused_cancelled());
+                        }
                         for r in &rp {
+                            pairs += 1;
+                            if pairs.is_multiple_of(CANCEL_CHECK_PAIRS) && cancel.is_cancelled() {
+                                return Err(fused_cancelled());
+                            }
                             let joined = l.concat(r);
                             if let Some(res) = residual {
                                 if !eval_predicate(res, &joined)? {
@@ -694,8 +755,16 @@ impl<'a> Executor<'a> {
         });
     }
 
-    /// Scans a table, normalizing to the cluster's partition count.
+    /// Scans a table, normalizing to the cluster's partition count. The
+    /// cancel token is checked per partition (and periodically inside the
+    /// re-deal loop), so a killed query stops copying rows promptly
+    /// instead of materializing a large scan it will never use.
     fn scan(&self, table: &str) -> Result<Parts> {
+        let cancel = self.cluster.cancel_token();
+        let scan_cancelled = || ExecError::Cancelled("table scan cancelled".into());
+        if cancel.is_cancelled() {
+            return Err(scan_cancelled());
+        }
         let w = self.cluster.workers();
         let handle = self.catalog.table(table)?;
         let t = handle.read();
@@ -708,11 +777,21 @@ impl<'a> Executor<'a> {
             return Ok((0..w).map(|_| copy.clone()).collect());
         }
         if t.num_partitions() == w {
-            return Ok((0..w).map(|p| t.partition(p).to_vec()).collect());
+            let mut out = Vec::with_capacity(w);
+            for p in 0..w {
+                if cancel.is_cancelled() {
+                    return Err(scan_cancelled());
+                }
+                out.push(t.partition(p).to_vec());
+            }
+            return Ok(out);
         }
         // Partition-count mismatch: re-deal round-robin.
         let mut out = vec![Vec::new(); w];
         for (i, row) in t.iter_rows().enumerate() {
+            if i % CANCEL_CHECK_PAIRS == 0 && cancel.is_cancelled() {
+                return Err(scan_cancelled());
+            }
             out[i % w].push(row.clone());
         }
         Ok(out)

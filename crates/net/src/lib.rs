@@ -27,9 +27,11 @@
 
 pub mod codec;
 pub mod fault;
+pub mod msg;
 pub mod transport;
 
 pub use codec::{CodecError, FinSummary, Frame, FRAME_MAGIC, WIRE_VERSION};
+pub use msg::{decode_message, encode_message, Message};
 pub use fault::{FaultKind, FaultPlan, FaultyTransport};
 pub use transport::{ChannelTransport, Mesh, TcpTransport, Transport};
 

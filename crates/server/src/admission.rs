@@ -1,0 +1,238 @@
+//! Admission control: bounded concurrency, per-tenant slots, FIFO
+//! queueing, and typed saturation.
+//!
+//! Every query acquires an [`AdmissionPermit`] before it executes. The
+//! controller grants permits while the global concurrency cap and the
+//! tenant's slot cap have room; otherwise the query waits in a FIFO
+//! ticket queue. The queue is bounded (`queue_depth`) and waits are
+//! bounded (`queue_wait_ms`) — past either bound the query is rejected
+//! with [`ServerError::Saturated`], never silently dropped and never
+//! allowed to pile unbounded load onto the executor.
+//!
+//! When the session runs under a tenant memory quota, admission also
+//! reserves a small *floor* from the tenant's sub-governor and holds it
+//! for the query's lifetime. A tenant whose quota is exhausted therefore
+//! fails admission (typed backpressure) instead of getting half-way into
+//! execution and dying on an allocation — quota exhaustion degrades to
+//! `Saturated`, not to an engine error or an OOM.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use lardb_buf::{MemoryGovernor, MemoryReservation};
+
+use crate::ServerError;
+
+/// How often a queued query re-checks slots/quota while waiting.
+const QUEUE_POLL: Duration = Duration::from_millis(20);
+
+/// Admission knobs (a subset of `ServerConfig`, copied in).
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently across all sessions.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait; one more is rejected immediately.
+    pub queue_depth: usize,
+    /// Longest a query may wait in the queue before rejection.
+    pub queue_wait_ms: u64,
+    /// Concurrent queries allowed per tenant (`0` = no per-tenant cap).
+    pub tenant_slots: usize,
+    /// Bytes reserved from the tenant's governor for the query's
+    /// lifetime (`0` = no floor reservation).
+    pub admission_floor_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct AdmState {
+    active: usize,
+    tenant_active: HashMap<String, usize>,
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// FIFO admission controller shared by every session of one server.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller with the given knobs.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionController {
+            cfg,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, AdmState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn slots_free(&self, st: &AdmState, tenant: &str) -> bool {
+        if st.active >= self.cfg.max_concurrent {
+            return false;
+        }
+        if self.cfg.tenant_slots == 0 {
+            return true;
+        }
+        st.tenant_active.get(tenant).copied().unwrap_or(0) < self.cfg.tenant_slots
+    }
+
+    /// Acquire a permit for one query of `tenant`, optionally reserving an
+    /// admission floor from `governor`. Blocks (FIFO) up to
+    /// `queue_wait_ms`; returns [`ServerError::Saturated`] when the queue
+    /// is full, the wait times out, or the tenant's quota never admits the
+    /// floor.
+    pub fn admit(
+        self: &Arc<Self>,
+        tenant: &str,
+        governor: Option<&Arc<MemoryGovernor>>,
+    ) -> Result<AdmissionPermit, ServerError> {
+        let metrics = lardb_obs::global();
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.queue_wait_ms);
+        let mut st = self.lock();
+        if st.queue.len() >= self.cfg.queue_depth {
+            metrics.counter("server.queries_rejected").inc();
+            return Err(ServerError::Saturated {
+                reason: format!(
+                    "admission queue full ({} queries waiting, depth {})",
+                    st.queue.len(),
+                    self.cfg.queue_depth
+                ),
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        metrics.gauge("server.queue_depth").set(st.queue.len() as f64);
+
+        let mut counted_queued = false;
+        let mut quota_blocked = false;
+        loop {
+            if st.queue.front() == Some(&ticket) && self.slots_free(&st, tenant) {
+                // Our turn: take the floor reservation (lock-free atomics,
+                // cheap to attempt under the admission lock).
+                let floor = match governor {
+                    Some(gov) if self.cfg.admission_floor_bytes > 0 => {
+                        match gov.try_reserve(self.cfg.admission_floor_bytes) {
+                            Some(res) => Some(res),
+                            None => {
+                                // Tenant quota exhausted: keep our place in
+                                // line and retry until the deadline.
+                                quota_blocked = true;
+                                if Instant::now() >= deadline {
+                                    return self.reject(st, ticket, tenant, quota_blocked);
+                                }
+                                st = self.wait_tick(st, deadline);
+                                continue;
+                            }
+                        }
+                    }
+                    _ => None,
+                };
+                st.queue.pop_front();
+                st.active += 1;
+                *st.tenant_active.entry(tenant.to_string()).or_insert(0) += 1;
+                metrics.gauge("server.queue_depth").set(st.queue.len() as f64);
+                metrics.counter("server.queries_admitted").inc();
+                self.cv.notify_all();
+                return Ok(AdmissionPermit {
+                    ctl: Arc::clone(self),
+                    tenant: tenant.to_string(),
+                    _floor: floor,
+                });
+            }
+            if Instant::now() >= deadline {
+                return self.reject(st, ticket, tenant, quota_blocked);
+            }
+            if !counted_queued {
+                metrics.counter("server.queries_queued").inc();
+                counted_queued = true;
+            }
+            st = self.wait_tick(st, deadline);
+        }
+    }
+
+    /// One bounded condvar wait: wakes on a notification or the poll tick,
+    /// whichever comes first (the tick re-checks the tenant governor,
+    /// which has no notification channel).
+    fn wait_tick<'a>(
+        &self,
+        st: MutexGuard<'a, AdmState>,
+        deadline: Instant,
+    ) -> MutexGuard<'a, AdmState> {
+        let wait = QUEUE_POLL
+            .min(deadline.saturating_duration_since(Instant::now()))
+            // Yield the lock briefly even when the deadline has passed,
+            // instead of spinning.
+            .max(Duration::from_millis(1));
+        self.cv
+            .wait_timeout(st, wait)
+            .unwrap_or_else(|e| e.into_inner())
+            .0
+    }
+
+    fn reject(
+        &self,
+        mut st: MutexGuard<'_, AdmState>,
+        ticket: u64,
+        tenant: &str,
+        quota_blocked: bool,
+    ) -> Result<AdmissionPermit, ServerError> {
+        st.queue.retain(|&t| t != ticket);
+        let metrics = lardb_obs::global();
+        metrics.gauge("server.queue_depth").set(st.queue.len() as f64);
+        metrics.counter("server.queries_rejected").inc();
+        self.cv.notify_all();
+        let reason = if quota_blocked {
+            format!(
+                "tenant '{tenant}' memory quota exhausted (waited {} ms for {} floor bytes)",
+                self.cfg.queue_wait_ms, self.cfg.admission_floor_bytes
+            )
+        } else {
+            format!(
+                "server saturated ({} queries running, waited {} ms)",
+                st.active, self.cfg.queue_wait_ms
+            )
+        };
+        Err(ServerError::Saturated { reason })
+    }
+
+    /// Currently executing queries (for tests / introspection).
+    pub fn active(&self) -> usize {
+        self.lock().active
+    }
+
+    /// Currently queued queries.
+    pub fn queued(&self) -> usize {
+        self.lock().queue.len()
+    }
+}
+
+/// RAII admission slot: releasing it frees the global and tenant slots
+/// (and the tenant floor reservation) and wakes queued queries.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    ctl: Arc<AdmissionController>,
+    tenant: String,
+    _floor: Option<MemoryReservation>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut st = self.ctl.lock();
+        st.active = st.active.saturating_sub(1);
+        if let Some(c) = st.tenant_active.get_mut(&self.tenant) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                st.tenant_active.remove(&self.tenant);
+            }
+        }
+        self.ctl.cv.notify_all();
+    }
+}

@@ -1,0 +1,395 @@
+//! One connection's lifecycle: handshake, query loop, result streaming,
+//! kill and disconnect handling.
+//!
+//! Each session owns its socket and runs queries on a helper thread so
+//! the socket stays pollable while a query executes: a `Kill` for any
+//! query, a `Close`, or an EOF (client vanished) arriving mid-query is
+//! acted on immediately — disconnects cancel the running query through
+//! its [`CancelToken`], which the executor's morsel loops poll. The
+//! session never returns to the idle loop until the helper thread has
+//! finished, so governor reservations and spill files are provably
+//! released before the session is deregistered.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use lardb::{CancelToken, Database, EngineError, QueryResult, Response};
+use lardb_exec::ExecError;
+use lardb_net::codec::{checksum_update, FinSummary, Frame, CHECKSUM_SEED};
+use lardb_net::{msg, Message};
+
+use crate::wire::{recv_message, send_message, Recv};
+use crate::Shared;
+
+/// Socket poll granularity: how quickly the session notices shutdown,
+/// kill traffic, and disconnects.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// How long a fresh connection may sit silent before `Hello`.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Rows per result frame (matches the exchange's batching scale).
+const ROWS_PER_FRAME: usize = 256;
+
+/// Serves one accepted connection to completion. Errors are terminal for
+/// the connection only; the server keeps running.
+pub(crate) fn run(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
+    if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() {
+        return;
+    }
+    // Session cap: this connection was already counted by the accept
+    // loop, so `>` (not `>=`) means someone beyond the cap.
+    if shared.connections.load(Ordering::SeqCst) > shared.cfg.max_sessions {
+        lardb_obs::global().counter("server.sessions_rejected").inc();
+        let _ = send_message(
+            &mut stream,
+            &Message::Error {
+                code: msg::ERR_SATURATED,
+                message: format!("server at max sessions ({})", shared.cfg.max_sessions),
+            },
+        );
+        return;
+    }
+    let Some(tenant) = handshake(shared, &mut stream) else {
+        return;
+    };
+    let session_id = shared.db.sessions().open(&tenant, &peer.to_string());
+    let db = shared
+        .tenant_db(&tenant)
+        .with_session_label(format!("session {session_id} tenant {tenant}"));
+    if send_message(
+        &mut stream,
+        &Message::Ok { code: msg::OK_HELLO, value: session_id, text: tenant.clone() },
+    )
+    .is_err()
+    {
+        shared.db.sessions().close(session_id);
+        return;
+    }
+    serve_session(shared, &db, &mut stream, session_id, &tenant);
+    shared.db.sessions().close(session_id);
+}
+
+/// Waits for `Hello` and validates auth. Returns the tenant name, or
+/// `None` when the connection should just be dropped.
+fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<String> {
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    loop {
+        match recv_message(stream) {
+            Ok(Recv::Msg(Message::Hello { tenant, auth })) => {
+                if let Some(expected) = &shared.cfg.auth_token {
+                    if &auth != expected {
+                        let _ = send_message(
+                            stream,
+                            &Message::Error {
+                                code: msg::ERR_AUTH,
+                                message: "bad auth token".to_string(),
+                            },
+                        );
+                        return None;
+                    }
+                }
+                let tenant = if tenant.is_empty() { "default".to_string() } else { tenant };
+                return Some(tenant);
+            }
+            Ok(Recv::Msg(_)) => {
+                let _ = send_message(
+                    stream,
+                    &Message::Error {
+                        code: msg::ERR_PROTOCOL,
+                        message: "expected HELLO first".to_string(),
+                    },
+                );
+                return None;
+            }
+            Ok(Recv::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                    return None;
+                }
+            }
+            Ok(Recv::Closed) | Err(_) => return None,
+        }
+    }
+}
+
+/// The post-handshake request loop.
+fn serve_session(
+    shared: &Shared,
+    db: &Database,
+    stream: &mut TcpStream,
+    session_id: u64,
+    tenant: &str,
+) {
+    let mut prepared: Vec<(u64, String)> = Vec::new();
+    let mut next_stmt: u64 = 1;
+    loop {
+        match recv_message(stream) {
+            Ok(Recv::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Recv::Closed) | Err(_) => return,
+            Ok(Recv::Msg(message)) => match message {
+                Message::Query { sql } => {
+                    if run_query(shared, db, stream, session_id, tenant, &sql).is_err() {
+                        return;
+                    }
+                }
+                Message::Prepare { sql } => {
+                    let reply = match lardb_sql::parse_statement(&sql) {
+                        Ok(_) => {
+                            let id = next_stmt;
+                            next_stmt += 1;
+                            prepared.push((id, sql));
+                            Message::Ok { code: msg::OK_PREPARED, value: id, text: String::new() }
+                        }
+                        Err(e) => {
+                            Message::Error { code: msg::ERR_QUERY, message: e.to_string() }
+                        }
+                    };
+                    if send_message(stream, &reply).is_err() {
+                        return;
+                    }
+                }
+                Message::Execute { stmt_id } => {
+                    let sql = prepared.iter().find(|(id, _)| *id == stmt_id).map(|(_, s)| s.clone());
+                    match sql {
+                        Some(sql) => {
+                            if run_query(shared, db, stream, session_id, tenant, &sql).is_err() {
+                                return;
+                            }
+                        }
+                        None => {
+                            let reply = Message::Error {
+                                code: msg::ERR_QUERY,
+                                message: format!("unknown prepared statement id {stmt_id}"),
+                            };
+                            if send_message(stream, &reply).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+                Message::Kill { query_id } => {
+                    if send_message(stream, &kill_reply(db, query_id)).is_err() {
+                        return;
+                    }
+                }
+                Message::Close => {
+                    let _ = send_message(
+                        stream,
+                        &Message::Ok { code: msg::OK_CLOSED, value: session_id, text: String::new() },
+                    );
+                    return;
+                }
+                other => {
+                    let reply = Message::Error {
+                        code: msg::ERR_PROTOCOL,
+                        message: format!("unexpected message in idle session: {other:?}"),
+                    };
+                    if send_message(stream, &reply).is_err() {
+                        return;
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn kill_reply(db: &Database, query_id: u64) -> Message {
+    if db.sessions().kill(query_id) {
+        Message::Ok { code: msg::OK_KILLED, value: query_id, text: String::new() }
+    } else {
+        Message::Error {
+            code: msg::ERR_QUERY,
+            message: format!("no running query with id {query_id} (see SHOW SESSIONS)"),
+        }
+    }
+}
+
+/// Admits, executes, and streams one query. `Err(())` means the
+/// connection is gone and the session should end; protocol-level
+/// failures (saturation, query errors) are replies, not `Err`.
+fn run_query(
+    shared: &Shared,
+    db: &Database,
+    stream: &mut TcpStream,
+    session_id: u64,
+    tenant: &str,
+    sql: &str,
+) -> Result<(), ()> {
+    let floor_gov = shared.floor_governor(tenant);
+    let permit = match shared.admission.admit(tenant, floor_gov.as_ref()) {
+        Ok(p) => p,
+        Err(crate::ServerError::Saturated { reason }) => {
+            return send_message(
+                stream,
+                &Message::Error { code: msg::ERR_SATURATED, message: reason },
+            )
+            .map_err(drop);
+        }
+        Err(other) => {
+            return send_message(
+                stream,
+                &Message::Error { code: msg::ERR_QUERY, message: other.to_string() },
+            )
+            .map_err(drop);
+        }
+    };
+
+    let cancel = CancelToken::new();
+    let query_id = db.sessions().begin_query(session_id, sql, &cancel);
+
+    // Execute on a helper thread so this thread can keep polling the
+    // socket for Kill/Close/disconnect.
+    let (tx, rx) = mpsc::channel();
+    let exec_db = db.clone();
+    let exec_sql = sql.to_string();
+    let exec_cancel = cancel.clone();
+    let exec = std::thread::Builder::new()
+        .name(format!("lardb-query-{query_id}"))
+        .spawn(move || {
+            let _ = tx.send(exec_db.execute_with_cancel(&exec_sql, &exec_cancel));
+        });
+    let exec = match exec {
+        Ok(h) => h,
+        Err(e) => {
+            db.sessions().end_query(session_id);
+            drop(permit);
+            return send_message(
+                stream,
+                &Message::Error {
+                    code: msg::ERR_QUERY,
+                    message: format!("could not spawn query thread: {e}"),
+                },
+            )
+            .map_err(drop);
+        }
+    };
+
+    let mut disconnected = false;
+    let result = loop {
+        match rx.try_recv() {
+            Ok(result) => break result,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                break Err(EngineError::Exec(ExecError::Cancelled(
+                    "query thread died".to_string(),
+                )))
+            }
+            Err(mpsc::TryRecvError::Empty) => {}
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            cancel.cancel();
+        }
+        // The read timeout doubles as the poll tick.
+        match recv_message(stream) {
+            Ok(Recv::TimedOut) => {}
+            Ok(Recv::Closed) | Err(_) => {
+                // Client vanished mid-query: cancel and wait for the
+                // executor to unwind (releasing memory + spill files).
+                cancel.cancel();
+                disconnected = true;
+                break rx.recv().unwrap_or_else(|_| {
+                    Err(EngineError::Exec(ExecError::Cancelled(
+                        "query thread died".to_string(),
+                    )))
+                });
+            }
+            Ok(Recv::Msg(Message::Kill { query_id: target })) => {
+                // In-band kill (possibly of this very query). The ack is
+                // sent before any result frames.
+                if send_message(stream, &kill_reply(db, target)).is_err() {
+                    cancel.cancel();
+                    disconnected = true;
+                }
+            }
+            Ok(Recv::Msg(Message::Close)) => {
+                // Orderly close while a query runs: abort it, then close.
+                cancel.cancel();
+                let result = rx.recv().unwrap_or_else(|_| {
+                    Err(EngineError::Exec(ExecError::Cancelled(
+                        "query thread died".to_string(),
+                    )))
+                });
+                let _ = exec.join();
+                db.sessions().end_query(session_id);
+                drop(permit);
+                drop(result);
+                let _ = send_message(
+                    stream,
+                    &Message::Ok { code: msg::OK_CLOSED, value: session_id, text: String::new() },
+                );
+                return Err(());
+            }
+            Ok(Recv::Msg(other)) => {
+                let reply = Message::Error {
+                    code: msg::ERR_PROTOCOL,
+                    message: format!("unexpected message while a query is running: {other:?}"),
+                };
+                if send_message(stream, &reply).is_err() {
+                    cancel.cancel();
+                    disconnected = true;
+                }
+            }
+        }
+    };
+
+    let _ = exec.join();
+    db.sessions().end_query(session_id);
+    drop(permit);
+
+    if disconnected {
+        drop(result);
+        return Err(());
+    }
+    match result {
+        Ok(Response::Rows(q)) => stream_rows(stream, q).map_err(drop),
+        Ok(Response::Done) => send_message(
+            stream,
+            &Message::Ok { code: msg::OK_DONE, value: 0, text: String::new() },
+        )
+        .map_err(drop),
+        Ok(Response::Inserted(n)) => send_message(
+            stream,
+            &Message::Ok { code: msg::OK_INSERTED, value: n as u64, text: String::new() },
+        )
+        .map_err(drop),
+        Ok(Response::Explained(text)) => {
+            send_message(stream, &Message::Ok { code: msg::OK_TEXT, value: 0, text })
+                .map_err(drop)
+        }
+        Err(EngineError::Exec(ExecError::Cancelled(m))) => send_message(
+            stream,
+            &Message::Error { code: msg::ERR_KILLED, message: m },
+        )
+        .map_err(drop),
+        Err(e) => send_message(
+            stream,
+            &Message::Error { code: msg::ERR_QUERY, message: e.to_string() },
+        )
+        .map_err(drop),
+    }
+}
+
+/// Streams a result as exchange-format data frames: schema, row batches,
+/// then a fin summary the client re-verifies (frames / rows / checksum).
+fn stream_rows(stream: &mut TcpStream, q: QueryResult) -> std::io::Result<()> {
+    let mut frames: u64 = 0;
+    let mut checksum = CHECKSUM_SEED;
+    let mut send_data = |stream: &mut TcpStream, frame: Frame| -> std::io::Result<()> {
+        let bytes = lardb_net::encode_message(&Message::Data(frame));
+        checksum = checksum_update(checksum, &bytes);
+        frames += 1;
+        crate::wire::send_bytes(stream, &bytes)
+    };
+    send_data(stream, Frame::Schema(q.schema))?;
+    let total_rows = q.rows.len() as u64;
+    for chunk in q.rows.chunks(ROWS_PER_FRAME) {
+        send_data(stream, Frame::Rows(chunk.to_vec()))?;
+    }
+    let fin = FinSummary { frames, rows: total_rows, checksum };
+    send_message(stream, &Message::Data(Frame::Fin(fin)))
+}

@@ -1,0 +1,501 @@
+//! End-to-end tests for the query server: concurrency, isolation,
+//! quotas, kill, and disconnect cleanup — all over real TCP.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lardb::{Database, DatabaseConfig};
+use lardb_server::{Client, QueryOutput, Server, ServerConfig, ServerError};
+
+fn small_db() -> Database {
+    Database::with_config(DatabaseConfig { workers: 2, ..DatabaseConfig::default() })
+}
+
+fn addr_of(server: &Server) -> String {
+    server.local_addr().to_string()
+}
+
+fn rows_of(out: QueryOutput) -> Vec<lardb::Row> {
+    match out {
+        QueryOutput::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+/// Tentpole acceptance: 64 concurrent clients over TCP see results
+/// bit-identical to a serial run of the same queries.
+#[test]
+fn concurrent_tcp_clients_match_serial_execution() {
+    const CLIENTS: usize = 64;
+    const QUERIES_PER_CLIENT: usize = 3;
+
+    let db = small_db();
+    db.execute("CREATE TABLE nums (id INTEGER, v DOUBLE)").unwrap();
+    let values: Vec<String> =
+        (0..200).map(|i| format!("({i}, {})", (i % 17) as f64 * 0.5)).collect();
+    db.execute(&format!("INSERT INTO nums VALUES {}", values.join(", "))).unwrap();
+
+    // Serial reference answers, computed embedded (same engine, no wire).
+    let queries: Vec<String> = (0..CLIENTS)
+        .map(|c| {
+            format!(
+                "SELECT id, v FROM nums WHERE id >= {} AND id < {} ORDER BY id",
+                (c % 8) * 20,
+                (c % 8) * 20 + 20
+            )
+        })
+        .collect();
+    let expected: Vec<Vec<lardb::Row>> = queries
+        .iter()
+        .map(|q| db.execute(q).unwrap().into_rows().unwrap().rows)
+        .collect();
+
+    let server = Server::start(
+        db,
+        ServerConfig {
+            max_sessions: CLIENTS + 4,
+            max_concurrent: 8,
+            queue_depth: CLIENTS,
+            queue_wait_ms: 30_000,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = addr_of(&server);
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let query = queries[c].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, &format!("t{}", c % 4), "").unwrap();
+                let mut all = Vec::new();
+                for _ in 0..QUERIES_PER_CLIENT {
+                    all.push(rows_of(client.query(&query).unwrap()));
+                }
+                client.close().unwrap();
+                all
+            })
+        })
+        .collect();
+    for (c, h) in handles.into_iter().enumerate() {
+        let results = h.join().expect("client thread panicked");
+        for rows in results {
+            assert_eq!(
+                rows, expected[c],
+                "client {c} saw different rows over TCP than serial execution"
+            );
+        }
+    }
+    assert_eq!(server.connections(), 0, "all sessions closed");
+    server.shutdown();
+}
+
+/// DDL racing reads: concurrent CREATE/INSERT/SELECT across sessions
+/// never crashes the server and every reply is well-formed.
+#[test]
+fn ddl_racing_reads_is_safe() {
+    let db = small_db();
+    db.execute("CREATE TABLE base (id INTEGER)").unwrap();
+    db.execute("INSERT INTO base VALUES (1), (2), (3)").unwrap();
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = addr_of(&server);
+
+    let writer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr, "writer", "").unwrap();
+            for i in 0..10 {
+                client.query(&format!("CREATE TABLE side_{i} (x INTEGER)")).unwrap();
+                client.query(&format!("INSERT INTO side_{i} VALUES ({i})")).unwrap();
+                client.query(&format!("DROP TABLE side_{i}")).unwrap();
+            }
+            client.close().unwrap();
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, "reader", "").unwrap();
+                for _ in 0..15 {
+                    // The base table is stable; side tables come and go.
+                    // Reads of base must always succeed; reads of a side
+                    // table may fail (dropped) but must be a clean error.
+                    let rows =
+                        rows_of(client.query("SELECT id FROM base ORDER BY id").unwrap());
+                    assert_eq!(rows.len(), 3);
+                    match client.query("SELECT x FROM side_3") {
+                        Ok(_) | Err(ServerError::Query(_)) => {}
+                        Err(other) => panic!("unexpected error class: {other}"),
+                    }
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    server.shutdown();
+}
+
+/// A tenant whose quota cannot admit a query gets a typed `Saturated`
+/// rejection — the server survives and other tenants are unaffected.
+#[test]
+fn quota_exhaustion_is_typed_saturation_not_a_crash() {
+    let db = Database::with_config(DatabaseConfig {
+        workers: 2,
+        // Dedicated governor so the tenant child budgets mean something.
+        mem: Some(64),
+        ..DatabaseConfig::default()
+    });
+    db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let server = Server::start(
+        db,
+        ServerConfig {
+            // 1 MiB tenant budget with a floor demand larger than it:
+            // admission can never reserve the floor for this tenant.
+            tenant_mem_mb: Some(1),
+            admission_floor_bytes: 8 * 1024 * 1024,
+            queue_wait_ms: 200,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = addr_of(&server);
+
+    let mut starved = Client::connect(&addr, "starved", "").unwrap();
+    match starved.query("SELECT COUNT(*) AS n FROM t") {
+        Err(ServerError::Saturated { reason }) => {
+            assert!(
+                reason.contains("quota") || reason.contains("saturated"),
+                "reason should name the cause: {reason}"
+            );
+        }
+        other => panic!("expected Saturated, got {other:?}"),
+    }
+    // The session (and the server) are still usable after the rejection.
+    match starved.query("SELECT 1 AS one") {
+        Err(ServerError::Saturated { .. }) => {}
+        other => panic!("floor still unsatisfiable, expected Saturated, got {other:?}"),
+    }
+    starved.close().unwrap();
+
+    server.shutdown();
+}
+
+/// Queue overflow rejects immediately with `Saturated` instead of
+/// queueing unboundedly.
+#[test]
+fn queue_overflow_rejects_immediately() {
+    let db = small_db();
+    db.execute("CREATE TABLE big (a INTEGER)").unwrap();
+    let vals: Vec<String> = (0..400).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+
+    let server = Server::start(
+        db,
+        ServerConfig {
+            max_concurrent: 1,
+            queue_depth: 1,
+            queue_wait_ms: 5_000,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = addr_of(&server);
+
+    // Saturate the single slot + single queue spot with slow cross joins,
+    // then observe a fast rejection.
+    let slow_sql =
+        "SELECT COUNT(*) AS n FROM big AS x, big AS y, big AS z WHERE x.a < 30";
+    let saturated = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let saturated = Arc::clone(&saturated);
+            std::thread::spawn(move || {
+                // Stagger arrivals so occupancy is deterministic: slot,
+                // queue spot, rejection.
+                std::thread::sleep(Duration::from_millis(i as u64 * 150));
+                let mut c = Client::connect(&addr, "load", "").unwrap();
+                match c.query(slow_sql) {
+                    Ok(_) => {}
+                    Err(ServerError::Saturated { .. }) => {
+                        saturated.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+                let _ = c.close();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // 1 running + 1 queued fit; at least the third must have been turned
+    // away (timing may reject the queued one too).
+    assert!(
+        saturated.load(Ordering::SeqCst) >= 1,
+        "expected at least one Saturated rejection"
+    );
+    server.shutdown();
+}
+
+/// KILL from a second session aborts a running query; afterwards the
+/// governor ledger is zero and the spill directory is empty.
+#[test]
+fn kill_mid_query_reclaims_memory_and_spill() {
+    let spill_dir = std::env::temp_dir().join(format!(
+        "lardb-server-kill-test-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&spill_dir).unwrap();
+    let db = Database::with_config(DatabaseConfig {
+        workers: 2,
+        pool_workers: Some(2),
+        mem: Some(8),
+        spill_dir: Some(spill_dir.clone()),
+        ..DatabaseConfig::default()
+    });
+    let governor = Arc::clone(db.memory().governor());
+    db.execute("CREATE TABLE big (a INTEGER, b DOUBLE)").unwrap();
+    let vals: Vec<String> = (0..600).map(|i| format!("({i}, {}.5)", i % 50)).collect();
+    db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = addr_of(&server);
+
+    // Session A runs a long cross join; session B finds and kills it.
+    let victim = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, "victim", "").unwrap();
+            let r = c.query(
+                "SELECT COUNT(*) AS n FROM big AS x, big AS y, big AS z \
+                 WHERE x.b + y.b + z.b < 0.0",
+            );
+            let _ = c.close();
+            r
+        })
+    };
+
+    let mut killer = Client::connect(&addr, "killer", "").unwrap();
+    // Find the victim's query id via SHOW SESSIONS.
+    let mut query_id: Option<u64> = None;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while query_id.is_none() && Instant::now() < deadline {
+        let rows = rows_of(killer.query("SHOW SESSIONS").unwrap());
+        for r in &rows {
+            // Columns: session_id, tenant, peer, state, query_id, sql, ...
+            let tenant = r.value(1).to_string();
+            if tenant.contains("victim") {
+                if let Some(qid) = r.value(4).as_integer() {
+                    query_id = Some(qid as u64);
+                }
+            }
+        }
+        if query_id.is_none() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let query_id = query_id.expect("victim query never showed up in SHOW SESSIONS");
+    let killed_at = Instant::now();
+    killer.kill(query_id).expect("kill should reach the running query");
+
+    match victim.join().unwrap() {
+        Err(ServerError::Killed(_)) => {}
+        other => panic!("victim should die with Killed, got {other:?}"),
+    }
+    let kill_latency = killed_at.elapsed();
+    assert!(
+        kill_latency < Duration::from_secs(10),
+        "kill took {kill_latency:?} to take effect"
+    );
+
+    killer.close().unwrap();
+    server.shutdown();
+
+    assert_eq!(
+        governor.reserved(),
+        0,
+        "governor ledger must be zero after a killed query"
+    );
+    let leftovers: Vec<_> = std::fs::read_dir(&spill_dir)
+        .map(|rd| rd.filter_map(|e| e.ok()).map(|e| e.path()).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "spill dir not empty after kill: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}
+
+/// A client that vanishes mid-query gets its query cancelled and its
+/// session reaped; the governor ledger returns to zero.
+#[test]
+fn client_disconnect_aborts_running_query() {
+    let db = Database::with_config(DatabaseConfig {
+        workers: 2,
+        pool_workers: Some(2),
+        mem: Some(8),
+        ..DatabaseConfig::default()
+    });
+    let governor = Arc::clone(db.memory().governor());
+    let sessions = Arc::clone(db.sessions());
+    db.execute("CREATE TABLE big (a INTEGER)").unwrap();
+    let vals: Vec<String> = (0..600).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO big VALUES {}", vals.join(", "))).unwrap();
+
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = addr_of(&server);
+
+    // Start a long query on a raw connection, then hang up without
+    // reading the result.
+    {
+        use lardb_net::Message;
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        lardb_server::wire::send_message(
+            &mut stream,
+            &Message::Hello { tenant: "ghost".into(), auth: String::new() },
+        )
+        .unwrap();
+        match lardb_server::wire::recv_message(&mut stream).unwrap() {
+            lardb_server::wire::Recv::Msg(Message::Ok { .. }) => {}
+            other => panic!("handshake failed: {other:?}"),
+        }
+        lardb_server::wire::send_message(
+            &mut stream,
+            &Message::Query {
+                sql: "SELECT COUNT(*) AS n FROM big AS x, big AS y, big AS z \
+                      WHERE x.a + y.a + z.a < 0"
+                    .into(),
+            },
+        )
+        .unwrap();
+        // Give the query a moment to start, then vanish.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sessions.snapshot().iter().all(|s| s.state != "running")
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // `stream` drops here: EOF at the server.
+    }
+
+    // The session must disappear (query cancelled, thread unwound).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while sessions.active_sessions() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        sessions.active_sessions(),
+        0,
+        "disconnected session must be reaped"
+    );
+    server.shutdown();
+    assert_eq!(
+        governor.reserved(),
+        0,
+        "governor ledger must be zero after a disconnect-aborted query"
+    );
+}
+
+/// Sessions beyond `max_sessions` are turned away with `Saturated`
+/// before handshake.
+#[test]
+fn session_cap_rejects_excess_connections() {
+    let db = small_db();
+    let server = Server::start(
+        db,
+        ServerConfig { max_sessions: 2, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = addr_of(&server);
+
+    let _a = Client::connect(&addr, "one", "").unwrap();
+    let _b = Client::connect(&addr, "two", "").unwrap();
+    match Client::connect(&addr, "three", "") {
+        Err(ServerError::Saturated { reason }) => {
+            assert!(reason.contains("max sessions"), "got: {reason}");
+        }
+        Ok(_) => panic!("third connection should have been rejected"),
+        Err(other) => panic!("expected Saturated, got {other}"),
+    }
+    server.shutdown();
+}
+
+/// Auth: wrong token is rejected, right token accepted.
+#[test]
+fn auth_token_enforced() {
+    let db = small_db();
+    let server = Server::start(
+        db,
+        ServerConfig { auth_token: Some("sesame".into()), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = addr_of(&server);
+
+    match Client::connect(&addr, "t", "wrong") {
+        Err(ServerError::Auth(_)) => {}
+        other => panic!("expected Auth error, got {:?}", other.map(|_| "client")),
+    }
+    let c = Client::connect(&addr, "t", "sesame").unwrap();
+    c.close().unwrap();
+    server.shutdown();
+}
+
+/// Prepared statements roundtrip: prepare once, execute twice.
+#[test]
+fn prepare_and_execute() {
+    let db = small_db();
+    db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = addr_of(&server);
+
+    let mut c = Client::connect(&addr, "t", "").unwrap();
+    let stmt = c.prepare("SELECT COUNT(*) AS n FROM t").unwrap();
+    for _ in 0..2 {
+        let rows = rows_of(c.execute(stmt).unwrap());
+        assert_eq!(rows[0].value(0).as_integer(), Some(3));
+    }
+    assert!(matches!(c.execute(999), Err(ServerError::Query(_))));
+    assert!(matches!(c.prepare("SELEKT nope"), Err(ServerError::Query(_))));
+    c.close().unwrap();
+    server.shutdown();
+}
+
+/// `server.*` metrics move: admitted counts grow, sessions gauge returns
+/// to zero after close.
+#[test]
+fn server_metrics_are_published() {
+    let db = small_db();
+    db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = addr_of(&server);
+
+    let admitted_before =
+        lardb_obs::global().counter("server.queries_admitted").get();
+    let mut c = Client::connect(&addr, "t", "").unwrap();
+    let rows = rows_of(c.query("SELECT id FROM t").unwrap());
+    assert_eq!(rows.len(), 1);
+    let admitted_after =
+        lardb_obs::global().counter("server.queries_admitted").get();
+    assert!(
+        admitted_after > admitted_before,
+        "queries_admitted should count admitted queries"
+    );
+    // SHOW METRICS over the wire includes the server family.
+    let metric_rows = rows_of(c.query("SHOW METRICS").unwrap());
+    let names: Vec<String> =
+        metric_rows.iter().map(|r| r.value(0).to_string()).collect();
+    assert!(
+        names.iter().any(|n| n.contains("server.queries_admitted")),
+        "SHOW METRICS should include server.* metrics, got {names:?}"
+    );
+    c.close().unwrap();
+    server.shutdown();
+}

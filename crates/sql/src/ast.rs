@@ -193,4 +193,13 @@ pub enum Statement {
     /// `SHOW METRICS` — snapshot the process-wide metrics registry as a
     /// relation of `(name, kind, value)`.
     ShowMetrics,
+    /// `SHOW SESSIONS` — snapshot the open server sessions (and their
+    /// running queries) as a relation.
+    ShowSessions,
+    /// `KILL <query-id>` — flip the cancel token of a running query, as
+    /// listed by `SHOW SESSIONS`.
+    Kill {
+        /// The target query id.
+        query_id: u64,
+    },
 }

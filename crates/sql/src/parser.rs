@@ -106,8 +106,27 @@ impl<'a> Parser<'a> {
             return Ok(Statement::Explain { query: self.select()?, analyze });
         }
         if self.accept_kw("SHOW") {
-            self.expect_kw("METRICS")?;
-            return Ok(Statement::ShowMetrics);
+            if self.accept_kw("METRICS") {
+                return Ok(Statement::ShowMetrics);
+            }
+            if self.accept_kw("SESSIONS") {
+                return Ok(Statement::ShowSessions);
+            }
+            return Err(self.err_here("expected METRICS or SESSIONS after SHOW"));
+        }
+        if self.accept_kw("KILL") {
+            let query_id = match self.peek() {
+                Some(Spanned { token: Token::Int(v), .. }) => {
+                    let v = *v;
+                    self.pos += 1;
+                    if v < 0 {
+                        return Err(self.err_here("negative query id"));
+                    }
+                    v as u64
+                }
+                _ => return Err(self.err_here("expected a query id after KILL")),
+            };
+            return Ok(Statement::Kill { query_id });
         }
         if self.accept_kw("CREATE") {
             if self.accept_kw("TABLE") {
@@ -520,6 +539,29 @@ mod tests {
             Statement::ShowMetrics
         ));
         assert!(parse_statement("SHOW TABLES").is_err());
+    }
+
+    #[test]
+    fn parse_show_sessions_and_kill() {
+        assert!(matches!(
+            parse_statement("SHOW SESSIONS").unwrap(),
+            Statement::ShowSessions
+        ));
+        assert!(matches!(
+            parse_statement("show sessions;").unwrap(),
+            Statement::ShowSessions
+        ));
+        assert!(matches!(
+            parse_statement("KILL 42").unwrap(),
+            Statement::Kill { query_id: 42 }
+        ));
+        assert!(matches!(
+            parse_statement("kill 0;").unwrap(),
+            Statement::Kill { query_id: 0 }
+        ));
+        assert!(parse_statement("KILL").is_err());
+        assert!(parse_statement("KILL abc").is_err());
+        assert!(parse_statement("KILL -3").is_err());
     }
 
     #[test]
