@@ -15,6 +15,11 @@
 //! (the CI artifact). Saturated rejections are *counted*, not retried:
 //! the admission queue is deliberately small so the 64-client skewed
 //! wave shows typed backpressure instead of unbounded queueing.
+//!
+//! The profile also bounds the flight recorder's cost: an 8-client
+//! uniform wave is run once with tracing disabled and once tracing
+//! every query, and the two medians land in the JSON as `tracing`
+//! records plus a top-level `tracing_overhead_pct`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -163,8 +168,45 @@ fn main() {
                 );
             }
         }
+        // Flight-recorder overhead: the same 8-client uniform wave with
+        // tracing off, then tracing every query (sample 1). One warmup
+        // wave each so connection setup doesn't pollute the medians.
+        let rec = lardb_obs::recorder();
+        let was_enabled = rec.enabled();
+        let was_sample = rec.sample_every();
+        let mut medians = Vec::new();
+        for &(label, on) in &[("off", false), ("every-query", true)] {
+            rec.set_enabled(on);
+            rec.set_sample_every(1);
+            let server = start_server();
+            let addr = server.local_addr().to_string();
+            let _ = run_wave(&addr, 8, false);
+            let (mut latencies, _) = run_wave(&addr, 8, false);
+            server.shutdown();
+            latencies.sort_by(|x, y| x.total_cmp(y));
+            let p50 = percentile(&latencies, 0.50);
+            let p99 = percentile(&latencies, 0.99);
+            records.push(format!(
+                "{{\"clients\":8,\"mix\":\"uniform\",\"tracing\":\"{label}\",\
+                 \"queries\":{},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
+                 \"rejected\":0}}",
+                latencies.len(),
+            ));
+            println!("serve_concurrency tracing {label}: p50 {p50:.1} ms, p99 {p99:.1} ms");
+            medians.push(p50);
+        }
+        rec.set_enabled(was_enabled);
+        rec.set_sample_every(was_sample);
+        let overhead_pct = if medians[0] > 0.0 {
+            (medians[1] / medians[0] - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!("serve_concurrency tracing overhead: {overhead_pct:.1}% on p50");
+
         let doc = format!(
             "{{\"bench\":\"serve_concurrency\",\"queries_per_client\":{QUERIES_PER_CLIENT},\
+             \"tracing_overhead_pct\":{overhead_pct:.2},\
              \"runs\":[{}]}}",
             records.join(",")
         );

@@ -85,10 +85,7 @@ impl MemoryGovernor {
     /// succeed and are useful as growable anchors.
     pub fn try_reserve(self: &Arc<Self>, bytes: u64) -> Option<MemoryReservation> {
         if self.try_add(bytes) {
-            Some(MemoryReservation {
-                gov: Arc::clone(self),
-                bytes,
-            })
+            Some(MemoryReservation::attributed(Arc::clone(self), bytes))
         } else {
             lardb_obs::global().counter("mem.denials").inc();
             None
@@ -102,10 +99,7 @@ impl MemoryGovernor {
     /// exceeds the budget.
     pub fn force_reserve(self: &Arc<Self>, bytes: u64) -> MemoryReservation {
         self.add_forced(bytes);
-        MemoryReservation {
-            gov: Arc::clone(self),
-            bytes,
-        }
+        MemoryReservation::attributed(Arc::clone(self), bytes)
     }
 
     /// Unconditional add, cascading to ancestors.
@@ -187,13 +181,27 @@ impl MemoryGovernor {
 }
 
 /// An RAII byte reservation; releases its bytes back to the governor on drop.
+///
+/// If the reserving thread was running under an end-to-end query trace,
+/// the reservation remembers it and keeps the trace's live
+/// reserved-bytes attribution in sync through resizes and the final
+/// release (which may happen on a different thread).
 #[derive(Debug)]
 pub struct MemoryReservation {
     gov: Arc<MemoryGovernor>,
     bytes: u64,
+    trace: Option<Arc<lardb_obs::ActiveTrace>>,
 }
 
 impl MemoryReservation {
+    fn attributed(gov: Arc<MemoryGovernor>, bytes: u64) -> MemoryReservation {
+        let trace = lardb_obs::trace::current();
+        if let Some(t) = &trace {
+            t.add_reserved(bytes as i64);
+        }
+        MemoryReservation { gov, bytes, trace }
+    }
+
     /// Bytes currently held by this reservation.
     pub fn bytes(&self) -> u64 {
         self.bytes
@@ -212,6 +220,9 @@ impl MemoryReservation {
         } else {
             self.gov.release(self.bytes - new_bytes);
         }
+        if let Some(t) = &self.trace {
+            t.add_reserved(new_bytes as i64 - self.bytes as i64);
+        }
         self.bytes = new_bytes;
         true
     }
@@ -220,6 +231,9 @@ impl MemoryReservation {
 impl Drop for MemoryReservation {
     fn drop(&mut self) {
         self.gov.release(self.bytes);
+        if let Some(t) = &self.trace {
+            t.add_reserved(-(self.bytes as i64));
+        }
     }
 }
 

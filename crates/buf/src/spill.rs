@@ -22,6 +22,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Rows per encoded frame — matches the exchange transports' batch size.
 const ROWS_PER_FRAME: usize = 256;
@@ -64,6 +65,7 @@ struct WriterInner {
     fin: FinSummary,
     rows: u64,
     bytes: u64,
+    started: Instant,
 }
 
 impl SpillWriter {
@@ -91,6 +93,7 @@ impl SpillWriter {
                 },
                 rows: 0,
                 bytes: 0,
+                started: Instant::now(),
             }),
         })
     }
@@ -142,6 +145,21 @@ impl SpillWriter {
         w.bytes += 4 + fin.len() as u64;
         let m = lardb_obs::global();
         m.counter("spill.bytes_written").add(w.bytes);
+        // Attribute the spill to the query tracing this thread, if any.
+        if let Some(t) = lardb_obs::trace::current() {
+            t.add_spill_written(w.bytes);
+            t.record(
+                "spill.write",
+                "spill",
+                w.started,
+                w.started.elapsed(),
+                vec![
+                    ("path", w.path.display().to_string()),
+                    ("rows", w.rows.to_string()),
+                    ("bytes", w.bytes.to_string()),
+                ],
+            );
+        }
         Ok(SpillFile {
             path: w.path,
             rows: w.rows,
@@ -187,6 +205,7 @@ impl SpillFile {
     /// Any mismatch — short file, bad bytes, wrong counts or checksum,
     /// trailing garbage — is a typed error, never silently wrong rows.
     pub fn read_rows(&self) -> Result<Vec<Row>> {
+        let t0 = Instant::now();
         let file = File::open(&self.path).map_err(|e| io_err(&self.path, "open", e))?;
         let mut r = BufReader::new(file);
         let mut rows: Vec<Row> = Vec::with_capacity(self.rows as usize);
@@ -255,6 +274,12 @@ impl SpillFile {
                         detail: "unexpected schema frame in spill file".to_string(),
                     });
                 }
+                Frame::Trace(_) => {
+                    return Err(BufError::Corrupt {
+                        path: self.path.clone(),
+                        detail: "unexpected trace frame in spill file".to_string(),
+                    });
+                }
                 Frame::Fin(fin) => {
                     if fin != running {
                         return Err(BufError::Corrupt {
@@ -284,6 +309,20 @@ impl SpillFile {
                         Err(e) => return Err(io_err(&self.path, "read", e)),
                     }
                     lardb_obs::global().counter("spill.bytes_read").add(bytes_read);
+                    if let Some(t) = lardb_obs::trace::current() {
+                        t.add_spill_read(bytes_read);
+                        t.record(
+                            "spill.read",
+                            "spill",
+                            t0,
+                            t0.elapsed(),
+                            vec![
+                                ("path", self.path.display().to_string()),
+                                ("rows", rows.len().to_string()),
+                                ("bytes", bytes_read.to_string()),
+                            ],
+                        );
+                    }
                     return Ok(rows);
                 }
             }

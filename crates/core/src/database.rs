@@ -71,6 +71,18 @@ pub struct DatabaseConfig {
     /// `LARDB_SPILL_DIR`, falling back to the OS temp dir. Spill files
     /// are removed as soon as they are drained (and on abort).
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Directory where each completed query trace is written as Chrome
+    /// trace-event JSON (`trace-<id>.json`, loadable in Perfetto /
+    /// `chrome://tracing`). `None` (the default) keeps traces only in the
+    /// in-memory flight recorder.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Trace 1 of every `n` queries. `None` leaves the process-wide
+    /// flight-recorder sampling untouched (default: every query);
+    /// `Some(0)` disables tracing entirely.
+    pub trace_sample: Option<u64>,
+    /// Completed-trace ring capacity. `None` leaves the process-wide
+    /// setting untouched (default 256, or `LARDB_TRACE_CAPACITY`).
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for DatabaseConfig {
@@ -87,6 +99,9 @@ impl Default for DatabaseConfig {
             net: NetConfig::default(),
             mem: None,
             spill_dir: None,
+            trace_dir: None,
+            trace_sample: None,
+            trace_capacity: None,
         }
     }
 }
@@ -171,6 +186,12 @@ pub struct Database {
     /// engine (and may therefore be refreshed/replaced); a user-created
     /// `metrics` table is never touched.
     metrics_table_auto: Arc<AtomicBool>,
+    /// Same auto-materialization marker for the `queries` virtual table
+    /// (the flight recorder's in-flight queries).
+    queries_table_auto: Arc<AtomicBool>,
+    /// Same marker for the `sessions` virtual table (the session
+    /// registry, as rendered by `SHOW SESSIONS`).
+    sessions_table_auto: Arc<AtomicBool>,
     /// The dedicated worker pool when [`DatabaseConfig::pool_workers`] is
     /// set — created once here and shared by every query's cluster (and
     /// by clones of this database). `None` ⇒ the process-wide pool.
@@ -204,6 +225,19 @@ impl Database {
         if let Some(flops) = config.gemm_parallel_flops {
             lardb_la::gemm::set_parallel_flops(flops);
         }
+        // Flight-recorder knobs are process-global, like the GEMM cutoff:
+        // applied once at construction.
+        match config.trace_sample {
+            Some(0) => lardb_obs::recorder().set_enabled(false),
+            Some(n) => {
+                lardb_obs::recorder().set_enabled(true);
+                lardb_obs::recorder().set_sample_every(n);
+            }
+            None => {}
+        }
+        if let Some(cap) = config.trace_capacity {
+            lardb_obs::recorder().set_capacity(cap);
+        }
         let pool = config.pool_workers.map(|n| Arc::new(WorkerPool::new(n)));
         let mem = match config.mem {
             None => match &config.spill_dir {
@@ -220,6 +254,8 @@ impl Database {
             config,
             last_profile: Arc::new(Mutex::new(None)),
             metrics_table_auto: Arc::new(AtomicBool::new(false)),
+            queries_table_auto: Arc::new(AtomicBool::new(false)),
+            sessions_table_auto: Arc::new(AtomicBool::new(false)),
             pool,
             mem,
             sessions: Arc::new(SessionRegistry::new()),
@@ -240,6 +276,11 @@ impl Database {
         }
         if let Some(token) = cancel {
             cluster = cluster.with_cancel_token(token.clone());
+        }
+        // Attach the statement's flight-recorder trace (if sampled) so
+        // morsel workers and exchange channels attribute to the query.
+        if let Some(trace) = lardb_obs::trace::current() {
+            cluster = cluster.with_trace(trace);
         }
         cluster
     }
@@ -350,25 +391,83 @@ impl Database {
         self.execute_cancellable(sql, Some(cancel))
     }
 
+    /// Executes one SQL statement under an externally-minted flight
+    /// recorder trace. The query server mints the trace *before*
+    /// admission (so queue wait is on the trace) and hands it in here;
+    /// the statement runs with the trace as the thread-local current
+    /// trace, and the trace is finished (frozen into the recorder ring)
+    /// when the statement completes.
+    pub fn execute_with_trace(
+        &self,
+        sql: &str,
+        cancel: &CancelToken,
+        trace: &Arc<lardb_obs::ActiveTrace>,
+    ) -> Result<Response> {
+        self.execute_inner(sql, Some(cancel), Some(Arc::clone(trace)))
+    }
+
     fn execute_cancellable(&self, sql: &str, cancel: Option<&CancelToken>) -> Result<Response> {
+        // Embedded entry point: mint a (sampled) trace here; the server
+        // path pre-mints via `execute_with_trace` to capture queue wait.
+        let trace = lardb_obs::recorder().start(sql, "embedded");
+        self.execute_inner(sql, cancel, trace)
+    }
+
+    fn execute_inner(
+        &self,
+        sql: &str,
+        cancel: Option<&CancelToken>,
+        trace: Option<Arc<lardb_obs::ActiveTrace>>,
+    ) -> Result<Response> {
         let t0 = Instant::now();
+        if let Some(t) = &trace {
+            t.set_running();
+        }
+        let cur = trace
+            .as_ref()
+            .map(|t| lardb_obs::trace::push_current(Some(Arc::clone(t))));
         let sink = CollectingSink::new();
         let mut profile = QueryProfile::new(sql);
         let result = self.execute_traced(sql, cancel, &sink, &mut profile);
         profile.add_spans(&sink.take());
-        self.finish_statement(sql, t0, result.is_err(), profile);
+        if let (Some(t), Ok(Response::Rows(q))) = (&trace, &result) {
+            t.add_rows(q.rows.len() as u64);
+        }
+        drop(cur);
+        let trace_ids = trace.as_ref().map(|t| (t.id(), t.query_id()));
+        if let Some(t) = trace {
+            let err = result.as_ref().err().map(|e| e.to_string());
+            let done = lardb_obs::recorder().finish(&t, err.as_deref());
+            self.write_trace_file(&done);
+        }
+        self.finish_statement(sql, t0, result.is_err(), profile, trace_ids);
         result
+    }
+
+    /// Best-effort export of one completed trace as Chrome trace-event
+    /// JSON under [`DatabaseConfig::trace_dir`]. I/O failures are
+    /// swallowed: tracing must never fail a query.
+    fn write_trace_file(&self, done: &lardb_obs::CompletedTrace) {
+        let Some(dir) = &self.config.trace_dir else { return };
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(
+            dir.join(format!("trace-{}.json", done.id)),
+            done.to_chrome_json(),
+        );
     }
 
     /// Bookkeeping for one finished statement: process-wide counters, the
     /// per-query latency histogram, the slow-query log, and publishing the
-    /// statement's [`QueryProfile`].
+    /// statement's [`QueryProfile`]. Slow-query log lines carry the
+    /// statement's trace and query ids when it ran traced, so a log line
+    /// correlates directly with flight-recorder output.
     fn finish_statement(
         &self,
         sql: &str,
         t0: Instant,
         errored: bool,
         profile: QueryProfile,
+        trace_ids: Option<(lardb_obs::TraceId, u64)>,
     ) {
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let registry = lardb_obs::global();
@@ -380,12 +479,18 @@ impl Database {
         if let Some(threshold) = self.config.slow_query_ms {
             if ms >= threshold {
                 registry.counter("db.slow_queries").inc();
+                let ids = match trace_ids {
+                    Some((tid, 0)) => format!(" trace {tid}"),
+                    Some((tid, qid)) => format!(" trace {tid} query {qid}"),
+                    None => String::new(),
+                };
                 match &self.session_label {
                     Some(label) => eprintln!(
-                        "[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms) [{label}]: {sql}"
+                        "[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms) \
+                         [{label}]{ids}: {sql}"
                     ),
                     None => eprintln!(
-                        "[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms): {sql}"
+                        "[lardb] slow query ({ms:.1} ms ≥ {threshold:.1} ms){ids}: {sql}"
                     ),
                 }
             }
@@ -478,7 +583,7 @@ impl Database {
                 Ok(Response::Inserted(n))
             }
             Statement::Select(sel) => {
-                self.refresh_metrics_table(&sel)?;
+                self.refresh_virtual_tables(&sel)?;
                 let plan = {
                     let _g = SpanGuard::enter(sink, Stage::Bind, "");
                     Binder::new(&self.catalog).bind_select(&sel)?
@@ -486,8 +591,42 @@ impl Database {
                 let (result, _) = self.run_traced(plan, true, cancel, sink, profile)?;
                 Ok(Response::Rows(result))
             }
-            Statement::Explain { query, analyze } => {
-                self.refresh_metrics_table(&query)?;
+            Statement::Explain { query, analyze, trace } => {
+                self.refresh_virtual_tables(&query)?;
+                if trace {
+                    // EXPLAIN TRACE: run the query under a *forced* trace
+                    // (sampling does not apply) and return its Chrome
+                    // trace-event JSON instead of the plan text. The
+                    // statement was already parsed, so a measured re-parse
+                    // stands in for the parse span; bind onward runs live
+                    // under the forced trace.
+                    let forced = lardb_obs::recorder().start_forced(sql, "explain");
+                    forced.set_running();
+                    let run = {
+                        let _cur = lardb_obs::trace::push_current(Some(Arc::clone(&forced)));
+                        let t_parse = Instant::now();
+                        let _ = parse_statement(sql);
+                        forced.record("parse", "query", t_parse, t_parse.elapsed(), Vec::new());
+                        let bound = {
+                            let _g = SpanGuard::enter(sink, Stage::Bind, "");
+                            Binder::new(&self.catalog).bind_select(&query)
+                        };
+                        match bound {
+                            Ok(plan) => {
+                                self.run_traced(plan, true, cancel, sink, profile)
+                            }
+                            Err(e) => Err(e.into()),
+                        }
+                    };
+                    let err = run.as_ref().err().map(|e| e.to_string());
+                    if let Ok((result, _)) = &run {
+                        forced.add_rows(result.rows.len() as u64);
+                    }
+                    let done = lardb_obs::recorder().finish(&forced, err.as_deref());
+                    self.write_trace_file(&done);
+                    run?;
+                    return Ok(Response::Explained(done.to_chrome_json()));
+                }
                 let plan = {
                     let _g = SpanGuard::enter(sink, Stage::Bind, "");
                     Binder::new(&self.catalog).bind_select(&query)?
@@ -517,6 +656,7 @@ impl Database {
             Statement::ShowSessions => {
                 Ok(Response::Rows(sessions_snapshot_result(&self.sessions)))
             }
+            Statement::ShowQueries => Ok(Response::Rows(queries_snapshot_result())),
             Statement::Kill { query_id } => {
                 if self.sessions.kill(query_id) {
                     Ok(Response::Done)
@@ -623,30 +763,51 @@ impl Database {
         ))
     }
 
-    /// Re-materializes the `metrics` virtual table from the process-wide
-    /// registry when `sel` references it (directly or in a subquery), so
-    /// metrics can be filtered/joined/aggregated with ordinary SQL. A
-    /// user-created table named `metrics` is left untouched.
-    fn refresh_metrics_table(&self, sel: &SelectStatement) -> Result<()> {
-        if !references_table(sel, "metrics") {
-            return Ok(());
+    /// Re-materializes the introspection virtual tables (`metrics`,
+    /// `queries`, `sessions`) when `sel` references them (directly or in
+    /// a subquery), so live engine state can be filtered, joined and
+    /// aggregated with ordinary SQL. A user-created table with one of
+    /// these names is never touched.
+    fn refresh_virtual_tables(&self, sel: &SelectStatement) -> Result<()> {
+        if references_table(sel, "metrics") {
+            self.refresh_virtual("metrics", &self.metrics_table_auto, || {
+                (metrics_schema(), metric_rows())
+            })?;
         }
-        if self.catalog.has_table("metrics") {
-            if !self.metrics_table_auto.load(Ordering::Acquire) {
+        if references_table(sel, "queries") {
+            self.refresh_virtual("queries", &self.queries_table_auto, || {
+                (queries_schema(), queries_rows())
+            })?;
+        }
+        if references_table(sel, "sessions") {
+            self.refresh_virtual("sessions", &self.sessions_table_auto, || {
+                (sessions_schema(), sessions_rows(&self.sessions))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Drops and re-creates one auto-materialized virtual table from a
+    /// fresh snapshot. The `auto` flag distinguishes engine-created
+    /// tables (refreshable) from a user's table of the same name (never
+    /// clobbered).
+    fn refresh_virtual(
+        &self,
+        name: &str,
+        auto: &AtomicBool,
+        snapshot: impl FnOnce() -> (Schema, Vec<Row>),
+    ) -> Result<()> {
+        if self.catalog.has_table(name) {
+            if !auto.load(Ordering::Acquire) {
                 return Ok(()); // the user's own table; never clobber it
             }
-            self.catalog.drop_table("metrics")?;
+            self.catalog.drop_table(name)?;
         }
-        let schema = Schema::from_pairs(&[
-            ("name", DataType::Varchar),
-            ("kind", DataType::Varchar),
-            ("value", DataType::Double),
-        ]);
-        let mut table =
-            Table::new("metrics", schema, self.config.workers, Partitioning::RoundRobin);
-        table.insert_all(metric_rows())?;
+        let (schema, rows) = snapshot();
+        let mut table = Table::new(name, schema, self.config.workers, Partitioning::RoundRobin);
+        table.insert_all(rows)?;
         self.catalog.create_table(table)?;
-        self.metrics_table_auto.store(true, Ordering::Release);
+        auto.store(true, Ordering::Release);
         Ok(())
     }
 
@@ -691,26 +852,61 @@ fn references_table(sel: &SelectStatement, name: &str) -> bool {
     })
 }
 
-/// The process-wide metrics snapshot as `(name, kind, value)` rows.
+/// Schema of the `metrics` relation: one row per metric, name-sorted.
+/// Counters and gauges fill `value`; histograms fill the distribution
+/// columns (`count`, `sum`, `p50`, `p90`, `p99`) and leave `value` NULL.
+/// `value` stays at column index 2 for backward compatibility.
+fn metrics_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("name", DataType::Varchar),
+        ("kind", DataType::Varchar),
+        ("value", DataType::Double),
+        ("count", DataType::Double),
+        ("sum", DataType::Double),
+        ("p50", DataType::Double),
+        ("p90", DataType::Double),
+        ("p99", DataType::Double),
+    ])
+}
+
+/// The process-wide metrics snapshot, one row per metric (see
+/// [`metrics_schema`]).
 fn metric_rows() -> Vec<Row> {
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Double);
     lardb_obs::global()
-        .snapshot()
+        .table_snapshot()
         .into_iter()
         .map(|s| {
             Row::new(vec![
                 Value::Varchar(s.name.as_str().into()),
                 Value::Varchar(s.kind.label().into()),
-                Value::Double(s.value),
+                opt(s.value),
+                opt(s.count),
+                opt(s.sum),
+                opt(s.p50),
+                opt(s.p90),
+                opt(s.p99),
             ])
         })
         .collect()
 }
 
-/// Builds the `SHOW SESSIONS` response relation: one row per open
-/// session — `(session_id, tenant, peer, state, query_id, sql,
-/// elapsed_ms)`. Idle sessions carry NULL query columns.
-fn sessions_snapshot_result(sessions: &SessionRegistry) -> QueryResult {
-    let rows = sessions
+/// Schema of the `sessions` relation (`SHOW SESSIONS`).
+fn sessions_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("session_id", DataType::Integer),
+        ("tenant", DataType::Varchar),
+        ("peer", DataType::Varchar),
+        ("state", DataType::Varchar),
+        ("query_id", DataType::Integer),
+        ("sql", DataType::Varchar),
+        ("elapsed_ms", DataType::Double),
+    ])
+}
+
+/// One row per open session — idle sessions carry NULL query columns.
+fn sessions_rows(sessions: &SessionRegistry) -> Vec<Row> {
+    sessions
         .snapshot()
         .into_iter()
         .map(|s| {
@@ -724,18 +920,14 @@ fn sessions_snapshot_result(sessions: &SessionRegistry) -> QueryResult {
                 Value::Double(s.elapsed_ms),
             ])
         })
-        .collect();
+        .collect()
+}
+
+/// Builds the `SHOW SESSIONS` response relation.
+fn sessions_snapshot_result(sessions: &SessionRegistry) -> QueryResult {
     QueryResult {
-        schema: Schema::from_pairs(&[
-            ("session_id", DataType::Integer),
-            ("tenant", DataType::Varchar),
-            ("peer", DataType::Varchar),
-            ("state", DataType::Varchar),
-            ("query_id", DataType::Integer),
-            ("sql", DataType::Varchar),
-            ("elapsed_ms", DataType::Double),
-        ]),
-        rows,
+        schema: sessions_schema(),
+        rows: sessions_rows(sessions),
         stats: ExecStats::new(),
     }
 }
@@ -743,12 +935,59 @@ fn sessions_snapshot_result(sessions: &SessionRegistry) -> QueryResult {
 /// Builds the `SHOW METRICS` response relation.
 fn metrics_snapshot_result() -> QueryResult {
     QueryResult {
-        schema: Schema::from_pairs(&[
-            ("name", DataType::Varchar),
-            ("kind", DataType::Varchar),
-            ("value", DataType::Double),
-        ]),
+        schema: metrics_schema(),
         rows: metric_rows(),
+        stats: ExecStats::new(),
+    }
+}
+
+/// Schema of the `queries` relation (`SHOW QUERIES`): one row per
+/// in-flight traced query, straight from the flight recorder.
+fn queries_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("query_id", DataType::Integer),
+        ("trace_id", DataType::Varchar),
+        ("tenant", DataType::Varchar),
+        ("state", DataType::Varchar),
+        ("sql", DataType::Varchar),
+        ("elapsed_ms", DataType::Double),
+        ("queue_wait_ms", DataType::Double),
+        ("rows", DataType::Integer),
+        ("reserved_bytes", DataType::Integer),
+        ("spill_bytes", DataType::Integer),
+    ])
+}
+
+/// One row per in-flight traced query, in trace-id order.
+fn queries_rows() -> Vec<Row> {
+    lardb_obs::recorder()
+        .active_snapshot()
+        .into_iter()
+        .map(|t| {
+            Row::new(vec![
+                match t.query_id() {
+                    0 => Value::Null,
+                    q => Value::Integer(q as i64),
+                },
+                Value::Varchar(t.id().to_string().into()),
+                Value::Varchar(t.tenant().as_str().into()),
+                Value::Varchar(t.state().name().into()),
+                Value::Varchar(t.sql().into()),
+                Value::Double(t.elapsed_ms()),
+                Value::Double(t.queue_wait_ms()),
+                Value::Integer(t.rows() as i64),
+                Value::Integer(t.reserved_bytes()),
+                Value::Integer(t.spill_bytes() as i64),
+            ])
+        })
+        .collect()
+}
+
+/// Builds the `SHOW QUERIES` response relation.
+fn queries_snapshot_result() -> QueryResult {
+    QueryResult {
+        schema: queries_schema(),
+        rows: queries_rows(),
         stats: ExecStats::new(),
     }
 }
@@ -922,8 +1161,13 @@ mod tests {
         let r = db.query("SHOW METRICS").unwrap();
         assert_eq!(
             r.schema.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
-            ["name", "kind", "value"]
+            ["name", "kind", "value", "count", "sum", "p50", "p90", "p99"]
         );
+        // Deterministic ordering: rows come out sorted by metric name.
+        let names: Vec<String> = r.rows.iter().map(|row| row.value(0).to_string()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "SHOW METRICS must be name-sorted");
         // The registry is process-global and other tests run concurrently,
         // so assert presence and lower bounds, never exact equality.
         let queries = r
@@ -952,6 +1196,125 @@ mod tests {
             .query("SELECT value FROM metrics WHERE name = 'exec.plans_run'")
             .unwrap();
         assert!(r2.rows[0].value(0).as_double().unwrap() > first);
+    }
+
+    #[test]
+    fn show_metrics_surfaces_histogram_percentiles() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.query("SELECT id FROM t").unwrap();
+        let r = db.query("SHOW METRICS").unwrap();
+        // db.query_ms is a histogram: one row, distribution columns
+        // filled, scalar value NULL.
+        let h = r
+            .rows
+            .iter()
+            .find(|row| row.value(0).to_string() == "db.query_ms")
+            .expect("db.query_ms histogram present");
+        assert_eq!(h.value(1).to_string(), "histogram");
+        assert!(matches!(h.value(2), Value::Null), "histogram has no scalar value");
+        assert!(h.value(3).as_double().unwrap() >= 1.0, "count");
+        for idx in [5usize, 6, 7] {
+            assert!(h.value(idx).as_double().is_some(), "percentile column {idx}");
+        }
+    }
+
+    #[test]
+    fn show_queries_and_queries_virtual_table() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        // While a traced query runs, SHOW QUERIES (from another clone)
+        // lists it with its trace id and state.
+        let trace = lardb_obs::recorder().start_forced("SELECT id FROM t", "acme");
+        trace.set_query_id(77);
+        let r = db.query("SHOW QUERIES").unwrap();
+        assert_eq!(
+            r.schema.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            [
+                "query_id",
+                "trace_id",
+                "tenant",
+                "state",
+                "sql",
+                "elapsed_ms",
+                "queue_wait_ms",
+                "rows",
+                "reserved_bytes",
+                "spill_bytes"
+            ]
+        );
+        let row = r
+            .rows
+            .iter()
+            .find(|row| row.value(1).to_string() == trace.id().to_string())
+            .expect("in-flight trace listed");
+        assert_eq!(row.value(0).as_integer(), Some(77));
+        assert_eq!(row.value(2).to_string(), "acme");
+        // The `queries` virtual table sees the same in-flight query.
+        let vt = db
+            .query(&format!(
+                "SELECT tenant FROM queries WHERE trace_id = '{}'",
+                trace.id()
+            ))
+            .unwrap();
+        assert_eq!(vt.rows.len(), 1);
+        assert_eq!(vt.rows[0].value(0).to_string(), "acme");
+        lardb_obs::recorder().finish(&trace, None);
+        // Finished: no longer listed.
+        let r = db.query("SHOW QUERIES").unwrap();
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| row.value(1).to_string() != trace.id().to_string()));
+    }
+
+    #[test]
+    fn sessions_virtual_table_is_queryable() {
+        let db = Database::new(2);
+        let sid = db.sessions().open("acme", "local");
+        let r = db
+            .query("SELECT tenant, state FROM sessions WHERE tenant = 'acme'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].value(1).to_string(), "idle");
+        db.sessions().close(sid);
+    }
+
+    #[test]
+    fn explain_trace_returns_chrome_json() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER, v DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5)").unwrap();
+        let Response::Explained(json) =
+            db.execute("EXPLAIN TRACE SELECT SUM(v) AS s FROM t").unwrap()
+        else {
+            panic!("expected Explained");
+        };
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        for span in ["parse", "bind", "optimize", "plan", "execute"] {
+            assert!(json.contains(&format!("\"name\": \"{span}\"")), "missing {span}");
+        }
+        // The umbrella event carries the SQL and the row count.
+        assert!(json.contains("SUM(v)"), "{json}");
+    }
+
+    #[test]
+    fn embedded_statements_land_in_flight_recorder() {
+        let db = Database::new(2);
+        db.execute("CREATE TABLE t (id INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let marker = "SELECT COUNT(*) AS embedded_recorder_probe FROM t";
+        db.query(marker).unwrap();
+        let done = lardb_obs::recorder()
+            .completed_snapshot()
+            .into_iter()
+            .rev()
+            .find(|t| t.sql == marker)
+            .expect("embedded query traced");
+        assert_eq!(done.rows, 1);
+        assert!(done.has_span("execute"), "lifecycle spans recorded");
+        assert!(done.error.is_none());
     }
 
     #[test]

@@ -149,7 +149,7 @@ fn pool_metrics_surface_in_show_metrics() {
     let r = db.query("SHOW METRICS").unwrap();
     let names: Vec<String> = r.rows.iter().map(|row| row.value(0).to_string()).collect();
     for metric in
-        ["pool.morsels", "pool.steals", "pool.queue_wait_us.count", "pool.size", "pool.utilization"]
+        ["pool.morsels", "pool.steals", "pool.queue_wait_us", "pool.size", "pool.utilization"]
     {
         assert!(
             names.iter().any(|n| n == metric),

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use lardb_obs::ActiveTrace;
 use lardb_pool::WorkerPool;
 
 use crate::{ExecError, Result};
@@ -120,6 +121,11 @@ pub struct Cluster {
     /// executor must not re-arm an external token at query start — a kill
     /// that lands before execution begins must still abort the query.
     external_cancel: bool,
+    /// The query's flight-recorder trace, if this query is sampled.
+    /// Worker closures run under it (thread-local) and open per-morsel
+    /// spans, so leaf code — spill, governor — attributes to the query
+    /// even on pool threads it never created.
+    trace: Option<Arc<ActiveTrace>>,
 }
 
 impl Cluster {
@@ -134,6 +140,7 @@ impl Cluster {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             cancel: CancelToken::new(),
             external_cancel: false,
+            trace: None,
         }
     }
 
@@ -151,6 +158,19 @@ impl Cluster {
     /// [`Self::with_cancel_token`]).
     pub fn has_external_cancel(&self) -> bool {
         self.external_cancel
+    }
+
+    /// Attaches the query's flight-recorder trace: worker closures run
+    /// under it as the thread-local current trace and open per-morsel
+    /// spans, and exchange senders ship its id across the wire.
+    pub fn with_trace(mut self, trace: Arc<ActiveTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The query's trace, if one is attached (see [`Self::with_trace`]).
+    pub fn trace(&self) -> Option<&Arc<ActiveTrace>> {
+        self.trace.as_ref()
     }
 
     /// Schedules on a dedicated pool instead of the global one.
@@ -227,18 +247,28 @@ impl Cluster {
 
     /// Wraps a work closure with the query's cancellation protocol: a
     /// cancelled query skips the work outright (morsel-boundary abort),
-    /// and any failure flips the token so siblings stop too.
+    /// and any failure flips the token so siblings stop too. When the
+    /// query is traced, the closure runs under the trace (thread-local)
+    /// inside a per-morsel span, so the flight recorder sees which pool
+    /// thread ran each morsel and leaf code attributes its events.
     fn guard<T, R, F>(&self, f: F) -> impl Fn(usize, T) -> Result<R> + Sync
     where
         F: Fn(usize, T) -> Result<R> + Sync,
     {
         let cancel = self.cancel.clone();
+        let trace = self.trace.clone();
         move |i, item| {
             if cancel.is_cancelled() {
                 return Err(ExecError::Cancelled(
                     "a sibling worker failed first".into(),
                 ));
             }
+            let _cur = trace
+                .as_ref()
+                .map(|t| lardb_obs::trace::push_current(Some(t.clone())));
+            let _span = trace
+                .as_ref()
+                .map(|t| t.span("morsel", "worker").arg("partition", i.to_string()));
             let r = f(i, item);
             if let Err(e) = &r {
                 flag_abort(&cancel, e);

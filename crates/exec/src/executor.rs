@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use lardb_buf::{MemoryGovernor, MemoryReservation, SpillFile, SpillWriter};
 use lardb_net::codec::{
     checksum_update, decode_frame, encode_fin_frame, encode_rows_frame, encode_schema_frame,
-    FinSummary, Frame, CHECKSUM_SEED,
+    encode_trace_frame, FinSummary, Frame, CHECKSUM_SEED,
 };
 use lardb_net::{
     ChannelTransport, FaultyTransport, Mesh, NetConfig, NetError, TcpTransport, Transport,
@@ -920,6 +920,10 @@ impl<'a> Executor<'a> {
         let mesh_box = transport.mesh(w)?;
         let mesh: &dyn Mesh = mesh_box.as_ref();
         let cancel = self.cluster.cancel_token();
+        // When the query is traced, each sender leads every channel with a
+        // trace frame carrying the trace id — receivers resolve it against
+        // the flight recorder and attribute the channel to the query.
+        let trace_id = self.cluster.trace().map(|t| t.id().0);
 
         type SenderOut = (Vec<Row>, Vec<ChannelStats>);
         type ScopeOut = (Vec<Vec<Row>>, Vec<Vec<Vec<Row>>>, Vec<ChannelStats>);
@@ -941,7 +945,8 @@ impl<'a> Executor<'a> {
                     .enumerate()
                     .map(|(p, rows)| {
                         s.spawn(move || -> Result<SenderOut> {
-                            let r = send_partition(mesh, w, p, rows, kind, schema, cancel);
+                            let r =
+                                send_partition(mesh, w, p, rows, kind, schema, cancel, trace_id);
                             if let Err(e) = &r {
                                 flag_abort(cancel, e);
                             }
@@ -1041,6 +1046,12 @@ fn publish_metrics(stats: &ExecStats) {
 /// waiting for EOF and a partial stream is never mistaken for a full
 /// one. Senders check the query's cancellation token between frames and
 /// stop shuffling as soon as a sibling fails.
+///
+/// When `trace_id` is set the sender leads every channel with a trace
+/// frame carrying the query's trace id. The frame is counted and
+/// checksummed like any other pre-fin frame, so trace propagation rides
+/// inside the completeness proof instead of beside it.
+#[allow(clippy::too_many_arguments)]
 fn send_partition(
     mesh: &dyn Mesh,
     w: usize,
@@ -1049,6 +1060,7 @@ fn send_partition(
     kind: &ExchangeKind,
     schema: &Schema,
     cancel: &CancelToken,
+    trace_id: Option<u64>,
 ) -> Result<(Vec<Row>, Vec<ChannelStats>)> {
     let (local, outbound): (Vec<Row>, Vec<Vec<Row>>) = match kind {
         ExchangeKind::Hash(keys) => {
@@ -1102,6 +1114,17 @@ fn send_partition(
                 frames: 0,
                 enqueue_block: Duration::ZERO,
             };
+            if let Some(id) = trace_id {
+                let trace_frame = encode_trace_frame(id);
+                fin.frames += 1;
+                fin.checksum = checksum_update(fin.checksum, &trace_frame);
+                ch.bytes += trace_frame.len();
+                ch.frames += 1;
+                check_cancelled(cancel)?;
+                let t = Instant::now();
+                mesh.send(p, to, trace_frame)?;
+                ch.enqueue_block += t.elapsed();
+            }
             if !bucket.is_empty() {
                 let schema_frame = encode_schema_frame(schema);
                 fin.frames += 1;
@@ -1192,7 +1215,10 @@ fn receive_partition(
         checksum: u64,
         fin: Option<FinSummary>,
         errored: bool,
+        /// Trace id propagated by the sender's leading trace frame.
+        trace_id: Option<u64>,
     }
+    let recv_start = Instant::now();
     let truncation = |from: usize, what: String| -> ExecError {
         lardb_obs::global().counter("exchange.truncations_detected").inc();
         ExecError::Runtime(format!("exchange channel {from}→{to} truncated: {what}"))
@@ -1287,6 +1313,13 @@ fn receive_partition(
                                     );
                                 }
                             }
+                            Ok(Frame::Trace(id)) => {
+                                // Wire-propagated trace context: remember
+                                // which query this channel belongs to; the
+                                // exchange span is recorded once the
+                                // channel completes.
+                                chan.trace_id = Some(id);
+                            }
                             Ok(Frame::Fin(_)) => unreachable!("handled above"),
                             Err(e) => {
                                 record_err(NetError::from(e).into(), &mut first_err)
@@ -1321,6 +1354,28 @@ fn receive_partition(
             record_err(
                 truncation(from, "channel closed without a fin frame".into()),
                 &mut first_err,
+            );
+        }
+    }
+    // Attribute completed channels to their query: resolve each
+    // wire-propagated trace id against the flight recorder and record an
+    // exchange span on the owning trace. Only ids that resolve to a query
+    // still in flight attach — a stale id is silently dropped.
+    for (from, chan) in chans.iter().enumerate() {
+        let Some(id) = chan.trace_id else { continue };
+        if let Some(t) = lardb_obs::recorder().lookup(id) {
+            t.record(
+                "exchange",
+                "exchange",
+                recv_start,
+                recv_start.elapsed(),
+                vec![
+                    ("from", from.to_string()),
+                    ("to", to.to_string()),
+                    ("trace_id", format!("{id:016x}")),
+                    ("rows", chan.rows.to_string()),
+                    ("frames", chan.frames.to_string()),
+                ],
             );
         }
     }

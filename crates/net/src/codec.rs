@@ -18,6 +18,11 @@
 //!   every channel with a fin frame, so a receiver can prove it saw the
 //!   whole stream (a missing or mismatching fin = truncation, surfaced
 //!   as an error, never as a silently short result).
+//! * kind `12` (trace): `count` is 0; one `u64` follows — the sender's
+//!   query trace id, shipped as the channel's first frame when
+//!   end-to-end tracing is on (kinds 4–11 are the server control
+//!   protocol's, see `msg.rs`). Counted in the fin summary like any
+//!   other frame.
 //!
 //! Every value starts with a tag byte:
 //!
@@ -52,6 +57,8 @@ pub const WIRE_VERSION: u8 = 2;
 const KIND_ROWS: u8 = 1;
 const KIND_SCHEMA: u8 = 2;
 const KIND_FIN: u8 = 3;
+// Kinds 4–11 belong to the server control protocol (`msg.rs`).
+const KIND_TRACE: u8 = 12;
 
 /// FNV-1a 64-bit offset basis: the seed of a fresh channel checksum.
 pub const CHECKSUM_SEED: u64 = 0xCBF2_9CE4_8422_2325;
@@ -139,6 +146,11 @@ pub enum Frame {
     Schema(Schema),
     /// End-of-channel summary (exchange protocol v2).
     Fin(FinSummary),
+    /// Trace-context propagation: the sender's query trace id, shipped
+    /// first on a channel when end-to-end tracing is active so the
+    /// receiving side can attribute its work to the same trace. Counted
+    /// and checksummed like any other pre-fin frame.
+    Trace(u64),
 }
 
 /// What one sender shipped down one channel, carried by the fin frame
@@ -299,6 +311,13 @@ pub fn encode_fin_frame(fin: &FinSummary) -> Vec<u8> {
     buf.extend_from_slice(&fin.frames.to_le_bytes());
     buf.extend_from_slice(&fin.rows.to_le_bytes());
     buf.extend_from_slice(&fin.checksum.to_le_bytes());
+    buf
+}
+
+/// Encodes a trace-context frame carrying the sender's trace id.
+pub fn encode_trace_frame(trace_id: u64) -> Vec<u8> {
+    let mut buf = frame_header(KIND_TRACE, 0);
+    buf.extend_from_slice(&trace_id.to_le_bytes());
     buf
 }
 
@@ -536,6 +555,13 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame> {
                 checksum: r.u64("fin checksum")?,
             })
         }
+        KIND_TRACE => {
+            let count = r.u32("trace count")?;
+            if count != 0 {
+                return Err(CodecError::BadTag { what: "trace count", tag: count as u8 });
+            }
+            Frame::Trace(r.u64("trace id")?)
+        }
         tag => return Err(CodecError::BadTag { what: "frame kind", tag }),
     };
     if r.remaining() > 0 {
@@ -676,6 +702,21 @@ mod tests {
         let mut long = frame;
         long.push(0xFF);
         assert!(matches!(decode_frame(&long), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn trace_frame_roundtrip() {
+        for id in [0u64, 1, 0xDEAD_BEEF_0BAD_F00D, u64::MAX] {
+            let frame = encode_trace_frame(id);
+            assert_eq!(decode_frame(&frame).unwrap(), Frame::Trace(id));
+            // Truncated trace frames must error, never decode short.
+            for cut in 0..frame.len() {
+                assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut} decoded");
+            }
+        }
+        // A trace frame is checksummable like any other frame.
+        let a = checksum_update(CHECKSUM_SEED, &encode_trace_frame(7));
+        assert_ne!(a, CHECKSUM_SEED);
     }
 
     #[test]

@@ -189,6 +189,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             Frame::Rows(rows) => codec::encode_rows_frame(rows),
             Frame::Schema(schema) => codec::encode_schema_frame(schema),
             Frame::Fin(fin) => codec::encode_fin_frame(fin),
+            Frame::Trace(id) => codec::encode_trace_frame(*id),
         },
     }
 }
@@ -268,7 +269,9 @@ pub fn decode_message(buf: &[u8]) -> Result<Message> {
         return Err(CodecError::UnsupportedVersion(buf[1]));
     }
     let kind = buf[2];
-    if (1..=3).contains(&kind) {
+    // Exchange data kinds (1–3) and the trace-context kind (12) decode
+    // through the exchange codec.
+    if (1..=3).contains(&kind) || kind == 12 {
         return codec::decode_frame(buf).map(Message::Data);
     }
     // Control frames: skip the header's unused u32 count.

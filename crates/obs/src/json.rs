@@ -92,6 +92,43 @@ mod tests {
     }
 
     #[test]
+    fn escaping_every_control_char() {
+        // All of U+0000..U+001F must come out escaped — either as a short
+        // form (\n, \r, \t) or as \u00XX — never as a raw control byte.
+        for c in (0u32..0x20).map(|u| char::from_u32(u).unwrap()) {
+            let out = escape(&c.to_string());
+            assert!(out.starts_with('\\'), "U+{:04X} not escaped: {out:?}", c as u32);
+            assert!(
+                out.chars().all(|o| (o as u32) >= 0x20),
+                "U+{:04X} leaked a raw control char",
+                c as u32
+            );
+        }
+        assert_eq!(escape("\u{0}"), "\\u0000");
+        assert_eq!(escape("\u{1f}"), "\\u001f");
+    }
+
+    #[test]
+    fn escaping_quotes_and_backslash_runs() {
+        assert_eq!(escape("\"\""), "\\\"\\\"");
+        assert_eq!(escape("\\\\"), "\\\\\\\\");
+        // A backslash before a quote must stay two independent escapes.
+        assert_eq!(escape("\\\""), "\\\\\\\"");
+        assert_eq!(escape("C:\\dir\\\"name\""), "C:\\\\dir\\\\\\\"name\\\"");
+    }
+
+    #[test]
+    fn escaping_passes_non_ascii_through() {
+        // Multi-byte UTF-8 (incl. astral-plane chars) needs no escaping;
+        // the output is a UTF-8 JSON document, not an ASCII one.
+        for s in ["héllo", "βeta", "☃", "𝄞 clef", "—", "日本語"] {
+            assert_eq!(escape(s), s, "non-ASCII mangled");
+        }
+        // DEL (0x7F) is not a JSON control char; it passes through.
+        assert_eq!(escape("\u{7f}"), "\u{7f}");
+    }
+
+    #[test]
     fn numbers() {
         assert_eq!(number(1.5), "1.500000");
         assert_eq!(number(f64::NAN), "null");

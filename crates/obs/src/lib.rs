@@ -15,15 +15,23 @@
 //! * [`profile`] — [`QueryProfile`], the estimate-vs-actual record joining
 //!   optimizer cost-model estimates with executor actuals per operator
 //!   (q-error), exported as hand-rolled JSON for the bench harness's
-//!   `--profile-json` output.
+//!   `--profile-json` output;
+//! * [`trace`] — end-to-end query traces: per-query [`TraceId`]s
+//!   propagated through admission, lifecycle stages, pool workers,
+//!   exchange wire frames and spill files, retained by a bounded
+//!   [`FlightRecorder`] ring and exported as Chrome trace-event JSON.
 
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{
-    global, Counter, Gauge, Histogram, MetricKind, MetricSample, MetricsRegistry,
+    global, Counter, Gauge, Histogram, MetricKind, MetricSample, MetricsRegistry, TableSample,
 };
 pub use profile::{q_error, OperatorProfile, QueryProfile, StageTiming};
 pub use span::{CollectingSink, SpanGuard, SpanRecord, Stage, TraceSink};
+pub use trace::{
+    recorder, ActiveTrace, CompletedTrace, FlightRecorder, SpanEvent, TraceId, TraceSpan,
+};

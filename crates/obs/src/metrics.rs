@@ -255,6 +255,7 @@ impl MetricsRegistry {
                     let derived = [
                         ("count", h.count() as f64),
                         ("p50", h.quantile(0.50) as f64),
+                        ("p90", h.quantile(0.90) as f64),
                         ("p99", h.quantile(0.99) as f64),
                         ("sum", h.sum() as f64),
                     ];
@@ -269,6 +270,74 @@ impl MetricsRegistry {
             }
         }
         out
+    }
+
+    /// Snapshots every metric as one columnar row per metric, name-sorted.
+    ///
+    /// Unlike [`snapshot`](Self::snapshot) (which flattens histograms into
+    /// derived `name.suffix` samples for flat JSON exports), this keeps one
+    /// row per histogram with its count / sum / percentiles as separate
+    /// columns — the shape the `metrics` virtual table and `SHOW METRICS`
+    /// expose.
+    pub fn table_snapshot(&self) -> Vec<TableSample> {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(m.len());
+        for (name, metric) in m.iter() {
+            out.push(match metric {
+                Metric::Counter(c) => TableSample::scalar(name, MetricKind::Counter, c.get() as f64),
+                Metric::Gauge(g) => TableSample::scalar(name, MetricKind::Gauge, g.get()),
+                Metric::Histogram(h) => TableSample {
+                    name: name.clone(),
+                    kind: MetricKind::Histogram,
+                    value: None,
+                    count: Some(h.count() as f64),
+                    sum: Some(h.sum() as f64),
+                    p50: Some(h.quantile(0.50) as f64),
+                    p90: Some(h.quantile(0.90) as f64),
+                    p99: Some(h.quantile(0.99) as f64),
+                },
+            });
+        }
+        out
+    }
+}
+
+/// One columnar row of a [`MetricsRegistry::table_snapshot`].
+///
+/// Counters and gauges fill `value`; histograms fill the count / sum /
+/// percentile columns instead (their `value` is `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSample {
+    /// Metric name (no derived suffixes — one row per metric).
+    pub name: String,
+    /// The metric's kind.
+    pub kind: MetricKind,
+    /// Counter or gauge value; `None` for histograms.
+    pub value: Option<f64>,
+    /// Histogram observation count.
+    pub count: Option<f64>,
+    /// Histogram observation sum.
+    pub sum: Option<f64>,
+    /// Histogram 50th-percentile bucket upper bound.
+    pub p50: Option<f64>,
+    /// Histogram 90th-percentile bucket upper bound.
+    pub p90: Option<f64>,
+    /// Histogram 99th-percentile bucket upper bound.
+    pub p99: Option<f64>,
+}
+
+impl TableSample {
+    fn scalar(name: &str, kind: MetricKind, value: f64) -> TableSample {
+        TableSample {
+            name: name.to_string(),
+            kind,
+            value: Some(value),
+            count: None,
+            sum: None,
+            p50: None,
+            p90: None,
+            p99: None,
+        }
     }
 }
 
@@ -323,9 +392,33 @@ mod tests {
         r.histogram("h").observe(7);
         let snap = r.snapshot();
         let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["a", "h.count", "h.p50", "h.p99", "h.sum"]);
+        assert_eq!(names, ["a", "h.count", "h.p50", "h.p90", "h.p99", "h.sum"]);
         assert_eq!(snap[0].kind, MetricKind::Counter);
         assert_eq!(snap[0].value, 1.0);
+    }
+
+    #[test]
+    fn table_snapshot_keeps_one_row_per_metric() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.gauge("g").set(1.5);
+        for v in [1u64, 1, 1, 1000] {
+            r.histogram("h").observe(v);
+        }
+        let rows = r.table_snapshot();
+        let names: Vec<&str> = rows.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "g", "h"], "one name-sorted row per metric");
+        assert_eq!(rows[0].value, Some(1.0));
+        assert_eq!(rows[0].p50, None, "counters have no percentiles");
+        assert_eq!(rows[1].value, Some(1.5));
+        let h = &rows[2];
+        assert_eq!(h.kind, MetricKind::Histogram);
+        assert_eq!(h.value, None, "histograms have no scalar value");
+        assert_eq!(h.count, Some(4.0));
+        assert_eq!(h.sum, Some(1003.0));
+        assert_eq!(h.p50, Some(2.0));
+        assert!(h.p90.unwrap() >= h.p50.unwrap());
+        assert!(h.p99.unwrap() >= 1000.0);
     }
 
     #[test]

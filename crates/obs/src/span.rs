@@ -101,21 +101,37 @@ impl TraceSink for CollectingSink {
 }
 
 /// RAII guard: times a stage and reports it to the sink on drop.
+///
+/// When the thread has a current end-to-end trace (see
+/// [`crate::trace::current`]), the guard also mirrors the span into that
+/// trace's flight-recorder event log, so lifecycle stages show up in
+/// Chrome trace exports without any extra call-site plumbing.
 pub struct SpanGuard<'a> {
     sink: &'a dyn TraceSink,
     stage: Stage,
     detail: String,
     started: Instant,
+    _trace_span: Option<crate::trace::TraceSpan>,
 }
 
 impl<'a> SpanGuard<'a> {
     /// Opens a span; the clock starts now.
     pub fn enter(sink: &'a dyn TraceSink, stage: Stage, detail: impl Into<String>) -> Self {
+        let detail = detail.into();
+        let trace_span = crate::trace::current().map(|t| {
+            let s = t.span(stage.name(), "query");
+            if detail.is_empty() {
+                s
+            } else {
+                s.arg("detail", detail.clone())
+            }
+        });
         SpanGuard {
             sink,
             stage,
-            detail: detail.into(),
+            detail,
             started: Instant::now(),
+            _trace_span: trace_span,
         }
     }
 }

@@ -30,7 +30,11 @@
 //! The pool feeds `lardb-obs`: `pool.morsels` / `pool.steals` counters,
 //! a `pool.queue_wait_us` histogram (push-to-pop latency), and
 //! `pool.size` / `pool.utilization` gauges — all visible via
-//! `SHOW METRICS`.
+//! `SHOW METRICS`. Tasks also carry their spawner's active query trace:
+//! a traced task records a `pool.wait` span (its own push-to-pop
+//! latency, steal flag included) and runs with the trace installed as
+//! the worker thread's current trace, so downstream spans attribute to
+//! the right query no matter which thread stole the work.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -47,10 +51,13 @@ pub const POOL_WORKERS_ENV: &str = "LARDB_POOL_WORKERS";
 
 /// One queued unit of work, tagged with its submission time (for the
 /// queue-wait histogram) and home queue (to tell steals from local pops).
+/// Tasks carry the spawning thread's active query trace, so work that
+/// hops threads stays attributed to its query.
 struct Task {
     run: Box<dyn FnOnce() + Send>,
     pushed: Instant,
     home: usize,
+    trace: Option<Arc<lardb_obs::ActiveTrace>>,
 }
 
 /// State shared between the pool handle and its worker threads.
@@ -112,13 +119,30 @@ impl Shared {
         None
     }
 
-    /// Runs one task, maintaining the pool metrics.
+    /// Runs one task, maintaining the pool metrics. A traced task runs
+    /// with its query's trace installed as this thread's current trace
+    /// (so nested spans and spill events attribute correctly), and the
+    /// push-to-pop latency is recorded as a `pool.wait` span — only the
+    /// pool sees the enqueue point, so this can't be measured elsewhere.
     fn run_task(&self, task: Task, stolen: bool) {
-        let waited = task.pushed.elapsed().as_micros() as u64;
-        self.queue_wait_us.observe(waited);
+        let waited = task.pushed.elapsed();
+        self.queue_wait_us.observe(waited.as_micros() as u64);
         self.morsels.inc();
         if stolen {
             self.steals.inc();
+        }
+        let _cur = task
+            .trace
+            .as_ref()
+            .map(|t| lardb_obs::trace::push_current(Some(Arc::clone(t))));
+        if let Some(t) = &task.trace {
+            t.record(
+                "pool.wait",
+                "pool",
+                task.pushed,
+                waited,
+                vec![("stolen", stolen.to_string()), ("home", task.home.to_string())],
+            );
         }
         let busy = self.active.fetch_add(1, Ordering::SeqCst) + 1;
         self.utilization.set(busy as f64 / self.queues.len() as f64);
@@ -327,7 +351,12 @@ impl<'env> Scope<'_, 'env> {
         // group completion before the borrowed frame can be left.
         let body: Box<dyn FnOnce() + Send + 'static> =
             unsafe { std::mem::transmute(body) };
-        shared.push(Task { run: body, pushed: Instant::now(), home });
+        shared.push(Task {
+            run: body,
+            pushed: Instant::now(),
+            home,
+            trace: lardb_obs::trace::current(),
+        });
     }
 }
 

@@ -16,7 +16,8 @@
 //! Reads statements terminated by `;` (multi-line input supported).
 //! Meta-commands: `\q` quit, `\d` list tables, `\timing` toggle timing,
 //! `\explain <select>` show plans, `\metrics` dump the process metrics
-//! registry, `\profile` print the last query's profile as JSON, `\help`.
+//! registry, `\profile` print the last query's profile as JSON,
+//! `\trace [path]` dump the last traced query's Chrome trace JSON, `\help`.
 //! `-c "<sql>"` runs one statement and exits (local or remote).
 
 use std::io::{BufRead, Write};
@@ -281,6 +282,27 @@ fn local_shell(config: DatabaseConfig, one_shot: Option<String>) {
                     Some(p) => println!("{}", p.to_json()),
                     None => println!("no query has run yet"),
                 },
+                "\\trace" => match lardb_obs::recorder().last() {
+                    Some(done) => {
+                        let json = done.to_chrome_json();
+                        if rest.is_empty() {
+                            println!("{json}");
+                        } else {
+                            match std::fs::write(rest, &json) {
+                                Ok(()) => println!(
+                                    "trace {} written to {rest} ({} bytes)",
+                                    done.id,
+                                    json.len()
+                                ),
+                                Err(e) => println!("error: cannot write {rest}: {e}"),
+                            }
+                        }
+                    }
+                    None => println!(
+                        "no traced query has completed yet \
+                         (tracing samples 1-in-N; see --trace-sample)"
+                    ),
+                },
                 "\\help" => {
                     println!("  \\q          quit");
                     println!("  \\d          list tables");
@@ -288,6 +310,7 @@ fn local_shell(config: DatabaseConfig, one_shot: Option<String>) {
                     println!("  \\explain Q  show optimized + physical plan for a SELECT");
                     println!("  \\metrics    dump the process-wide metrics registry");
                     println!("  \\profile    print the last query's profile as JSON");
+                    println!("  \\trace [F]  dump the last trace as Chrome JSON (to F if given)");
                 }
                 other => println!("unknown meta-command {other}; try \\help"),
             }
@@ -388,6 +411,12 @@ fn parse_engine_flag(
             config.spill_dir =
                 Some(argv.next().map(std::path::PathBuf::from).unwrap_or_else(|| usage()));
         }
+        "--trace-dir" => {
+            config.trace_dir =
+                Some(argv.next().map(std::path::PathBuf::from).unwrap_or_else(|| usage()));
+        }
+        "--trace-sample" => config.trace_sample = Some(next_parsed(argv)),
+        "--trace-capacity" => config.trace_capacity = Some(next_parsed(argv)),
         _ => return false,
     }
     true
@@ -435,7 +464,9 @@ fn usage() -> ! {
          [--net-timeout-ms MS] [--max-frame-bytes N] \
          [--fault-kind drop|truncate|corrupt|delay|kill] [--fault-seed N] \
          [--fault-rate-ppm N] [--fault-after N] \
-         [--mem-budget-mb N (0 = unbounded)] [--spill-dir PATH]\n\
+         [--mem-budget-mb N (0 = unbounded)] [--spill-dir PATH] \
+         [--trace-dir PATH] [--trace-sample N (0 = off, N = 1-in-N)] \
+         [--trace-capacity N]\n\
          server flags: [--host H] [--port N] [--max-sessions N] \
          [--max-concurrent N] [--queue-depth N] [--queue-wait-ms MS] \
          [--tenant-mem-mb N] [--tenant-slots N] [--admission-floor-bytes N] \

@@ -69,6 +69,9 @@ impl QueryOutput {
 pub struct Client {
     stream: TcpStream,
     session_id: u64,
+    /// Trace id from the most recent result stream's trace frame, if the
+    /// server traced that query (see `FlightRecorder`).
+    last_trace_id: Option<u64>,
 }
 
 impl Client {
@@ -84,7 +87,7 @@ impl Client {
         )?;
         match recv_reply(&mut stream)? {
             Message::Ok { code: msg::OK_HELLO, value, .. } => {
-                Ok(Client { stream, session_id: value })
+                Ok(Client { stream, session_id: value, last_trace_id: None })
             }
             Message::Error { code, message } => Err(map_error(code, message)),
             other => Err(ServerError::Protocol(format!(
@@ -96,6 +99,14 @@ impl Client {
     /// The server-assigned session id (as shown by `SHOW SESSIONS`).
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// Trace id the server attached to the most recent row-producing
+    /// result, or `None` when that query was not traced. Lets a client
+    /// correlate its own statements with server-side `SHOW QUERIES` /
+    /// flight-recorder output.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace_id
     }
 
     /// Runs one SQL statement and collects its full result.
@@ -148,6 +159,7 @@ impl Client {
         let mut rows: Vec<Row> = Vec::new();
         let mut frames: u64 = 0;
         let mut checksum = CHECKSUM_SEED;
+        self.last_trace_id = None;
         loop {
             let message = recv_reply(&mut self.stream)?;
             match message {
@@ -167,6 +179,15 @@ impl Client {
                         checksum = checksum_update(checksum, &bytes);
                         frames += 1;
                         schema = Some(s);
+                    }
+                    Frame::Trace(id) => {
+                        // Trace context precedes the schema frame; counted
+                        // and checksummed like any other pre-fin frame.
+                        let bytes =
+                            lardb_net::encode_message(&Message::Data(Frame::Trace(id)));
+                        checksum = checksum_update(checksum, &bytes);
+                        frames += 1;
+                        self.last_trace_id = Some(id);
                     }
                     Frame::Rows(batch) => {
                         let bytes = lardb_net::encode_message(&Message::Data(Frame::Rows(

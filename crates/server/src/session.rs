@@ -221,27 +221,48 @@ fn run_query(
     tenant: &str,
     sql: &str,
 ) -> Result<(), ()> {
+    // Mint the trace BEFORE admission so queue wait is on the trace; the
+    // recorder applies its sampling policy here.
+    let trace = lardb_obs::recorder().start(sql, tenant);
     let floor_gov = shared.floor_governor(tenant);
+    let t_admit = Instant::now();
     let permit = match shared.admission.admit(tenant, floor_gov.as_ref()) {
         Ok(p) => p,
-        Err(crate::ServerError::Saturated { reason }) => {
-            return send_message(
-                stream,
-                &Message::Error { code: msg::ERR_SATURATED, message: reason },
-            )
-            .map_err(drop);
-        }
-        Err(other) => {
-            return send_message(
-                stream,
-                &Message::Error { code: msg::ERR_QUERY, message: other.to_string() },
-            )
-            .map_err(drop);
+        Err(e) => {
+            let (code, reason) = match e {
+                crate::ServerError::Saturated { reason } => (msg::ERR_SATURATED, reason),
+                other => (msg::ERR_QUERY, other.to_string()),
+            };
+            if let Some(t) = &trace {
+                lardb_obs::recorder().finish(t, Some(&reason));
+            }
+            let message = match &trace {
+                Some(t) => format!("{reason} [trace {}]", t.id()),
+                None => reason,
+            };
+            return send_message(stream, &Message::Error { code, message }).map_err(drop);
         }
     };
+    let queue_wait = t_admit.elapsed();
+    lardb_obs::global()
+        .histogram(&format!("server.tenant.{tenant}.queue_wait_ms"))
+        .observe(queue_wait.as_millis() as u64);
+    if let Some(t) = &trace {
+        t.set_queue_wait_us(queue_wait.as_micros() as u64);
+        t.record(
+            "admission.wait",
+            "admission",
+            t_admit,
+            queue_wait,
+            vec![("tenant", tenant.to_string())],
+        );
+    }
 
     let cancel = CancelToken::new();
     let query_id = db.sessions().begin_query(session_id, sql, &cancel);
+    if let Some(t) = &trace {
+        t.set_query_id(query_id);
+    }
 
     // Execute on a helper thread so this thread can keep polling the
     // socket for Kill/Close/disconnect.
@@ -249,10 +270,15 @@ fn run_query(
     let exec_db = db.clone();
     let exec_sql = sql.to_string();
     let exec_cancel = cancel.clone();
+    let exec_trace = trace.clone();
     let exec = std::thread::Builder::new()
         .name(format!("lardb-query-{query_id}"))
         .spawn(move || {
-            let _ = tx.send(exec_db.execute_with_cancel(&exec_sql, &exec_cancel));
+            let result = match &exec_trace {
+                Some(t) => exec_db.execute_with_trace(&exec_sql, &exec_cancel, t),
+                None => exec_db.execute_with_cancel(&exec_sql, &exec_cancel),
+            };
+            let _ = tx.send(result);
         });
     let exec = match exec {
         Ok(h) => h,
@@ -340,13 +366,23 @@ fn run_query(
     let _ = exec.join();
     db.sessions().end_query(session_id);
     drop(permit);
+    lardb_obs::global()
+        .histogram(&format!("server.tenant.{tenant}.query_ms"))
+        .observe(t_admit.elapsed().saturating_sub(queue_wait).as_millis() as u64);
 
     if disconnected {
         drop(result);
         return Err(());
     }
+    // Correlation stamp for error replies and the result stream: the
+    // query id (always) and the trace id (when this query was sampled).
+    let ids = match &trace {
+        Some(t) => format!(" [query {query_id} trace {}]", t.id()),
+        None => format!(" [query {query_id}]"),
+    };
+    let trace_id = trace.as_ref().map(|t| t.id().0);
     match result {
-        Ok(Response::Rows(q)) => stream_rows(stream, q).map_err(drop),
+        Ok(Response::Rows(q)) => stream_rows(stream, q, trace_id).map_err(drop),
         Ok(Response::Done) => send_message(
             stream,
             &Message::Ok { code: msg::OK_DONE, value: 0, text: String::new() },
@@ -363,20 +399,25 @@ fn run_query(
         }
         Err(EngineError::Exec(ExecError::Cancelled(m))) => send_message(
             stream,
-            &Message::Error { code: msg::ERR_KILLED, message: m },
+            &Message::Error { code: msg::ERR_KILLED, message: format!("{m}{ids}") },
         )
         .map_err(drop),
         Err(e) => send_message(
             stream,
-            &Message::Error { code: msg::ERR_QUERY, message: e.to_string() },
+            &Message::Error { code: msg::ERR_QUERY, message: format!("{e}{ids}") },
         )
         .map_err(drop),
     }
 }
 
-/// Streams a result as exchange-format data frames: schema, row batches,
-/// then a fin summary the client re-verifies (frames / rows / checksum).
-fn stream_rows(stream: &mut TcpStream, q: QueryResult) -> std::io::Result<()> {
+/// Streams a result as exchange-format data frames: an optional trace
+/// frame (when the query was traced), schema, row batches, then a fin
+/// summary the client re-verifies (frames / rows / checksum).
+fn stream_rows(
+    stream: &mut TcpStream,
+    q: QueryResult,
+    trace_id: Option<u64>,
+) -> std::io::Result<()> {
     let mut frames: u64 = 0;
     let mut checksum = CHECKSUM_SEED;
     let mut send_data = |stream: &mut TcpStream, frame: Frame| -> std::io::Result<()> {
@@ -385,6 +426,9 @@ fn stream_rows(stream: &mut TcpStream, q: QueryResult) -> std::io::Result<()> {
         frames += 1;
         crate::wire::send_bytes(stream, &bytes)
     };
+    if let Some(id) = trace_id {
+        send_data(stream, Frame::Trace(id))?;
+    }
     send_data(stream, Frame::Schema(q.schema))?;
     let total_rows = q.rows.len() as u64;
     for chunk in q.rows.chunks(ROWS_PER_FRAME) {

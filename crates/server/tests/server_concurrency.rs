@@ -1,12 +1,22 @@
 //! End-to-end tests for the query server: concurrency, isolation,
-//! quotas, kill, and disconnect cleanup — all over real TCP.
+//! quotas, kill, disconnect cleanup, and query tracing — all over
+//! real TCP.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lardb::{Database, DatabaseConfig};
+use lardb_obs::TraceId;
 use lardb_server::{Client, QueryOutput, Server, ServerConfig, ServerError};
+
+/// The flight recorder is process-global; tests that resize its ring or
+/// assert on its contents serialize through this lock so they don't
+/// observe each other's churn.
+fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn small_db() -> Database {
     Database::with_config(DatabaseConfig { workers: 2, ..DatabaseConfig::default() })
@@ -498,4 +508,291 @@ fn server_metrics_are_published() {
     );
     c.close().unwrap();
     server.shutdown();
+}
+
+/// Tracing acceptance: a spilling distributed query through the server
+/// yields a Chrome trace with the admission wait, every lifecycle span,
+/// per-worker morsel spans on at least two pool threads, an exchange
+/// span carrying the wire-propagated trace id, and spill I/O events —
+/// while `SHOW QUERIES` lists the in-flight query for a second client.
+#[test]
+fn traced_server_query_yields_complete_chrome_trace() {
+    use lardb::{DataType, Partitioning, Row, Schema, TransportMode, Value};
+
+    let _serial = trace_lock();
+    let rec = lardb_obs::recorder();
+    rec.set_enabled(true);
+    rec.set_sample_every(1);
+    let prev_capacity = rec.capacity();
+    rec.set_capacity(1024);
+
+    let pid = std::process::id();
+    let spill_dir = std::env::temp_dir().join(format!("lardb-trace-accept-spill-{pid}"));
+    let trace_dir = std::env::temp_dir().join(format!("lardb-trace-accept-out-{pid}"));
+    std::fs::create_dir_all(&spill_dir).unwrap();
+
+    let db = Database::with_config(DatabaseConfig {
+        workers: 2,
+        pool_workers: Some(4),
+        morsel_rows: 64,
+        transport: TransportMode::Serialized,
+        // 1 MiB budget: the fat self-join below must spill.
+        mem: Some(1),
+        spill_dir: Some(spill_dir.clone()),
+        trace_dir: Some(trace_dir.clone()),
+        ..DatabaseConfig::default()
+    });
+
+    // ~3 MiB table: even split across both workers, each partition's
+    // grouped-aggregate state alone exceeds the 1 MiB budget.
+    db.create_table(
+        "fat",
+        Schema::from_pairs(&[
+            ("id", DataType::Integer),
+            ("g", DataType::Integer),
+            ("v", DataType::Double),
+            ("payload", DataType::Varchar),
+        ]),
+        Partitioning::Hash(0),
+    )
+    .unwrap();
+    db.insert_rows(
+        "fat",
+        (0..16000i64).map(|i| {
+            Row::new(vec![
+                Value::Integer(i),
+                Value::Integer(i % 7),
+                Value::Double(i as f64 * 0.125),
+                Value::varchar(format!("payload-{i:0>128}")),
+            ])
+        }),
+    )
+    .unwrap();
+    // Small table for a deliberately slow (but bounded) watch query.
+    db.create_table(
+        "sq",
+        Schema::from_pairs(&[("a", DataType::Integer)]),
+        Partitioning::Hash(0),
+    )
+    .unwrap();
+    db.insert_rows("sq", (0..250i64).map(|i| Row::new(vec![Value::Integer(i)]))).unwrap();
+
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let addr = addr_of(&server);
+
+    // Phase 1: while a slow cross join runs, a second client's
+    // SHOW QUERIES lists it with its trace id.
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, "acme", "").unwrap();
+            let r = c.query(
+                "SELECT COUNT(*) AS n FROM sq AS x, sq AS y, sq AS z \
+                 WHERE x.a + y.a + z.a < 0",
+            );
+            let _ = c.close();
+            r
+        })
+    };
+    let mut watcher = Client::connect(&addr, "watcher", "").unwrap();
+    let mut seen: Option<(String, String)> = None;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while seen.is_none() && Instant::now() < deadline {
+        let rows = rows_of(watcher.query("SHOW QUERIES").unwrap());
+        for r in &rows {
+            // Columns: query_id, trace_id, tenant, state, sql, ...
+            // The trace is minted before admission, so the row may show
+            // "queued" first — keep polling until it is running.
+            if r.value(4).to_string().contains("sq AS z")
+                && r.value(3).to_string() == "running"
+            {
+                seen = Some((r.value(1).to_string(), r.value(2).to_string()));
+            }
+        }
+        if seen.is_none() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let (watched_tid, watched_tenant) =
+        seen.expect("SHOW QUERIES never listed the in-flight query as running");
+    assert_eq!(watched_tid.len(), 16, "trace_id must be a 16-hex-digit id: {watched_tid}");
+    assert_eq!(watched_tenant, "acme");
+    let slow_rows = rows_of(slow.join().unwrap().expect("slow query should succeed"));
+    assert_eq!(slow_rows[0].value(0).as_integer(), Some(0));
+
+    // Phase 2: a spilling exchange aggregation (16000 distinct ~140-byte
+    // VARCHAR keys repartitioned across both workers, per-partition state
+    // larger than the 1 MiB budget), then tear the trace apart.
+    let mut c = Client::connect(&addr, "acme", "").unwrap();
+    let rows = rows_of(
+        c.query("SELECT payload, COUNT(*) AS c FROM fat GROUP BY payload").unwrap(),
+    );
+    assert_eq!(rows.len(), 16000);
+    let raw = c.last_trace_id().expect("rows reply must carry the query's trace id");
+    let done = rec.find(TraceId(raw)).expect("trace must land in the flight recorder");
+
+    assert_eq!(done.tenant, "acme");
+    assert_eq!(done.rows, 16000);
+    assert!(done.error.is_none(), "query errored: {:?}", done.error);
+    for span in ["admission.wait", "parse", "bind", "optimize", "plan", "execute"] {
+        assert!(done.has_span(span), "trace is missing the {span} span");
+    }
+    assert!(done.has_span("morsel"), "no per-worker morsel span recorded");
+    assert!(
+        done.spill_bytes_written > 0 && done.has_span("spill.write"),
+        "1 MiB budget join must spill (wrote {} bytes)",
+        done.spill_bytes_written
+    );
+    assert!(done.has_span("spill.read"), "spilled state must be read back");
+
+    // The exchange span must carry the id that travelled over the wire.
+    let hex = format!("{raw:016x}");
+    let exchange_ok = done.events.iter().any(|e| {
+        e.name == "exchange"
+            && e.args.iter().any(|(k, v)| *k == "trace_id" && *v == hex)
+    });
+    assert!(exchange_ok, "no exchange span carries the propagated trace id {hex}");
+
+    // Morsels ran on at least two distinct pool threads.
+    let worker_tids: std::collections::HashSet<u64> =
+        done.events.iter().filter(|e| e.name == "morsel").map(|e| e.tid).collect();
+    assert!(worker_tids.len() >= 2, "morsels all ran on one thread: {worker_tids:?}");
+
+    // Chrome trace-event JSON, both in memory and on disk via --trace-dir.
+    let json = done.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""), "not Chrome trace JSON: {json}");
+    assert!(json.contains("\"admission.wait\"") && json.contains("\"exchange\""));
+    let file = trace_dir.join(format!("trace-{}.json", done.id));
+    let on_disk = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("trace file {} missing: {e}", file.display()));
+    assert_eq!(on_disk, json);
+
+    c.close().unwrap();
+    watcher.close().unwrap();
+    server.shutdown();
+    rec.set_capacity(prev_capacity);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}
+
+/// Every query of a 64-client concurrent run lands in the flight
+/// recorder with its full admission→execute span tree, correlated to
+/// the client through the wire-propagated trace id.
+#[test]
+fn concurrent_run_traces_every_query_end_to_end() {
+    const CLIENTS: usize = 64;
+
+    let _serial = trace_lock();
+    let rec = lardb_obs::recorder();
+    rec.set_enabled(true);
+    rec.set_sample_every(1);
+    let prev_capacity = rec.capacity();
+    rec.set_capacity(4096);
+
+    let db = small_db();
+    db.execute("CREATE TABLE tq (id INTEGER, v DOUBLE)").unwrap();
+    let values: Vec<String> =
+        (0..100).map(|i| format!("({i}, {})", i as f64 * 0.5)).collect();
+    db.execute(&format!("INSERT INTO tq VALUES {}", values.join(", "))).unwrap();
+
+    let server = Server::start(
+        db,
+        ServerConfig {
+            max_sessions: CLIENTS + 4,
+            max_concurrent: 8,
+            queue_depth: CLIENTS,
+            queue_wait_ms: 30_000,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = addr_of(&server);
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, &format!("t{}", c % 4), "").unwrap();
+                // A distinct SELECT list per client ties trace to query.
+                let rows = rows_of(
+                    client
+                        .query(&format!("SELECT id, {c} AS tag FROM tq WHERE id < 5"))
+                        .unwrap(),
+                );
+                assert_eq!(rows.len(), 5);
+                let tid = client.last_trace_id().expect("reply must carry a trace id");
+                client.close().unwrap();
+                (c, tid)
+            })
+        })
+        .collect();
+
+    let mut ids = std::collections::HashSet::new();
+    for h in handles {
+        let (c, raw) = h.join().expect("client thread panicked");
+        assert!(ids.insert(raw), "trace id {raw:016x} issued twice");
+        let done = rec
+            .find(TraceId(raw))
+            .unwrap_or_else(|| panic!("client {c}'s trace {raw:016x} not in recorder"));
+        assert!(
+            done.sql.contains(&format!(" {c} AS tag")),
+            "trace {raw:016x} recorded the wrong SQL: {}",
+            done.sql
+        );
+        assert_ne!(done.query_id, 0, "trace must carry the registry query id");
+        assert!(done.error.is_none());
+        assert_eq!(done.rows, 5);
+        for span in ["admission.wait", "parse", "bind", "optimize", "plan", "execute"] {
+            assert!(
+                done.has_span(span),
+                "client {c}'s trace is missing the {span} span"
+            );
+        }
+    }
+    assert_eq!(ids.len(), CLIENTS);
+    server.shutdown();
+    rec.set_capacity(prev_capacity);
+}
+
+/// The completed-trace ring stays bounded under churn: with capacity 8,
+/// forty traced queries retain at most the last eight, and the earliest
+/// traces are evicted oldest-first.
+#[test]
+fn flight_recorder_ring_bound_holds_under_churn() {
+    let _serial = trace_lock();
+    let rec = lardb_obs::recorder();
+    rec.set_enabled(true);
+    rec.set_sample_every(1);
+    let prev_capacity = rec.capacity();
+    rec.set_capacity(8);
+
+    let db = small_db();
+    db.execute("CREATE TABLE churn (id INTEGER)").unwrap();
+    db.execute("INSERT INTO churn VALUES (1), (2), (3)").unwrap();
+    for i in 0..40 {
+        db.execute(&format!("SELECT id, {i} AS ring_churn_marker FROM churn")).unwrap();
+        assert!(
+            rec.completed_len() <= 8,
+            "ring exceeded its capacity: {} traces retained",
+            rec.completed_len()
+        );
+    }
+    let mine: Vec<String> = rec
+        .completed_snapshot()
+        .iter()
+        .filter(|t| t.sql.contains("ring_churn_marker"))
+        .map(|t| t.sql.clone())
+        .collect();
+    assert!(mine.len() <= 8, "ring retained {} marker traces", mine.len());
+    assert!(
+        mine.iter().any(|s| s.contains(" 39 AS ring_churn_marker")),
+        "the newest trace must survive: {mine:?}"
+    );
+    for early in 0..32 {
+        assert!(
+            !mine.iter().any(|s| s.contains(&format!(" {early} AS ring_churn_marker"))),
+            "trace {early} should have been evicted"
+        );
+    }
+    rec.set_capacity(prev_capacity);
 }

@@ -182,13 +182,17 @@ pub enum Statement {
     },
     /// A query.
     Select(SelectStatement),
-    /// `EXPLAIN [ANALYZE] SELECT …`. With `analyze` the query is also
-    /// executed and per-operator runtime statistics are reported.
+    /// `EXPLAIN [ANALYZE|TRACE] SELECT …`. With `analyze` the query is
+    /// also executed and per-operator runtime statistics are reported;
+    /// with `trace` it is executed under a forced flight-recorder trace
+    /// and the Chrome trace-event JSON is returned.
     Explain {
         /// The query to explain.
         query: SelectStatement,
         /// Whether to execute the plan and report observed statistics.
         analyze: bool,
+        /// Whether to execute the plan and return its Chrome trace JSON.
+        trace: bool,
     },
     /// `SHOW METRICS` — snapshot the process-wide metrics registry as a
     /// relation of `(name, kind, value)`.
@@ -196,6 +200,10 @@ pub enum Statement {
     /// `SHOW SESSIONS` — snapshot the open server sessions (and their
     /// running queries) as a relation.
     ShowSessions,
+    /// `SHOW QUERIES` — snapshot the flight recorder's in-flight queries
+    /// (query id, trace id, tenant, state, elapsed, queue wait, rows,
+    /// reserved and spilled bytes) as a relation.
+    ShowQueries,
     /// `KILL <query-id>` — flip the cancel token of a running query, as
     /// listed by `SHOW SESSIONS`.
     Kill {

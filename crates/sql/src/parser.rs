@@ -103,7 +103,8 @@ impl<'a> Parser<'a> {
     fn statement(&mut self) -> Result<Statement> {
         if self.accept_kw("EXPLAIN") {
             let analyze = self.accept_kw("ANALYZE");
-            return Ok(Statement::Explain { query: self.select()?, analyze });
+            let trace = !analyze && self.accept_kw("TRACE");
+            return Ok(Statement::Explain { query: self.select()?, analyze, trace });
         }
         if self.accept_kw("SHOW") {
             if self.accept_kw("METRICS") {
@@ -112,7 +113,10 @@ impl<'a> Parser<'a> {
             if self.accept_kw("SESSIONS") {
                 return Ok(Statement::ShowSessions);
             }
-            return Err(self.err_here("expected METRICS or SESSIONS after SHOW"));
+            if self.accept_kw("QUERIES") {
+                return Ok(Statement::ShowQueries);
+            }
+            return Err(self.err_here("expected METRICS, SESSIONS or QUERIES after SHOW"));
         }
         if self.accept_kw("KILL") {
             let query_id = match self.peek() {
@@ -552,6 +556,14 @@ mod tests {
             Statement::ShowSessions
         ));
         assert!(matches!(
+            parse_statement("SHOW QUERIES").unwrap(),
+            Statement::ShowQueries
+        ));
+        assert!(matches!(
+            parse_statement("show queries;").unwrap(),
+            Statement::ShowQueries
+        ));
+        assert!(matches!(
             parse_statement("KILL 42").unwrap(),
             Statement::Kill { query_id: 42 }
         ));
@@ -638,11 +650,15 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("EXPLAIN SELECT a FROM t").unwrap(),
-            Statement::Explain { analyze: false, .. }
+            Statement::Explain { analyze: false, trace: false, .. }
         ));
         assert!(matches!(
             parse_statement("EXPLAIN ANALYZE SELECT a FROM t").unwrap(),
-            Statement::Explain { analyze: true, .. }
+            Statement::Explain { analyze: true, trace: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN TRACE SELECT a FROM t").unwrap(),
+            Statement::Explain { analyze: false, trace: true, .. }
         ));
         assert!(matches!(
             parse_statement("DROP VIEW v").unwrap(),
