@@ -1,0 +1,139 @@
+//! Expression-engine ablation: compiled vectorized bytecode over column
+//! batches vs the row-at-a-time tree interpreter.
+//!
+//! Two shapes from the vectorized-execution design notes:
+//!   * a **filter-heavy** selective scan — predicate plus arithmetic
+//!     projection over a wide numeric table, the case fused morsel
+//!     kernels exist for;
+//!   * a **filter→aggregate** pipeline — the scan→filter→partial-agg
+//!     segment the compiled engine fuses into one pass per morsel.
+//!
+//! With `--profile-json PATH` the harness re-times the filter-heavy case
+//! once per engine and writes the compiled-vs-interpret comparison (plus
+//! the compiled engine's batch/kernel/fallback counters) as JSON — CI
+//! asserts both arms are present and uploads the document.
+
+use criterion::{criterion_group, Criterion};
+use lardb::{
+    DataType, Database, DatabaseConfig, ExprEngine, Partitioning, Row, Schema, Value,
+};
+
+const ROWS: usize = 60_000;
+const GROUPS: i64 = 32;
+
+fn engine_db(engine: ExprEngine) -> Database {
+    let db = Database::with_config(DatabaseConfig {
+        workers: 4,
+        expr_engine: engine,
+        pool_workers: Some(4),
+        ..DatabaseConfig::default()
+    });
+    db.create_table(
+        "points",
+        Schema::from_pairs(&[
+            ("id", DataType::Integer),
+            ("g", DataType::Integer),
+            ("a", DataType::Double),
+            ("b", DataType::Double),
+        ]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    let rows = (0..ROWS as i64).map(|i| {
+        Row::new(vec![
+            Value::Integer(i),
+            Value::Integer(i % GROUPS),
+            Value::Double(i as f64 * 0.125),
+            Value::Double((i % 97) as f64 - 48.0),
+        ])
+    });
+    db.insert_rows("points", rows).unwrap();
+    db
+}
+
+/// Filter-heavy: selective predicate + arithmetic projection, no
+/// aggregate — wall time is dominated by expression evaluation.
+const FILTER_QUERY: &str =
+    "SELECT id, a * b + a, a - b FROM points WHERE a * 2.0 + b > 100.0 AND id >= 0";
+
+/// Fused scan→filter→partial-agg segment.
+const AGG_QUERY: &str =
+    "SELECT g, COUNT(*) AS c, SUM(a * b + a) AS s FROM points WHERE b > -40.0 GROUP BY g";
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expr_engine");
+    g.sample_size(10);
+    for engine in [ExprEngine::Compiled, ExprEngine::Interpret] {
+        let db = engine_db(engine);
+        g.bench_function(format!("filter/{engine}"), |b| {
+            b.iter(|| db.query(FILTER_QUERY).unwrap())
+        });
+        g.bench_function(format!("agg/{engine}"), |b| {
+            b.iter(|| db.query(AGG_QUERY).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+
+fn profile_json_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--profile-json" {
+            return argv.next();
+        }
+    }
+    None
+}
+
+/// Median wall time of `runs` executions, in milliseconds.
+fn time_ms(db: &Database, sql: &str, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            db.query(sql).unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|x, y| x.total_cmp(y));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    benches();
+    if let Some(path) = profile_json_path() {
+        let compiled = engine_db(ExprEngine::Compiled);
+        let interp = engine_db(ExprEngine::Interpret);
+        let compiled_ms = time_ms(&compiled, FILTER_QUERY, 5);
+        let interp_ms = time_ms(&interp, FILTER_QUERY, 5);
+        let compiled_agg_ms = time_ms(&compiled, AGG_QUERY, 5);
+        let interp_agg_ms = time_ms(&interp, AGG_QUERY, 5);
+        // One metered run for the vectorized counters (per-query stats,
+        // not the process-wide registry, so the interpret arm can't
+        // contribute).
+        let stats = compiled.query(FILTER_QUERY).unwrap().stats;
+        let doc = format!(
+            "{{\"bench\":\"expr_engine\",\"case\":\"filter_heavy_w4\",\
+             \"compiled_ms\":{compiled_ms:.3},\"interpret_ms\":{interp_ms:.3},\
+             \"speedup\":{:.3},\
+             \"agg_compiled_ms\":{compiled_agg_ms:.3},\
+             \"agg_interpret_ms\":{interp_agg_ms:.3},\
+             \"agg_speedup\":{:.3},\
+             \"batches\":{},\"batch_rows\":{},\"kernels\":{},\"fallbacks\":{}}}",
+            interp_ms / compiled_ms,
+            interp_agg_ms / compiled_agg_ms,
+            stats.total_batches(),
+            stats.total_batch_rows(),
+            stats.total_kernels(),
+            stats.total_fallbacks(),
+        );
+        match std::fs::write(&path, &doc) {
+            Ok(()) => println!("wrote expr_engine profile to {path}: {doc}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

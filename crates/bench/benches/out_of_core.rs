@@ -65,7 +65,7 @@ fn matmul_db(mem: Option<u64>) -> Database {
     ]);
     for (name, seed) in [("ta", 7u64), ("tb", 11)] {
         db.create_table(name, schema.clone(), Partitioning::Hash(0)).unwrap();
-        db.insert_rows(name, tiled_matrix_rows(seed, TILES, TILE).into_iter())
+        db.insert_rows(name, tiled_matrix_rows(seed, TILES, TILE))
             .unwrap();
     }
     db

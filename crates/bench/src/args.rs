@@ -1,6 +1,6 @@
 //! Tiny argument parser for the harness binaries (no external deps).
 
-use lardb::TransportMode;
+use lardb::{ExprEngine, TransportMode};
 
 /// Common harness options.
 #[derive(Debug, Clone)]
@@ -33,6 +33,13 @@ pub struct Args {
     pub mem_budget_mb: Option<u64>,
     /// Spill directory override (default: `LARDB_SPILL_DIR` or OS temp).
     pub spill_dir: Option<String>,
+    /// Expression engine override: `compiled` (vectorized bytecode) or
+    /// `interpret` (row-at-a-time baseline). `None` inherits the engine
+    /// default (compiled, or `LARDB_EXPR_ENGINE`).
+    pub expr_engine: Option<ExprEngine>,
+    /// Rows per column batch for the compiled engine; `None` inherits
+    /// the default (or `LARDB_BATCH_ROWS`).
+    pub batch_rows: Option<usize>,
 }
 
 impl Default for Args {
@@ -49,6 +56,8 @@ impl Default for Args {
             profile_json: None,
             mem_budget_mb: None,
             spill_dir: None,
+            expr_engine: None,
+            batch_rows: None,
         }
     }
 }
@@ -91,11 +100,22 @@ impl Args {
                         Some(parse_num(&value("--mem-budget-mb")) as u64);
                 }
                 "--spill-dir" => args.spill_dir = Some(value("--spill-dir")),
+                "--expr-engine" => {
+                    let v = value("--expr-engine");
+                    args.expr_engine = Some(v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --expr-engine '{v}' (compiled|interpret)");
+                        std::process::exit(2);
+                    }));
+                }
+                "--batch-rows" => {
+                    args.batch_rows = Some(parse_num(&value("--batch-rows")).max(1));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --n N --n-dist N --dims 10,100,1000 --workers W \
                          --block B --seed S --transport pointer|serialized|tcp \
                          --profile-json PATH --mem-budget-mb N --spill-dir PATH \
+                         --expr-engine compiled|interpret --batch-rows N \
                          --quick"
                     );
                     std::process::exit(0);
@@ -118,6 +138,16 @@ impl Args {
     /// Parses from the process environment.
     pub fn from_env() -> Args {
         Args::parse(std::env::args().skip(1))
+    }
+
+    /// The engine knobs these args select, ready for
+    /// [`crate::platforms::run_with_opts`].
+    pub fn engine_opts(&self) -> crate::platforms::EngineOpts {
+        crate::platforms::EngineOpts {
+            transport: self.transport,
+            expr_engine: self.expr_engine,
+            batch_rows: self.batch_rows,
+        }
     }
 }
 
@@ -188,6 +218,23 @@ mod tests {
         let a = parse(&["--mem-budget-mb", "64", "--spill-dir", "/tmp/sp"]);
         assert_eq!(a.mem_budget_mb, Some(64));
         assert_eq!(a.spill_dir, Some("/tmp/sp".to_string()));
+    }
+
+    #[test]
+    fn engine_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.expr_engine, None);
+        assert_eq!(a.batch_rows, None);
+        let a = parse(&["--expr-engine", "interpret", "--batch-rows", "512"]);
+        assert_eq!(a.expr_engine, Some(ExprEngine::Interpret));
+        assert_eq!(a.batch_rows, Some(512));
+        let opts = a.engine_opts();
+        assert_eq!(opts.expr_engine, Some(ExprEngine::Interpret));
+        assert_eq!(opts.batch_rows, Some(512));
+        assert_eq!(
+            parse(&["--expr-engine", "compiled"]).expr_engine,
+            Some(ExprEngine::Compiled)
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn main() {
                 .iter()
                 .map(|&d| {
                     eprintln!("running {:?} at {d} dims …", p);
-                    platforms::run_with_transport(
+                    platforms::run_with_opts(
                         p,
                         Workload::Regression,
                         args.n,
@@ -28,7 +28,7 @@ fn main() {
                         args.block,
                         args.workers,
                         args.seed,
-                        args.transport,
+                        args.engine_opts(),
                     )
                 })
                 .collect();

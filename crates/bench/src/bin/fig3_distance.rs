@@ -29,7 +29,7 @@ fn main() {
                 .iter()
                 .map(|&d| {
                     eprintln!("running {:?} at {d} dims …", p);
-                    platforms::run_with_transport(
+                    platforms::run_with_opts(
                         p,
                         Workload::Distance,
                         args.n_dist,
@@ -37,7 +37,7 @@ fn main() {
                         block,
                         args.workers,
                         args.seed,
-                        args.transport,
+                        args.engine_opts(),
                     )
                 })
                 .collect();

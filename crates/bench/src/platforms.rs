@@ -3,8 +3,8 @@
 use std::time::{Duration, Instant};
 
 use lardb::{
-    DataType, Database, ExecStats, Matrix, Partitioning, QueryProfile, Row, Schema,
-    TransportMode, Value,
+    DataType, Database, ExecStats, ExprEngine, Matrix, Partitioning, QueryProfile, Row,
+    Schema, TransportMode, Value,
 };
 use lardb_baselines::{scidb_like, spark_like, systemml_like, WorkloadData};
 use lardb_storage::gen;
@@ -115,9 +115,20 @@ pub fn run(
     )
 }
 
+/// Engine knobs shared by the lardb platforms. Baselines ignore them —
+/// they have neither exchange operators nor SQL expressions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOpts {
+    /// Exchange transport for boundary-crossing batches.
+    pub transport: TransportMode,
+    /// Expression engine override; `None` inherits the database default
+    /// (compiled, or `LARDB_EXPR_ENGINE`).
+    pub expr_engine: Option<ExprEngine>,
+    /// Rows per column batch override; `None` inherits the default.
+    pub batch_rows: Option<usize>,
+}
+
 /// Runs one cell of Figures 1–3 under an explicit exchange transport.
-/// The transport only affects the lardb platforms; baselines ignore it
-/// (they have no exchange operators).
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_transport(
     platform: Platform,
@@ -129,9 +140,25 @@ pub fn run_with_transport(
     seed: u64,
     transport: TransportMode,
 ) -> RunOutcome {
+    let opts = EngineOpts { transport, ..EngineOpts::default() };
+    run_with_opts(platform, workload, n, dims, block, workers, seed, opts)
+}
+
+/// Runs one cell of Figures 1–3 under explicit engine options.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_opts(
+    platform: Platform,
+    workload: Workload,
+    n: usize,
+    dims: usize,
+    block: usize,
+    workers: usize,
+    seed: u64,
+    opts: EngineOpts,
+) -> RunOutcome {
     match platform {
         Platform::TupleSimSql | Platform::VectorSimSql | Platform::BlockSimSql => {
-            run_lardb(platform, workload, n, dims, block, workers, seed, transport)
+            run_lardb(platform, workload, n, dims, block, workers, seed, opts)
         }
         _ => run_baseline(platform, workload, n, dims, block, workers, seed),
     }
@@ -216,7 +243,7 @@ fn run_lardb(
     block: usize,
     workers: usize,
     seed: u64,
-    transport: TransportMode,
+    opts: EngineOpts,
 ) -> RunOutcome {
     // Budget check for tuple-based plans; rerun at reduced n when needed.
     let (n_used, note) = if platform == Platform::TupleSimSql {
@@ -225,7 +252,13 @@ fn run_lardb(
         (n, None)
     };
 
-    let db = Database::new(workers).with_transport(transport);
+    let mut db = Database::new(workers).with_transport(opts.transport);
+    if let Some(engine) = opts.expr_engine {
+        db = db.with_expr_engine(engine);
+    }
+    if let Some(rows) = opts.batch_rows {
+        db = db.with_batch_rows(rows);
+    }
     load_lardb_data(&db, platform, workload, n_used, dims, block, seed);
 
     let result = match (platform, workload) {

@@ -83,6 +83,18 @@ pub struct DatabaseConfig {
     /// Completed-trace ring capacity. `None` leaves the process-wide
     /// setting untouched (default 256, or `LARDB_TRACE_CAPACITY`).
     pub trace_capacity: Option<usize>,
+    /// Expression engine for scan→filter→project→aggregate pipelines:
+    /// `Compiled` (the default) pivots morsels into column batches and
+    /// evaluates register bytecode with fused vectorized kernels, falling
+    /// back to the row interpreter per chunk on any kernel error;
+    /// `Interpret` keeps the row-at-a-time tree walker (the ablation
+    /// baseline). Defaults honor `LARDB_EXPR_ENGINE`.
+    pub expr_engine: lardb_exec::ExprEngine,
+    /// Rows per column batch in the compiled engine (default
+    /// [`lardb_exec::DEFAULT_BATCH_ROWS`]; env `LARDB_BATCH_ROWS`).
+    /// Smaller batches stay cache-resident; larger ones amortize the
+    /// pivot and dispatch further.
+    pub batch_rows: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -102,6 +114,15 @@ impl Default for DatabaseConfig {
             trace_dir: None,
             trace_sample: None,
             trace_capacity: None,
+            expr_engine: std::env::var("LARDB_EXPR_ENGINE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_default(),
+            batch_rows: std::env::var("LARDB_BATCH_ROWS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .unwrap_or(lardb_exec::DEFAULT_BATCH_ROWS),
         }
     }
 }
@@ -340,6 +361,25 @@ impl Database {
     /// The configured exchange transport mode.
     pub fn transport(&self) -> TransportMode {
         self.config.transport
+    }
+
+    /// Sets the expression engine (builder style): `Compiled` vectorized
+    /// bytecode over column batches (the default) or the `Interpret`
+    /// row-at-a-time baseline — the `expr_engine` ablation axis.
+    pub fn with_expr_engine(mut self, engine: lardb_exec::ExprEngine) -> Self {
+        self.config.expr_engine = engine;
+        self
+    }
+
+    /// The configured expression engine.
+    pub fn expr_engine(&self) -> lardb_exec::ExprEngine {
+        self.config.expr_engine
+    }
+
+    /// Sets the compiled engine's rows-per-column-batch (builder style).
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.config.batch_rows = rows.max(1);
+        self
     }
 
     /// Mutates the optimizer configuration (ablation benchmarks flip
@@ -648,6 +688,18 @@ impl Database {
                         result.stats.total_frames(),
                         result.stats.total_enqueue_block().as_secs_f64() * 1e3,
                     ));
+                    if result.stats.total_batches() > 0
+                        || result.stats.total_fallbacks() > 0
+                    {
+                        text.push_str(&format!(
+                            "vectorized: {} batches, {} rows, {} kernel \
+                             dispatches, {} interpreter fallbacks\n",
+                            result.stats.total_batches(),
+                            result.stats.total_batch_rows(),
+                            result.stats.total_kernels(),
+                            result.stats.total_fallbacks(),
+                        ));
+                    }
                     text.push_str(&render_estimate_table(&operators));
                 }
                 Ok(Response::Explained(text))
@@ -750,7 +802,9 @@ impl Database {
             let executor = Executor::new(&self.catalog, self.cluster(cancel))
                 .with_transport(self.config.transport)
                 .with_net_config(self.config.net.clone())
-                .with_memory(self.mem.clone());
+                .with_memory(self.mem.clone())
+                .with_expr_engine(self.config.expr_engine)
+                .with_batch_rows(self.config.batch_rows);
             executor.execute(&physical)?
         };
         let operators = join_estimates(&estimates, &result.stats);

@@ -42,9 +42,9 @@ pub use sessions::{SessionRegistry, SessionSnapshot};
 
 // Re-exports for downstream convenience (examples, benches, tests).
 pub use lardb_exec::{
-    CancelToken, ChannelStats, Cluster, ExecStats, Executor, FaultKind, FaultPlan,
-    MemoryConfig, NetConfig, OperatorStats, SchedulerMode, ShuffleStats, SpillStats,
-    TransportMode,
+    BatchStats, CancelToken, ChannelStats, Cluster, ExecStats, Executor, ExprEngine,
+    FaultKind, FaultPlan, MemoryConfig, NetConfig, OperatorStats, SchedulerMode,
+    ShuffleStats, SpillStats, TransportMode,
 };
 pub use lardb_la::{LabeledScalar, Matrix, Vector};
 pub use lardb_obs::{

@@ -1,0 +1,355 @@
+//! Differential tests: the compiled vectorized engine vs the row
+//! interpreter.
+//!
+//! Two layers, matching the engine's correctness argument:
+//!
+//! * **Bytecode vs tree walker** (proptest): for random expression trees
+//!   over random column batches — NULLs, mixed types, zero-length batches
+//!   included — whenever the compiled program evaluates a batch
+//!   successfully, every lane must be *bit-identical* (`-0.0` and NaN
+//!   payloads included) to the interpreter's per-row answer. When the
+//!   program errors, the executor replays the chunk through the
+//!   interpreter and takes its result, so a program error is never a
+//!   wrong answer — which is exactly why success-implies-identical is the
+//!   whole invariant at this layer.
+//! * **Engine level** (SQL through [`Database`]): the same statements run
+//!   under `--expr-engine interpret` and `compiled`, across worker counts
+//!   and schedulers, must return bit-identical relations — and failing
+//!   statements must fail identically (same error class; at one worker,
+//!   the same message), because the per-chunk fallback hands errors to
+//!   the interpreter.
+
+use lardb::{
+    Database, DatabaseConfig, DataType, ExprEngine, Partitioning, QueryResult, Row,
+    SchedulerMode, Schema, Value,
+};
+use lardb_exec::batch::ColumnBatch;
+use lardb_exec::compile::Program;
+use lardb_exec::eval::eval;
+use lardb_planner::{CmpOp, Expr};
+use lardb_storage::ops::ArithOp;
+use proptest::prelude::*;
+
+const ARITY: usize = 3;
+
+/// Canonical rendering with exact float bits, so `-0.0 != 0.0` and NaN
+/// payloads are compared faithfully.
+fn canon(v: &Value) -> String {
+    match v {
+        Value::Double(d) => format!("D:{:016x}", d.to_bits()),
+        other => format!("{other:?}"),
+    }
+}
+
+// ------------------------------------------------------ unit differential
+
+/// splitmix64: tiny deterministic generator for expression/batch shapes
+/// (the vendored proptest provides scalar strategies only).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_value(g: &mut Gen) -> Value {
+    match g.below(9) {
+        0 => Value::Null,
+        1..=3 => Value::Integer(g.below(13) as i64 - 6),
+        4..=6 => Value::Double([0.0, -0.0, 1.5, -3.25, 0.125, f64::NAN][g.below(6) as usize]),
+        7 => Value::Boolean(g.below(2) == 0),
+        _ => Value::Varchar(["s", "t"][g.below(2) as usize].into()),
+    }
+}
+
+fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
+    if depth == 0 || g.below(3) == 0 {
+        return if g.below(2) == 0 {
+            Expr::col(g.below(ARITY as u64) as usize)
+        } else {
+            Expr::lit(gen_value(g))
+        };
+    }
+    let l = gen_expr(g, depth - 1);
+    let r = gen_expr(g, depth - 1);
+    match g.below(6) {
+        0 => Expr::arith(
+            [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div][g.below(4) as usize],
+            l,
+            r,
+        ),
+        1 => Expr::cmp(
+            [CmpOp::Eq, CmpOp::NotEq, CmpOp::Lt, CmpOp::LtEq, CmpOp::Gt, CmpOp::GtEq]
+                [g.below(6) as usize],
+            l,
+            r,
+        ),
+        2 => Expr::And(Box::new(l), Box::new(r)),
+        3 => Expr::Or(Box::new(l), Box::new(r)),
+        4 => Expr::Not(Box::new(l)),
+        _ => Expr::Negate(Box::new(l)),
+    }
+}
+
+fn gen_rows(g: &mut Gen) -> Vec<Row> {
+    let n = g.below(7) as usize; // 0..=6: zero-length batches included
+    (0..n).map(|_| Row::new((0..ARITY).map(|_| gen_value(g)).collect())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Compiled success ⇒ bit-identical to the interpreter, lane by lane.
+    /// On Err the executor replays the chunk through the interpreter and
+    /// takes its result, so a program error is by construction never a
+    /// wrong answer — success-implies-identical is the whole invariant.
+    #[test]
+    fn compiled_success_is_bit_identical(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let expr = gen_expr(&mut g, 3);
+        let rows = gen_rows(&mut g);
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        let prog = Program::compile(&expr);
+        let mut scratch = Vec::new();
+        if let Ok(col) = prog.eval(batch.cols(), rows.len(), None, &mut scratch) {
+            for (i, row) in rows.iter().enumerate() {
+                let want = eval(&expr, row).expect(
+                    "compiled program succeeded on a batch whose row errors under \
+                     the interpreter — the fallback rule cannot mask this",
+                );
+                let got = canon(&col.value_at(i));
+                let want = canon(&want);
+                prop_assert!(got == want, "lane {i} of {expr:?}: {got} != {want}");
+            }
+        }
+    }
+
+    /// Selection vectors restrict evaluation to the selected lanes and
+    /// stay bit-identical there.
+    #[test]
+    fn compiled_respects_selection(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let expr = gen_expr(&mut g, 3);
+        let rows = gen_rows(&mut g);
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        let sel: Vec<u32> = (0..rows.len() as u32).step_by(2).collect();
+        let prog = Program::compile(&expr);
+        let mut scratch = Vec::new();
+        if let Ok(col) = prog.eval(batch.cols(), rows.len(), Some(&sel), &mut scratch) {
+            for &i in &sel {
+                let want = eval(&expr, &rows[i as usize]).expect("fallback masks errors");
+                let got = canon(&col.value_at(i as usize));
+                let want = canon(&want);
+                prop_assert!(got == want, "lane {i} of {expr:?}: {got} != {want}");
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_length_batch_evaluates_to_empty_column() {
+    let rows: Vec<Row> = Vec::new();
+    let batch = ColumnBatch::from_rows(&rows).unwrap();
+    let e = Expr::arith(ArithOp::Add, Expr::col(0), Expr::lit(1i64));
+    let prog = Program::compile(&e);
+    let mut scratch = Vec::new();
+    // Column 0 is out of range on a zero-arity batch: the program must
+    // error (and the executor would fall back), not fabricate lanes.
+    assert!(prog.eval(batch.cols(), 0, None, &mut scratch).is_err());
+    // A literal-only program over zero lanes succeeds with zero lanes.
+    let lit = Expr::lit(2.5f64);
+    let prog = Program::compile(&lit);
+    let col = prog.eval(batch.cols(), 0, None, &mut scratch).unwrap();
+    assert_eq!(col.len(), 0);
+}
+
+// ---------------------------------------------------- engine differential
+
+/// Mixed-type table: exact-in-float doubles (halves) so aggregate results
+/// are order-independent, NULLs in every column, and a VARCHAR column for
+/// type-error statements.
+fn seed_db(config: DatabaseConfig) -> Database {
+    let db = Database::with_config(config);
+    db.create_table(
+        "t",
+        Schema::from_pairs(&[
+            ("id", DataType::Integer),
+            ("g", DataType::Integer),
+            ("v", DataType::Double),
+            ("s", DataType::Varchar),
+        ]),
+        Partitioning::Hash(0),
+    )
+    .unwrap();
+    let rows = (0..400i64).map(|i| {
+        Row::new(vec![
+            Value::Integer(i),
+            if i % 11 == 0 { Value::Null } else { Value::Integer(i % 7) },
+            if i % 13 == 0 { Value::Null } else { Value::Double(i as f64 * 0.5 - 100.0) },
+            Value::Varchar(format!("s{}", i % 3).into()),
+        ])
+    });
+    db.insert_rows("t", rows).unwrap();
+    db.create_table(
+        "empty",
+        Schema::from_pairs(&[("x", DataType::Integer), ("y", DataType::Double)]),
+        Partitioning::RoundRobin,
+    )
+    .unwrap();
+    db
+}
+
+fn config(workers: usize, scheduler: SchedulerMode, engine: ExprEngine) -> DatabaseConfig {
+    DatabaseConfig {
+        workers,
+        scheduler,
+        expr_engine: engine,
+        // Tiny batches and morsels so even 400 rows cross many chunk and
+        // steal boundaries.
+        batch_rows: 16,
+        morsel_rows: 32,
+        pool_workers: Some(4),
+        ..DatabaseConfig::default()
+    }
+}
+
+fn canon_rows(r: &QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            row.values().iter().map(canon).collect::<Vec<_>>().join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+const STATEMENTS: &[&str] = &[
+    // Filter + project with arithmetic, NULLs flowing through 3VL.
+    "SELECT id * 2, v + 0.5, v * v - id FROM t WHERE v > -50.0 AND id < 350",
+    // Eager OR/AND over NULL-bearing predicates.
+    "SELECT id FROM t WHERE g = 3 OR v < -90.0",
+    "SELECT id, g FROM t WHERE NOT (g = 2) AND v <= 50.0",
+    // Highly selective and empty-result filters.
+    "SELECT id FROM t WHERE v = 0.0",
+    "SELECT id FROM t WHERE v > 1e18",
+    // Fused filter→aggregate (halves are exact in f64, so SUM order is
+    // immaterial).
+    "SELECT g, COUNT(*) AS c, SUM(v) AS sv, MIN(v) AS mn FROM t WHERE id >= 10 GROUP BY g",
+    // Global aggregate, and one over an empty input.
+    "SELECT COUNT(*) AS n, SUM(v) AS s FROM t WHERE v < -98.0",
+    "SELECT COUNT(*) AS n, SUM(y) AS s FROM empty",
+    "SELECT x, y * 2.0 FROM empty WHERE x > 0",
+    // Projection only (no filter in the chain).
+    "SELECT v - 1.0, id + g FROM t",
+];
+
+/// Statements that must fail under both engines with the same error.
+const FAILING: &[&str] = &[
+    // VARCHAR arithmetic: a runtime type error from the shared ops table.
+    "SELECT s + 1 FROM t",
+    "SELECT id FROM t WHERE s * 2 > 0",
+];
+
+#[test]
+fn compiled_matches_interpreter_across_configs() {
+    for workers in [1usize, 4] {
+        for scheduler in [SchedulerMode::Pool, SchedulerMode::Spawn] {
+            let compiled = seed_db(config(workers, scheduler, ExprEngine::Compiled));
+            let interp = seed_db(config(workers, scheduler, ExprEngine::Interpret));
+            for q in STATEMENTS {
+                let got = compiled.query(q).unwrap();
+                let want = interp.query(q).unwrap();
+                assert_eq!(
+                    canon_rows(&got),
+                    canon_rows(&want),
+                    "W={workers} scheduler={scheduler:?} query={q}"
+                );
+            }
+            for q in FAILING {
+                let got = compiled.query(q).expect_err("compiled should fail").to_string();
+                let want = interp.query(q).expect_err("interpret should fail").to_string();
+                if workers == 1 {
+                    // Single worker: no sibling race, the error message
+                    // must match exactly.
+                    assert_eq!(got, want, "W=1 scheduler={scheduler:?} query={q}");
+                } else {
+                    // Multiple workers race to fail first and the losers
+                    // report "query aborted" — identically so for both
+                    // engines, but which error surfaces is
+                    // timing-dependent. Messages must agree unless one
+                    // side lost that race.
+                    assert!(
+                        got == want
+                            || got.contains("query aborted")
+                            || want.contains("query aborted"),
+                        "W={workers} scheduler={scheduler:?} query={q}: \
+                         compiled '{got}' vs interpret '{want}'"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_engine_is_deterministic_across_runs() {
+    let db = seed_db(config(4, SchedulerMode::Pool, ExprEngine::Compiled));
+    let q = "SELECT g, AVG(v) AS a, SUM(v) AS s FROM t WHERE id < 390 GROUP BY g";
+    let reference = canon_rows(&db.query(q).unwrap());
+    for run in 1..5 {
+        assert_eq!(canon_rows(&db.query(q).unwrap()), reference, "run {run} diverged");
+    }
+}
+
+#[test]
+fn batch_rows_knob_does_not_change_results() {
+    let mut cfgs = Vec::new();
+    for rows in [1usize, 7, 64, 4096] {
+        let mut c = config(4, SchedulerMode::Pool, ExprEngine::Compiled);
+        c.batch_rows = rows;
+        cfgs.push((rows, seed_db(c)));
+    }
+    let q = "SELECT id, v * 2.0 FROM t WHERE v > -80.0 AND g <= 5";
+    let reference = canon_rows(&cfgs[0].1.query(q).unwrap());
+    for (rows, db) in &cfgs[1..] {
+        assert_eq!(canon_rows(&db.query(q).unwrap()), reference, "batch_rows={rows}");
+    }
+}
+
+#[test]
+fn vectorized_counters_surface_in_stats_and_metrics() {
+    let db = seed_db(config(4, SchedulerMode::Pool, ExprEngine::Compiled));
+    let r = db.query("SELECT id FROM t WHERE v > -50.0").unwrap();
+    assert!(r.stats.total_batches() > 0, "vectorized filter should report batches");
+    assert!(r.stats.total_kernels() > 0, "vectorized filter should report kernels");
+    assert!(
+        r.stats.display_table().contains("vec:"),
+        "display_table should carry the vec sub-line:\n{}",
+        r.stats.display_table()
+    );
+    let metrics = db.query("SHOW METRICS").unwrap();
+    let names: Vec<String> =
+        metrics.rows.iter().map(|row| row.value(0).to_string()).collect();
+    for metric in ["exec.batch.batches", "exec.batch.rows", "exec.batch.kernels"] {
+        assert!(
+            names.iter().any(|n| n == metric),
+            "metric {metric} missing from SHOW METRICS: {names:?}"
+        );
+    }
+    // The interpreted engine reports no vectorized work.
+    let idb = seed_db(config(4, SchedulerMode::Pool, ExprEngine::Interpret));
+    let ri = idb.query("SELECT id FROM t WHERE v > -50.0").unwrap();
+    assert_eq!(ri.stats.total_batches(), 0);
+    assert_eq!(ri.stats.total_kernels(), 0);
+}

@@ -1,4 +1,18 @@
 //! Row-at-a-time expression evaluation.
+//!
+//! This is the *interpreted* engine (`--expr-engine interpret`) and the
+//! semantic reference for the vectorized engine in [`crate::compile`] /
+//! [`crate::kernels`]: whatever this module computes, per row, is by
+//! definition the right answer. Two allocation patterns matter on the
+//! hot path and are deliberately engineered away:
+//!
+//! * `Expr::Column` / `Expr::Literal` do **not** clone: evaluation is
+//!   internally borrow-based (`Ev`) and only materializes an owned
+//!   [`Value`] at the root (or when an operator genuinely produces a new
+//!   value).
+//! * `Expr::Call` argument lists reuse a caller-provided scratch buffer
+//!   ([`eval_with`]) instead of allocating a `Vec` per row. Nested calls
+//!   share the same buffer stack-style (push args, evaluate, truncate).
 
 use lardb_planner::{CmpOp, Expr};
 use lardb_storage::ops;
@@ -6,101 +20,158 @@ use lardb_storage::{Row, Value};
 
 use crate::{ExecError, Result};
 
-/// Evaluates an expression against one input row.
-pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
-    match expr {
-        Expr::Column(i) => {
-            row.values().get(*i).cloned().ok_or_else(|| {
-                ExecError::Runtime(format!(
-                    "column #{i} out of range for row of arity {}",
-                    row.arity()
-                ))
-            })
+/// A possibly-borrowed evaluation result: column references and literals
+/// borrow from the row / expression tree, computed values are owned.
+enum Ev<'a> {
+    /// Borrowed from the input row or the expression's literal pool.
+    Ref(&'a Value),
+    /// Produced by an operator.
+    Owned(Value),
+}
+
+impl<'a> Ev<'a> {
+    #[inline]
+    fn get(&self) -> &Value {
+        match self {
+            Ev::Ref(v) => v,
+            Ev::Owned(v) => v,
         }
-        Expr::Literal(v) => Ok(v.clone()),
+    }
+
+    #[inline]
+    fn into_owned(self) -> Value {
+        match self {
+            Ev::Ref(v) => v.clone(),
+            Ev::Owned(v) => v,
+        }
+    }
+}
+
+/// Borrow-based core: clones only where a value is genuinely produced.
+/// `scratch` is a reusable argument buffer for `Expr::Call`; it is always
+/// left at the length it had on entry.
+fn eval_ev<'a>(expr: &'a Expr, row: &'a Row, scratch: &mut Vec<Value>) -> Result<Ev<'a>> {
+    match expr {
+        Expr::Column(i) => row.values().get(*i).map(Ev::Ref).ok_or_else(|| {
+            ExecError::Runtime(format!(
+                "column #{i} out of range for row of arity {}",
+                row.arity()
+            ))
+        }),
+        Expr::Literal(v) => Ok(Ev::Ref(v)),
         Expr::Arith { op, lhs, rhs } => {
-            let l = eval(lhs, row)?;
-            let r = eval(rhs, row)?;
-            Ok(ops::arith(*op, &l, &r)?)
+            let l = eval_ev(lhs, row, scratch)?;
+            let r = eval_ev(rhs, row, scratch)?;
+            Ok(Ev::Owned(ops::arith(*op, l.get(), r.get())?))
         }
         Expr::Cmp { op, lhs, rhs } => {
-            let l = eval(lhs, row)?;
-            let r = eval(rhs, row)?;
+            let l = eval_ev(lhs, row, scratch)?;
+            let r = eval_ev(rhs, row, scratch)?;
+            let (l, r) = (l.get(), r.get());
             if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
+                return Ok(Ev::Owned(Value::Null));
             }
-            let ord = ops::compare(&l, &r).ok_or_else(|| {
+            let ord = ops::compare(l, r).ok_or_else(|| {
                 ExecError::Runtime(format!(
                     "cannot compare {} with {}",
                     l.data_type(),
                     r.data_type()
                 ))
             })?;
-            let b = match op {
-                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-                CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
-                CmpOp::Lt => ord == std::cmp::Ordering::Less,
-                CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
-                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-                CmpOp::GtEq => ord != std::cmp::Ordering::Less,
-            };
-            Ok(Value::Boolean(b))
+            Ok(Ev::Owned(Value::Boolean(cmp_holds(*op, ord))))
         }
         Expr::And(a, b) => {
             // SQL three-valued logic: FALSE dominates NULL.
-            let l = eval(a, row)?;
-            if l == Value::Boolean(false) {
-                return Ok(Value::Boolean(false));
+            let l = eval_ev(a, row, scratch)?;
+            if l.get() == &Value::Boolean(false) {
+                return Ok(Ev::Owned(Value::Boolean(false)));
             }
-            let r = eval(b, row)?;
-            if r == Value::Boolean(false) {
-                return Ok(Value::Boolean(false));
+            let r = eval_ev(b, row, scratch)?;
+            if r.get() == &Value::Boolean(false) {
+                return Ok(Ev::Owned(Value::Boolean(false)));
             }
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
+            if l.get().is_null() || r.get().is_null() {
+                return Ok(Ev::Owned(Value::Null));
             }
-            Ok(Value::Boolean(true))
+            Ok(Ev::Owned(Value::Boolean(true)))
         }
         Expr::Or(a, b) => {
-            let l = eval(a, row)?;
-            if l == Value::Boolean(true) {
-                return Ok(Value::Boolean(true));
+            let l = eval_ev(a, row, scratch)?;
+            if l.get() == &Value::Boolean(true) {
+                return Ok(Ev::Owned(Value::Boolean(true)));
             }
-            let r = eval(b, row)?;
-            if r == Value::Boolean(true) {
-                return Ok(Value::Boolean(true));
+            let r = eval_ev(b, row, scratch)?;
+            if r.get() == &Value::Boolean(true) {
+                return Ok(Ev::Owned(Value::Boolean(true)));
             }
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
+            if l.get().is_null() || r.get().is_null() {
+                return Ok(Ev::Owned(Value::Null));
             }
-            Ok(Value::Boolean(false))
+            Ok(Ev::Owned(Value::Boolean(false)))
         }
-        Expr::Not(e) => match eval(e, row)? {
-            Value::Null => Ok(Value::Null),
-            Value::Boolean(b) => Ok(Value::Boolean(!b)),
+        Expr::Not(e) => match eval_ev(e, row, scratch)?.get() {
+            Value::Null => Ok(Ev::Owned(Value::Null)),
+            Value::Boolean(b) => Ok(Ev::Owned(Value::Boolean(!b))),
             other => Err(ExecError::Runtime(format!(
                 "NOT expects BOOLEAN, got {}",
                 other.data_type()
             ))),
         },
         Expr::Negate(e) => {
-            let v = eval(e, row)?;
-            Ok(ops::negate(&v)?)
+            let v = eval_ev(e, row, scratch)?;
+            Ok(Ev::Owned(ops::negate(v.get())?))
         }
         Expr::Call { func, args } => {
-            let mut vals = Vec::with_capacity(args.len());
+            // Stack discipline on the shared scratch buffer: push this
+            // call's arguments, evaluate over the pushed window, truncate
+            // back. Nested calls nest windows naturally.
+            let base = scratch.len();
             for a in args {
-                vals.push(eval(a, row)?);
+                let v = eval_ev(a, row, scratch)?.into_owned();
+                scratch.push(v);
             }
-            Ok(func.evaluate(&vals)?)
+            let out = func.evaluate(&scratch[base..]);
+            scratch.truncate(base);
+            Ok(Ev::Owned(out?))
         }
     }
 }
 
+/// Whether a comparison outcome satisfies the operator.
+#[inline]
+pub(crate) fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::GtEq => ord != std::cmp::Ordering::Less,
+    }
+}
+
+/// Evaluates an expression against one input row.
+pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
+    let mut scratch = Vec::new();
+    eval_with(expr, row, &mut scratch)
+}
+
+/// [`eval`] with a reusable `Expr::Call` argument buffer: hot loops pass
+/// the same buffer for every row so argument lists stop allocating.
+pub fn eval_with(expr: &Expr, row: &Row, scratch: &mut Vec<Value>) -> Result<Value> {
+    eval_ev(expr, row, scratch).map(Ev::into_owned)
+}
+
 /// Evaluates a predicate; NULL (unknown) filters the row out, per SQL.
 pub fn eval_predicate(expr: &Expr, row: &Row) -> Result<bool> {
-    match eval(expr, row)? {
-        Value::Boolean(b) => Ok(b),
+    let mut scratch = Vec::new();
+    eval_predicate_with(expr, row, &mut scratch)
+}
+
+/// [`eval_predicate`] with a reusable `Expr::Call` argument buffer.
+pub fn eval_predicate_with(expr: &Expr, row: &Row, scratch: &mut Vec<Value>) -> Result<bool> {
+    match eval_ev(expr, row, scratch)?.get() {
+        Value::Boolean(b) => Ok(*b),
         Value::Null => Ok(false),
         other => Err(ExecError::Runtime(format!(
             "predicate evaluated to {}, expected BOOLEAN",
@@ -177,6 +248,21 @@ mod tests {
     fn builtin_calls() {
         let e = Expr::call(Builtin::InnerProduct, vec![Expr::col(2), Expr::col(2)]);
         assert_eq!(eval(&e, &row()).unwrap(), Value::Double(5.0));
+    }
+
+    #[test]
+    fn nested_calls_share_one_scratch_buffer() {
+        // norm(v * 2.0) as an arg to an outer call: the inner call's
+        // argument window must not clobber the outer's.
+        let inner = Expr::call(
+            Builtin::InnerProduct,
+            vec![Expr::col(2), Expr::col(2)],
+        );
+        let outer = Expr::arith(ArithOp::Add, inner.clone(), inner);
+        let mut scratch = Vec::new();
+        let v = eval_with(&outer, &row(), &mut scratch).unwrap();
+        assert_eq!(v, Value::Double(10.0));
+        assert!(scratch.is_empty(), "scratch must unwind to entry length");
     }
 
     #[test]

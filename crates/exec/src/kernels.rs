@@ -1,0 +1,656 @@
+//! Column-at-a-time kernels for the vectorized engine.
+//!
+//! Every kernel mirrors the row interpreter ([`crate::eval`]) exactly on
+//! the lanes it evaluates: when a kernel returns `Ok`, its output values
+//! are bit-identical to what per-row evaluation would produce. When a
+//! kernel cannot guarantee that — an unsupported type combination, an
+//! integer overflow the interpreter might or might not reach, a NaN
+//! comparison, a lane error inside an eagerly evaluated `AND`/`OR`
+//! branch — it returns `Err`, and the executor re-runs the whole chunk
+//! through the row interpreter and takes *its* result. That fallback rule
+//! is what makes eager (non-short-circuit) evaluation safe: the compiled
+//! path evaluates a superset of the (row, subexpression) pairs the
+//! interpreter would, so a compiled success implies interpreter agreement,
+//! and any disagreement route ends in `Err`, never in a wrong answer.
+//!
+//! Kernels take an optional *selection vector* (`sel`): the sorted lane
+//! indices still alive after upstream filters. With no selection they run
+//! branch-free tight loops over full slices; `Vector ⊕ scalar` and
+//! `Vector ⊕ Vector` lanes dispatch to the `lardb-la` slice kernels
+//! directly instead of going through `ops::arith`'s dynamic overload
+//! match per row.
+
+use lardb_planner::{Builtin, CmpOp};
+use lardb_storage::ops::{self, ArithOp};
+use lardb_storage::Value;
+
+use crate::batch::{Bitmap, Col};
+use crate::eval::cmp_holds;
+use crate::{ExecError, Result};
+
+/// The interpreter would have to decide this lane/type combination; the
+/// chunk is replayed through [`crate::eval`].
+fn unsupported(what: &str) -> ExecError {
+    ExecError::Runtime(format!("vectorized kernel fallback: {what}"))
+}
+
+/// Runs `f` over every selected lane.
+#[inline]
+fn for_lanes(
+    n: usize,
+    sel: Option<&[u32]>,
+    mut f: impl FnMut(usize) -> Result<()>,
+) -> Result<()> {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                f(i as usize)?;
+            }
+        }
+        None => {
+            for i in 0..n {
+                f(i)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ArithOp` over two `f64`s — must stay identical to the private
+/// `ArithOp::apply_f64` in `lardb_storage::ops` (plain IEEE ops; `x/0.0`
+/// is `inf`, not an error, exactly as the interpreter computes it).
+#[inline]
+fn apply_f64(op: ArithOp, a: f64, b: f64) -> f64 {
+    match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => a / b,
+    }
+}
+
+/// A lane read that borrows boxed values and materializes typed ones.
+enum LaneVal<'a> {
+    R(&'a Value),
+    O(Value),
+}
+
+impl<'a> LaneVal<'a> {
+    #[inline]
+    fn get(&self) -> &Value {
+        match self {
+            LaneVal::R(v) => v,
+            LaneVal::O(v) => v,
+        }
+    }
+}
+
+#[inline]
+fn lane_val(col: &Col, i: usize) -> LaneVal<'_> {
+    match col {
+        Col::Boxed(v) => LaneVal::R(&v[i]),
+        other => LaneVal::O(other.value_at(i)),
+    }
+}
+
+/// Numeric lane as `f64`, `None` when NULL. Matches `Value::as_double`'s
+/// `Integer → as f64` promotion.
+#[inline]
+fn num_f64(col: &Col, i: usize) -> Option<f64> {
+    match col {
+        Col::F64 { data, valid } => valid.get(i).then(|| data[i]),
+        Col::I64 { data, valid } => valid.get(i).then(|| data[i] as f64),
+        _ => None,
+    }
+}
+
+/// Element-wise arithmetic, mirroring `ops::arith`'s overload matrix.
+pub fn arith(op: ArithOp, a: &Col, b: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    match (a, b) {
+        (Col::Boxed(_), _) | (_, Col::Boxed(_)) => boxed_arith(op, a, b, sel, n),
+        (Col::F64 { data: ad, valid: av }, Col::F64 { data: bd, valid: bv }) => {
+            if sel.is_none() && av.all_valid() && bv.all_valid() {
+                // Branch-free: one fused pass over both slices.
+                let data =
+                    ad.iter().zip(bd).map(|(&x, &y)| apply_f64(op, x, y)).collect();
+                return Ok(Col::F64 { data, valid: Bitmap::new_valid(n) });
+            }
+            let mut data = vec![0.0f64; n];
+            let mut valid = Bitmap::new_invalid(n);
+            for_lanes(n, sel, |i| {
+                if av.get(i) && bv.get(i) {
+                    data[i] = apply_f64(op, ad[i], bd[i]);
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+            Ok(Col::F64 { data, valid })
+        }
+        (Col::I64 { data: ad, valid: av }, Col::I64 { data: bd, valid: bv }) => {
+            let mut data = vec![0i64; n];
+            let mut valid = Bitmap::new_invalid(n);
+            for_lanes(n, sel, |i| {
+                if av.get(i) && bv.get(i) {
+                    // Checked ops: overflow (a debug-build panic on the
+                    // interpreted path) and division by zero both route to
+                    // the interpreter, which decides the actual outcome.
+                    let out = match op {
+                        ArithOp::Add => ad[i].checked_add(bd[i]),
+                        ArithOp::Sub => ad[i].checked_sub(bd[i]),
+                        ArithOp::Mul => ad[i].checked_mul(bd[i]),
+                        ArithOp::Div => ad[i].checked_div(bd[i]),
+                    }
+                    .ok_or_else(|| unsupported("integer overflow or division by zero"))?;
+                    data[i] = out;
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+            Ok(Col::I64 { data, valid })
+        }
+        (Col::F64 { .. } | Col::I64 { .. }, Col::F64 { .. } | Col::I64 { .. }) => {
+            // Mixed INTEGER/DOUBLE promotes to DOUBLE, as `as_double` does.
+            let mut data = vec![0.0f64; n];
+            let mut valid = Bitmap::new_invalid(n);
+            for_lanes(n, sel, |i| {
+                if let (Some(x), Some(y)) = (num_f64(a, i), num_f64(b, i)) {
+                    data[i] = apply_f64(op, x, y);
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+            Ok(Col::F64 { data, valid })
+        }
+        _ => Err(unsupported("arithmetic over BOOLEAN lanes")),
+    }
+}
+
+/// Arithmetic with at least one boxed side: per-lane by reference, with
+/// the LA broadcast cases dispatched straight to the `lardb-la` slice
+/// kernels (the same ones `ops::arith` would call).
+fn boxed_arith(op: ArithOp, a: &Col, b: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    let mut out = vec![Value::Null; n];
+    for_lanes(n, sel, |i| {
+        let (l, r) = (lane_val(a, i), lane_val(b, i));
+        out[i] = arith_lane(op, l.get(), r.get())?;
+        Ok(())
+    })?;
+    Ok(Col::Boxed(out))
+}
+
+/// One boxed arithmetic lane. The fast paths are *specializations* of
+/// `ops::arith` arms (same underlying `Vector` methods, same `apply_f64`),
+/// so their results are bit-identical; everything else — including the
+/// error cases — goes through `ops::arith` itself. Integer pairs use
+/// checked ops so overflow routes to the interpreter (see module docs).
+fn arith_lane(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Integer(x), Value::Integer(y)) => {
+            if *y == 0 && op == ArithOp::Div {
+                // Let ops::arith produce its exact division-by-zero error.
+                return Ok(ops::arith(op, l, r)?);
+            }
+            let out = match op {
+                ArithOp::Add => x.checked_add(*y),
+                ArithOp::Sub => x.checked_sub(*y),
+                ArithOp::Mul => x.checked_mul(*y),
+                ArithOp::Div => x.checked_div(*y),
+            }
+            .ok_or_else(|| unsupported("integer overflow"))?;
+            Ok(Value::Integer(out))
+        }
+        (Value::Vector(x), Value::Vector(y)) => {
+            let out = match op {
+                ArithOp::Add => x.add(y),
+                ArithOp::Sub => x.sub(y),
+                ArithOp::Mul => x.mul(y),
+                ArithOp::Div => x.div(y),
+            }?;
+            Ok(Value::vector(out))
+        }
+        (Value::Vector(v), s) if s.as_double().is_some() => {
+            let s = s.as_double().expect("checked");
+            Ok(Value::vector(v.map(|x| apply_f64(op, x, s))))
+        }
+        (s, Value::Vector(v)) if s.as_double().is_some() => {
+            let s = s.as_double().expect("checked");
+            Ok(Value::vector(v.map(|x| apply_f64(op, s, x))))
+        }
+        _ => Ok(ops::arith(op, l, r)?),
+    }
+}
+
+/// Element-wise comparison to a BOOLEAN column; NULL operands produce
+/// NULL lanes, incomparable lanes (NaN, mixed string/number) fall back.
+pub fn cmp(op: CmpOp, a: &Col, b: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    let mut data = vec![false; n];
+    let mut valid = Bitmap::new_invalid(n);
+    match (a, b) {
+        (Col::Boxed(_), _) | (_, Col::Boxed(_)) => {
+            for_lanes(n, sel, |i| {
+                let (l, r) = (lane_val(a, i), lane_val(b, i));
+                let (l, r) = (l.get(), r.get());
+                if l.is_null() || r.is_null() {
+                    return Ok(());
+                }
+                let ord = ops::compare(l, r)
+                    .ok_or_else(|| unsupported("incomparable lane values"))?;
+                data[i] = cmp_holds(op, ord);
+                valid.set_valid(i);
+                Ok(())
+            })?;
+        }
+        (Col::Bool { data: ad, valid: av }, Col::Bool { data: bd, valid: bv }) => {
+            for_lanes(n, sel, |i| {
+                if av.get(i) && bv.get(i) {
+                    data[i] = cmp_holds(op, ad[i].cmp(&bd[i]));
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+        }
+        (Col::F64 { .. } | Col::I64 { .. }, Col::F64 { .. } | Col::I64 { .. }) => {
+            for_lanes(n, sel, |i| {
+                if let (Some(x), Some(y)) = (num_f64(a, i), num_f64(b, i)) {
+                    let ord = x
+                        .partial_cmp(&y)
+                        .ok_or_else(|| unsupported("NaN comparison"))?;
+                    data[i] = cmp_holds(op, ord);
+                    valid.set_valid(i);
+                } // else: NULL lane
+                Ok(())
+            })?;
+        }
+        _ => return Err(unsupported("comparing BOOLEAN with numeric lanes")),
+    }
+    Ok(Col::Bool { data, valid })
+}
+
+/// Three-valued truth of one lane, under `AND`'s classification: FALSE
+/// dominates, NULL is unknown, and any other non-NULL value — the
+/// interpreter is deliberately lenient here — behaves as "not FALSE".
+#[inline]
+fn tri_and(col: &Col, i: usize) -> Option<bool> {
+    match col {
+        Col::Bool { data, valid } => valid.get(i).then(|| data[i]),
+        Col::F64 { valid, .. } | Col::I64 { valid, .. } => valid.get(i).then_some(true),
+        Col::Boxed(v) => match &v[i] {
+            Value::Boolean(b) => Some(*b),
+            Value::Null => None,
+            _ => Some(true),
+        },
+    }
+}
+
+/// Three-valued truth of one lane under `OR`'s classification: TRUE
+/// dominates, NULL is unknown, any other non-NULL value is "not TRUE".
+#[inline]
+fn tri_or(col: &Col, i: usize) -> Option<bool> {
+    match col {
+        Col::Bool { data, valid } => valid.get(i).then(|| data[i]),
+        Col::F64 { valid, .. } | Col::I64 { valid, .. } => valid.get(i).then_some(false),
+        Col::Boxed(v) => match &v[i] {
+            Value::Boolean(b) => Some(*b),
+            Value::Null => None,
+            _ => Some(false),
+        },
+    }
+}
+
+/// Lane-wise SQL `AND` (eager: both sides were already evaluated).
+pub fn and(a: &Col, b: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    let mut data = vec![false; n];
+    let mut valid = Bitmap::new_invalid(n);
+    for_lanes(n, sel, |i| {
+        let out = match (tri_and(a, i), tri_and(b, i)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (None, _) | (_, None) => None,
+            _ => Some(true),
+        };
+        if let Some(v) = out {
+            data[i] = v;
+            valid.set_valid(i);
+        }
+        Ok(())
+    })?;
+    Ok(Col::Bool { data, valid })
+}
+
+/// Lane-wise SQL `OR` (eager: both sides were already evaluated).
+pub fn or(a: &Col, b: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    let mut data = vec![false; n];
+    let mut valid = Bitmap::new_invalid(n);
+    for_lanes(n, sel, |i| {
+        let out = match (tri_or(a, i), tri_or(b, i)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (None, _) | (_, None) => None,
+            _ => Some(false),
+        };
+        if let Some(v) = out {
+            data[i] = v;
+            valid.set_valid(i);
+        }
+        Ok(())
+    })?;
+    Ok(Col::Bool { data, valid })
+}
+
+/// Lane-wise SQL `NOT`. Non-BOOLEAN lanes are a hard interpreter error
+/// (`NOT expects BOOLEAN`), so they fall back.
+pub fn not(a: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    let mut data = vec![false; n];
+    let mut valid = Bitmap::new_invalid(n);
+    match a {
+        Col::Bool { data: ad, valid: av } => {
+            for_lanes(n, sel, |i| {
+                if av.get(i) {
+                    data[i] = !ad[i];
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+        }
+        Col::F64 { valid: av, .. } | Col::I64 { valid: av, .. } => {
+            for_lanes(n, sel, |i| {
+                if av.get(i) {
+                    return Err(unsupported("NOT over non-BOOLEAN lane"));
+                }
+                Ok(())
+            })?;
+        }
+        Col::Boxed(v) => {
+            for_lanes(n, sel, |i| {
+                match &v[i] {
+                    Value::Boolean(b) => {
+                        data[i] = !b;
+                        valid.set_valid(i);
+                    }
+                    Value::Null => {}
+                    _ => return Err(unsupported("NOT over non-BOOLEAN lane")),
+                }
+                Ok(())
+            })?;
+        }
+    }
+    Ok(Col::Bool { data, valid })
+}
+
+/// Lane-wise unary minus, mirroring `ops::negate`.
+pub fn negate(a: &Col, sel: Option<&[u32]>, n: usize) -> Result<Col> {
+    match a {
+        Col::F64 { data: ad, valid: av } => {
+            if sel.is_none() && av.all_valid() {
+                return Ok(Col::F64 {
+                    data: ad.iter().map(|&x| -x).collect(),
+                    valid: Bitmap::new_valid(n),
+                });
+            }
+            let mut data = vec![0.0f64; n];
+            let mut valid = Bitmap::new_invalid(n);
+            for_lanes(n, sel, |i| {
+                if av.get(i) {
+                    data[i] = -ad[i];
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+            Ok(Col::F64 { data, valid })
+        }
+        Col::I64 { data: ad, valid: av } => {
+            let mut data = vec![0i64; n];
+            let mut valid = Bitmap::new_invalid(n);
+            for_lanes(n, sel, |i| {
+                if av.get(i) {
+                    data[i] = ad[i]
+                        .checked_neg()
+                        .ok_or_else(|| unsupported("integer negation overflow"))?;
+                    valid.set_valid(i);
+                }
+                Ok(())
+            })?;
+            Ok(Col::I64 { data, valid })
+        }
+        Col::Bool { valid: av, .. } => {
+            // Valid lanes are a hard error ("cannot negate BOOLEAN");
+            // all-NULL lanes legitimately negate to NULL.
+            let mut ok = true;
+            for_lanes(n, sel, |i| {
+                ok &= !av.get(i);
+                Ok(())
+            })?;
+            if !ok {
+                return Err(unsupported("negating BOOLEAN lanes"));
+            }
+            Ok(Col::F64 { data: vec![0.0; n], valid: Bitmap::new_invalid(n) })
+        }
+        Col::Boxed(v) => {
+            let mut out = vec![Value::Null; n];
+            for_lanes(n, sel, |i| {
+                out[i] = ops::negate(&v[i])?;
+                Ok(())
+            })?;
+            Ok(Col::Boxed(out))
+        }
+    }
+}
+
+/// Lane-wise builtin call. Arguments are gathered per lane into the
+/// reusable `scratch` buffer; `Builtin::evaluate` handles its own
+/// NULL-in → NULL-out rule, so lane validity needs no special casing.
+pub fn call(
+    func: &Builtin,
+    args: &[&Col],
+    sel: Option<&[u32]>,
+    n: usize,
+    scratch: &mut Vec<Value>,
+) -> Result<Col> {
+    let mut out = vec![Value::Null; n];
+    for_lanes(n, sel, |i| {
+        scratch.clear();
+        for a in args {
+            scratch.push(a.value_at(i));
+        }
+        out[i] = func.evaluate(scratch)?;
+        Ok(())
+    })?;
+    Ok(Col::Boxed(out))
+}
+
+/// Builds the selection vector of lanes whose predicate lane is valid
+/// *and* TRUE (SQL: NULL filters the row out). The BOOLEAN path appends
+/// branch-free: write the lane index unconditionally, advance the length
+/// by the keep bit.
+pub fn selection(pred: &Col, sel: Option<&[u32]>, n: usize) -> Result<Vec<u32>> {
+    match pred {
+        Col::Bool { data, valid } => {
+            let cap = sel.map_or(n, <[u32]>::len);
+            let mut out = vec![0u32; cap];
+            let mut k = 0usize;
+            match sel {
+                None => {
+                    // Indexing `data` by the loop counter is deliberate: the
+                    // write-then-advance idiom stays branch-free only if the
+                    // lane index and the keep bit come from the same `i`.
+                    #[allow(clippy::needless_range_loop)]
+                    for i in 0..n {
+                        out[k] = i as u32;
+                        k += (valid.get(i) & data[i]) as usize;
+                    }
+                }
+                Some(s) => {
+                    for &i in s {
+                        out[k] = i;
+                        k += (valid.get(i as usize) & data[i as usize]) as usize;
+                    }
+                }
+            }
+            out.truncate(k);
+            Ok(out)
+        }
+        Col::F64 { valid, .. } | Col::I64 { valid, .. } => {
+            // A valid lane is a non-BOOLEAN predicate value — a hard
+            // interpreter error; all-NULL lanes filter everything out.
+            for_lanes(n, sel, |i| {
+                if valid.get(i) {
+                    return Err(unsupported("non-BOOLEAN predicate lane"));
+                }
+                Ok(())
+            })?;
+            Ok(Vec::new())
+        }
+        Col::Boxed(v) => {
+            let mut out = Vec::new();
+            for_lanes(n, sel, |i| {
+                match &v[i] {
+                    Value::Boolean(true) => out.push(i as u32),
+                    Value::Boolean(false) | Value::Null => {}
+                    _ => return Err(unsupported("non-BOOLEAN predicate lane")),
+                }
+                Ok(())
+            })?;
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_la::Vector;
+
+    fn f64_col(vals: &[Option<f64>]) -> Col {
+        let mut data = vec![0.0; vals.len()];
+        let mut valid = Bitmap::new_invalid(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            if let Some(x) = v {
+                data[i] = *x;
+                valid.set_valid(i);
+            }
+        }
+        Col::F64 { data, valid }
+    }
+
+    fn i64_col(vals: &[Option<i64>]) -> Col {
+        let mut data = vec![0; vals.len()];
+        let mut valid = Bitmap::new_invalid(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            if let Some(x) = v {
+                data[i] = *x;
+                valid.set_valid(i);
+            }
+        }
+        Col::I64 { data, valid }
+    }
+
+    #[test]
+    fn f64_arith_fast_and_null_paths() {
+        let a = f64_col(&[Some(1.0), Some(2.0), Some(3.0)]);
+        let b = f64_col(&[Some(10.0), Some(20.0), Some(30.0)]);
+        let out = arith(ArithOp::Add, &a, &b, None, 3).unwrap();
+        assert_eq!(out.value_at(1), Value::Double(22.0));
+
+        let c = f64_col(&[Some(1.0), None, Some(3.0)]);
+        let out = arith(ArithOp::Mul, &a, &c, None, 3).unwrap();
+        assert_eq!(out.value_at(0), Value::Double(1.0));
+        assert!(out.value_at(1).is_null());
+    }
+
+    #[test]
+    fn int_div_zero_falls_back_but_float_div_zero_does_not() {
+        let a = i64_col(&[Some(10)]);
+        let z = i64_col(&[Some(0)]);
+        assert!(arith(ArithOp::Div, &a, &z, None, 1).is_err());
+        let fa = f64_col(&[Some(10.0)]);
+        let fz = f64_col(&[Some(0.0)]);
+        let out = arith(ArithOp::Div, &fa, &fz, None, 1).unwrap();
+        assert_eq!(out.value_at(0), Value::Double(f64::INFINITY));
+    }
+
+    #[test]
+    fn mixed_promotes_like_interpreter() {
+        let a = i64_col(&[Some(3)]);
+        let b = f64_col(&[Some(0.5)]);
+        let out = arith(ArithOp::Mul, &a, &b, None, 1).unwrap();
+        assert_eq!(out.value_at(0), Value::Double(1.5));
+    }
+
+    #[test]
+    fn vector_broadcast_matches_ops() {
+        let v = Value::vector(Vector::from_slice(&[1.0, 2.0]));
+        let col = Col::Boxed(vec![v.clone()]);
+        let s = f64_col(&[Some(2.5)]);
+        let out = arith(ArithOp::Mul, &col, &s, None, 1).unwrap();
+        let want = ops::arith(ArithOp::Mul, &v, &Value::Double(2.5)).unwrap();
+        assert_eq!(out.value_at(0), want);
+        // scalar on the left of a Sub: operand order matters.
+        let out = arith(ArithOp::Sub, &s, &col, None, 1).unwrap();
+        let want = ops::arith(ArithOp::Sub, &Value::Double(2.5), &v).unwrap();
+        assert_eq!(out.value_at(0), want);
+    }
+
+    #[test]
+    fn cmp_null_and_nan() {
+        let a = f64_col(&[Some(1.0), None, Some(f64::NAN)]);
+        let b = f64_col(&[Some(2.0), Some(1.0), Some(1.0)]);
+        let out = cmp(CmpOp::Lt, &a, &b, Some(&[0, 1]), 3).unwrap();
+        assert_eq!(out.value_at(0), Value::Boolean(true));
+        assert!(out.value_at(1).is_null());
+        // NaN lane selected → fallback.
+        assert!(cmp(CmpOp::Lt, &a, &b, None, 3).is_err());
+    }
+
+    #[test]
+    fn three_valued_and_or_lanes() {
+        let t = Col::splat(&Value::Boolean(true), 1);
+        let f = Col::splat(&Value::Boolean(false), 1);
+        let nl = Col::splat(&Value::Null, 1);
+        assert_eq!(and(&f, &nl, None, 1).unwrap().value_at(0), Value::Boolean(false));
+        assert!(and(&t, &nl, None, 1).unwrap().value_at(0).is_null());
+        assert_eq!(or(&t, &nl, None, 1).unwrap().value_at(0), Value::Boolean(true));
+        assert!(or(&f, &nl, None, 1).unwrap().value_at(0).is_null());
+        // Interpreter leniency: a non-BOOLEAN lane is "not FALSE" in AND.
+        let five = Col::splat(&Value::Integer(5), 1);
+        assert_eq!(and(&five, &t, None, 1).unwrap().value_at(0), Value::Boolean(true));
+        assert_eq!(or(&five, &f, None, 1).unwrap().value_at(0), Value::Boolean(false));
+    }
+
+    #[test]
+    fn selection_is_sorted_and_respects_nulls() {
+        let pred = Col::Bool {
+            data: vec![true, false, true, true],
+            valid: {
+                let mut v = Bitmap::new_valid(4);
+                v.set_invalid(2); // NULL lane filters out
+                v
+            },
+        };
+        assert_eq!(selection(&pred, None, 4).unwrap(), vec![0, 3]);
+        assert_eq!(selection(&pred, Some(&[1, 3]), 4).unwrap(), vec![3]);
+        // Non-BOOLEAN predicate lane → fallback.
+        let num = Col::splat(&Value::Integer(1), 2);
+        assert!(selection(&num, None, 2).is_err());
+    }
+
+    #[test]
+    fn not_and_negate() {
+        let t = Col::splat(&Value::Boolean(true), 2);
+        assert_eq!(not(&t, None, 2).unwrap().value_at(1), Value::Boolean(false));
+        let five = Col::splat(&Value::Integer(5), 1);
+        assert!(not(&five, None, 1).is_err());
+        assert_eq!(negate(&five, None, 1).unwrap().value_at(0), Value::Integer(-5));
+        let nl = Col::splat(&Value::Null, 1);
+        assert!(negate(&nl, None, 1).unwrap().value_at(0).is_null());
+    }
+
+    #[test]
+    fn call_gathers_args_with_scratch() {
+        let v = Value::vector(Vector::from_slice(&[3.0, 4.0]));
+        let col = Col::Boxed(vec![v.clone(), Value::Null]);
+        let mut scratch = Vec::new();
+        let out = call(&Builtin::InnerProduct, &[&col, &col], None, 2, &mut scratch)
+            .unwrap();
+        assert_eq!(out.value_at(0), Value::Double(25.0));
+        assert!(out.value_at(1).is_null());
+    }
+}

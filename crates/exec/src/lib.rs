@@ -19,15 +19,19 @@
 //! computation).
 
 pub mod agg;
+pub mod batch;
 pub mod cluster;
+pub mod compile;
 pub mod eval;
 pub mod executor;
+pub mod kernels;
 pub mod stats;
 
 pub use cluster::{CancelToken, Cluster, SchedulerMode, DEFAULT_MORSEL_ROWS};
-pub use executor::{ExecutionResult, Executor, MemoryConfig};
+pub use compile::ExprEngine;
+pub use executor::{ExecutionResult, Executor, MemoryConfig, DEFAULT_BATCH_ROWS};
 pub use lardb_net::{FaultKind, FaultPlan, NetConfig, TransportMode};
-pub use stats::{ChannelStats, ExecStats, OperatorStats, ShuffleStats, SpillStats};
+pub use stats::{BatchStats, ChannelStats, ExecStats, OperatorStats, ShuffleStats, SpillStats};
 
 use lardb_net::NetError;
 use lardb_planner::PlanError;

@@ -103,6 +103,37 @@ impl SpillStats {
     }
 }
 
+/// Vectorized-execution activity of one operator: how much of its input
+/// went through the compiled columnar engine. All zeros for operators
+/// that ran the row interpreter (or never take the vectorized path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Column batches (morsel chunks) evaluated by compiled kernels.
+    pub batches: usize,
+    /// Rows that went through the compiled path.
+    pub rows: usize,
+    /// Kernel invocations (bytecode instructions × successful batches).
+    pub kernels: usize,
+    /// Chunks replayed through the row interpreter because a kernel
+    /// declined (unsupported type mix, overflow, lane error).
+    pub fallbacks: usize,
+}
+
+impl BatchStats {
+    /// Accumulates another record (e.g. a fused stage's counters).
+    pub fn merge(&mut self, other: BatchStats) {
+        self.batches += other.batches;
+        self.rows += other.rows;
+        self.kernels += other.kernels;
+        self.fallbacks += other.fallbacks;
+    }
+
+    /// True when any vectorized activity happened.
+    pub fn vectorized(&self) -> bool {
+        self.batches > 0 || self.fallbacks > 0
+    }
+}
+
 /// Statistics for one operator instance.
 #[derive(Debug, Clone)]
 pub struct OperatorStats {
@@ -120,6 +151,9 @@ pub struct OperatorStats {
     /// Out-of-core activity (hash join / aggregation under a memory
     /// budget; all zeros for in-memory execution).
     pub spill: SpillStats,
+    /// Vectorized (compiled columnar) activity; all zeros under the row
+    /// interpreter.
+    pub batch: BatchStats,
 }
 
 impl OperatorStats {
@@ -192,6 +226,28 @@ impl ExecStats {
     /// Total spill files created across all operators.
     pub fn total_spill_files(&self) -> usize {
         self.ops.iter().map(|o| o.spill.files).sum()
+    }
+
+    /// Total column batches evaluated by compiled kernels (0 under the
+    /// row interpreter).
+    pub fn total_batches(&self) -> usize {
+        self.ops.iter().map(|o| o.batch.batches).sum()
+    }
+
+    /// Total rows that went through the compiled columnar path.
+    pub fn total_batch_rows(&self) -> usize {
+        self.ops.iter().map(|o| o.batch.rows).sum()
+    }
+
+    /// Total compiled-kernel invocations across all operators.
+    pub fn total_kernels(&self) -> usize {
+        self.ops.iter().map(|o| o.batch.kernels).sum()
+    }
+
+    /// Total chunks replayed through the row interpreter after a kernel
+    /// declined.
+    pub fn total_fallbacks(&self) -> usize {
+        self.ops.iter().map(|o| o.batch.fallbacks).sum()
     }
 
     /// Wall time grouped by operator label — the Figure 4 breakdown.
@@ -269,6 +325,15 @@ impl ExecStats {
                     o.spill.bytes_read,
                 ));
             }
+            if o.batch.vectorized() {
+                out.push_str(&format!(
+                    "        vec: {} batches, {} rows, {}, {}\n",
+                    o.batch.batches,
+                    o.batch.rows,
+                    plural(o.batch.kernels, "kernel"),
+                    plural(o.batch.fallbacks, "fallback"),
+                ));
+            }
         }
         out
     }
@@ -295,6 +360,7 @@ mod tests {
             rows_out: id * 10,
             shuffle: ShuffleStats::estimated(id, bytes),
             spill: SpillStats::default(),
+            batch: BatchStats::default(),
         }
     }
 
@@ -362,6 +428,7 @@ mod tests {
             rows_out: 15,
             shuffle,
             spill: SpillStats::default(),
+            batch: BatchStats::default(),
         });
         assert_eq!(s.total_frames(), 3);
         assert_eq!(s.total_enqueue_block(), Duration::from_millis(4));
@@ -389,6 +456,7 @@ mod tests {
                 enqueue_block: Duration::ZERO,
             }]),
             spill: SpillStats::default(),
+            batch: BatchStats::default(),
         });
         let table = s.display_table();
         // Pointer-mode estimate is marked; measured bytes are not.
@@ -425,5 +493,31 @@ mod tests {
         merged.merge(SpillStats { files: 1, bytes_written: 10, bytes_read: 5, partitions: 4 });
         merged.merge(SpillStats { files: 2, bytes_written: 30, bytes_read: 45, partitions: 4 });
         assert_eq!(merged, SpillStats { files: 3, bytes_written: 40, bytes_read: 50, partitions: 8 });
+    }
+
+    #[test]
+    fn batch_totals_and_display() {
+        let mut s = ExecStats::new();
+        let mut o = op(1, "Filter [vec]", 2, 0);
+        o.batch = BatchStats { batches: 3, rows: 2048, kernels: 9, fallbacks: 1 };
+        assert!(o.batch.vectorized());
+        s.record(o);
+        s.record(op(2, "HashJoin", 1, 0)); // interpreted → no detail line
+        assert_eq!(s.total_batches(), 3);
+        assert_eq!(s.total_batch_rows(), 2048);
+        assert_eq!(s.total_kernels(), 9);
+        assert_eq!(s.total_fallbacks(), 1);
+        let table = s.display_table();
+        assert!(
+            table.contains("vec: 3 batches, 2048 rows, 9 kernels, 1 fallback"),
+            "{table}"
+        );
+        assert_eq!(table.matches("vec:").count(), 1, "{table}");
+
+        let mut merged = BatchStats::default();
+        assert!(!merged.vectorized());
+        merged.merge(BatchStats { batches: 1, rows: 10, kernels: 2, fallbacks: 0 });
+        merged.merge(BatchStats { batches: 2, rows: 20, kernels: 4, fallbacks: 1 });
+        assert_eq!(merged, BatchStats { batches: 3, rows: 30, kernels: 6, fallbacks: 1 });
     }
 }

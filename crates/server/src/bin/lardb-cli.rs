@@ -395,6 +395,13 @@ fn parse_engine_flag(
                 .and_then(|v| v.parse::<SchedulerMode>().ok())
                 .unwrap_or_else(|| usage());
         }
+        "--expr-engine" => {
+            config.expr_engine = argv
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage());
+        }
+        "--batch-rows" => config.batch_rows = std::cmp::max(1, next_parsed(argv)),
         "--gemm-par-flops" => config.gemm_parallel_flops = Some(next_parsed(argv)),
         "--net-timeout-ms" => config.net.timeout_ms = next_parsed(argv),
         "--max-frame-bytes" => config.net.max_frame_bytes = next_parsed(argv),
@@ -460,7 +467,8 @@ fn usage() -> ! {
                 lardb-cli serve [engine flags] [server flags]\n\
          engine flags: [--workers N] [--transport pointer|serialized|tcp] \
          [--slow-ms MS] [--pool-workers N] [--morsel-rows N] \
-         [--scheduler pool|spawn] [--gemm-par-flops N] \
+         [--scheduler pool|spawn] [--expr-engine compiled|interpret] \
+         [--batch-rows N] [--gemm-par-flops N] \
          [--net-timeout-ms MS] [--max-frame-bytes N] \
          [--fault-kind drop|truncate|corrupt|delay|kill] [--fault-seed N] \
          [--fault-rate-ppm N] [--fault-after N] \
