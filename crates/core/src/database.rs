@@ -15,9 +15,15 @@ use lardb_planner::physical::PhysicalPlanner;
 use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig, PlanEstimate};
 use lardb_sql::ast::{SelectStatement, Statement, TableRef};
 use lardb_sql::{parse_statement, Binder};
-use lardb_storage::{Catalog, DataType, Partitioning, Row, Schema, Table, Value};
+use lardb_storage::{
+    Catalog, DataType, MatViewDef, Partitioning, Row, Schema, Table, Value,
+};
 
 use crate::error::{EngineError, Result};
+use crate::plan_cache::{
+    normalize, CacheStats, InvalidationReason, NormalizedStatement, PlanCache,
+    StatementKind, DEFAULT_PLAN_CACHE_ENTRIES,
+};
 use crate::sessions::SessionRegistry;
 
 /// Engine configuration.
@@ -95,6 +101,12 @@ pub struct DatabaseConfig {
     /// Smaller batches stay cache-resident; larger ones amortize the
     /// pivot and dispatch further.
     pub batch_rows: usize,
+    /// Capacity of the normalized plan cache in entries (default
+    /// [`crate::plan_cache::DEFAULT_PLAN_CACHE_ENTRIES`]; env
+    /// `LARDB_PLAN_CACHE`). Repeat SELECTs whose shape, literals, catalog
+    /// version and optimizer knobs all match a cached entry skip
+    /// parse/bind/optimize entirely. `0` disables caching.
+    pub plan_cache_entries: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -123,6 +135,10 @@ impl Default for DatabaseConfig {
                 .and_then(|s| s.parse().ok())
                 .filter(|&n: &usize| n > 0)
                 .unwrap_or(lardb_exec::DEFAULT_BATCH_ROWS),
+            plan_cache_entries: std::env::var("LARDB_PLAN_CACHE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(DEFAULT_PLAN_CACHE_ENTRIES),
         }
     }
 }
@@ -229,6 +245,9 @@ pub struct Database {
     /// Label appended to this clone's slow-query log lines (e.g.
     /// `session 3 tenant acme`); per-clone, not shared.
     session_label: Option<String>,
+    /// The normalized plan cache, shared across clones like the catalog
+    /// (a schema change seen by one session must invalidate them all).
+    plan_cache: Arc<PlanCache>,
 }
 
 impl Database {
@@ -270,6 +289,7 @@ impl Database {
                 MemoryConfig::with_budget(Some(mb * 1024 * 1024), config.spill_dir.clone())
             }
         };
+        let plan_cache = Arc::new(PlanCache::new(config.plan_cache_entries));
         Database {
             catalog: Arc::new(Catalog::new()),
             config,
@@ -281,6 +301,7 @@ impl Database {
             mem,
             sessions: Arc::new(SessionRegistry::new()),
             session_label: None,
+            plan_cache,
         }
     }
 
@@ -383,9 +404,39 @@ impl Database {
     }
 
     /// Mutates the optimizer configuration (ablation benchmarks flip
-    /// [`OptimizerConfig::size_inference`] here).
+    /// [`OptimizerConfig::size_inference`] here). Counts a config
+    /// invalidation on the plan cache; the knobs are also part of every
+    /// cache key (the fingerprint), so even clones sharing the cache but
+    /// not this config change can never see a mismatched plan.
     pub fn set_optimizer_config(&mut self, cfg: OptimizerConfig) {
+        if cfg != self.config.optimizer {
+            self.plan_cache.bump(InvalidationReason::Config);
+        }
         self.config.optimizer = cfg;
+    }
+
+    /// Fingerprint of the configuration knobs an optimized plan depends
+    /// on — part of every plan-cache key, so clones with diverged
+    /// optimizer settings never share entries.
+    fn config_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.config.optimizer.size_inference.hash(&mut h);
+        self.config.optimizer.early_projection.hash(&mut h);
+        self.config.optimizer.max_dp_inputs.hash(&mut h);
+        h.finish()
+    }
+
+    /// The shared plan cache (version bumps, stats).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Point-in-time counters of this database's plan cache. Unlike the
+    /// process-global `cache.*` metrics, these are per-cache, so tests
+    /// running concurrently don't see each other's traffic.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
     /// Enables the slow-query log (builder style): statements taking at
@@ -443,14 +494,85 @@ impl Database {
         cancel: &CancelToken,
         trace: &Arc<lardb_obs::ActiveTrace>,
     ) -> Result<Response> {
-        self.execute_inner(sql, Some(cancel), Some(Arc::clone(trace)))
+        self.execute_inner(sql, Some(cancel), Some(Arc::clone(trace)), None)
     }
 
     fn execute_cancellable(&self, sql: &str, cancel: Option<&CancelToken>) -> Result<Response> {
         // Embedded entry point: mint a (sampled) trace here; the server
         // path pre-mints via `execute_with_trace` to capture queue wait.
         let trace = lardb_obs::recorder().start(sql, "embedded");
-        self.execute_inner(sql, cancel, trace)
+        self.execute_inner(sql, cancel, trace, None)
+    }
+
+    /// Parses and validates a statement once, precomputing its plan-cache
+    /// shape. Executing the returned handle skips re-parsing; cacheable
+    /// SELECT shapes are bound and optimized right here (best-effort), so
+    /// the first [`Database::execute_prepared`] is already a cache hit.
+    /// Bind errors still surface at execute time, preserving the
+    /// prepare-then-create-table workflow.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        let statement = parse_statement(sql)?;
+        let norm = if self.plan_cache.enabled() { normalize(sql) } else { None };
+        let prepared = PreparedStatement { sql: sql.into(), statement, norm };
+        self.warm_plan_cache(&prepared);
+        Ok(prepared)
+    }
+
+    /// Best-effort bind + optimize of a cacheable prepared SELECT into
+    /// the plan cache. Failures are swallowed: they will surface (typed)
+    /// when the statement is executed.
+    fn warm_plan_cache(&self, prepared: &PreparedStatement) {
+        let Some(norm) = &prepared.norm else { return };
+        if norm.kind != StatementKind::Select {
+            return;
+        }
+        let Statement::Select(sel) = &prepared.statement else { return };
+        if references_virtual(sel) {
+            return;
+        }
+        let Ok(plan) = Binder::new(&self.catalog).bind_select(sel) else { return };
+        let optimizer =
+            Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
+        let Ok(optimized) = optimizer.optimize(plan) else { return };
+        self.plan_cache
+            .insert(norm, self.config_fingerprint(), Arc::new(optimized));
+    }
+
+    /// Executes a prepared statement. The stored parse tree is reused and
+    /// the precomputed shape key routes SELECTs through the plan cache —
+    /// repeat executions skip parse, bind *and* optimize.
+    pub fn execute_prepared(&self, prepared: &PreparedStatement) -> Result<Response> {
+        let trace = lardb_obs::recorder().start(&prepared.sql, "embedded");
+        self.execute_inner(&prepared.sql, None, trace, Some(prepared))
+    }
+
+    /// [`Database::execute_prepared`] under an externally-owned cancel
+    /// token (sampling decides whether a trace is minted, as in
+    /// [`Database::execute_with_cancel`]).
+    pub fn execute_prepared_with_cancel(
+        &self,
+        prepared: &PreparedStatement,
+        cancel: &CancelToken,
+    ) -> Result<Response> {
+        let trace = lardb_obs::recorder().start(&prepared.sql, "embedded");
+        self.execute_inner(&prepared.sql, Some(cancel), trace, Some(prepared))
+    }
+
+    /// [`Database::execute_prepared`] under an externally-owned cancel
+    /// token and pre-minted flight-recorder trace — the query server's
+    /// `Execute` message lands here.
+    pub fn execute_prepared_with_trace(
+        &self,
+        prepared: &PreparedStatement,
+        cancel: &CancelToken,
+        trace: &Arc<lardb_obs::ActiveTrace>,
+    ) -> Result<Response> {
+        self.execute_inner(
+            &prepared.sql,
+            Some(cancel),
+            Some(Arc::clone(trace)),
+            Some(prepared),
+        )
     }
 
     fn execute_inner(
@@ -458,6 +580,7 @@ impl Database {
         sql: &str,
         cancel: Option<&CancelToken>,
         trace: Option<Arc<lardb_obs::ActiveTrace>>,
+        prepared: Option<&PreparedStatement>,
     ) -> Result<Response> {
         let t0 = Instant::now();
         if let Some(t) = &trace {
@@ -468,7 +591,7 @@ impl Database {
             .map(|t| lardb_obs::trace::push_current(Some(Arc::clone(t))));
         let sink = CollectingSink::new();
         let mut profile = QueryProfile::new(sql);
-        let result = self.execute_traced(sql, cancel, &sink, &mut profile);
+        let result = self.execute_traced(sql, cancel, &sink, &mut profile, prepared);
         profile.add_spans(&sink.take());
         if let (Some(t), Ok(Response::Rows(q))) = (&trace, &result) {
             t.add_rows(q.rows.len() as u64);
@@ -539,17 +662,44 @@ impl Database {
     }
 
     /// Statement dispatch with lifecycle spans recorded into `sink` and
-    /// per-operator estimate-vs-actual records into `profile`.
+    /// per-operator estimate-vs-actual records into `profile`. With
+    /// `prepared`, the stored parse tree and shape key are reused instead
+    /// of re-deriving them from `sql`.
     fn execute_traced(
         &self,
         sql: &str,
         cancel: Option<&CancelToken>,
         sink: &CollectingSink,
         profile: &mut QueryProfile,
+        prepared: Option<&PreparedStatement>,
     ) -> Result<Response> {
-        let statement = {
-            let _g = SpanGuard::enter(sink, Stage::Parse, "");
-            parse_statement(sql)?
+        let fingerprint = self.config_fingerprint();
+        let norm = match prepared {
+            Some(p) => p.norm.clone(),
+            None if self.plan_cache.enabled() => normalize(sql),
+            None => None,
+        };
+        // Fast path: a bare SELECT whose shape, literals, catalog version
+        // and config fingerprint are all cached skips parse, bind and
+        // optimize entirely — their lifecycle stages stay at the
+        // profile's pre-seeded zero, which is how the repeat-query bench
+        // verifies the elision. Cached shapes never reference virtual
+        // tables (gated at insert), so skipping their refresh is sound.
+        if let Some(n) = &norm {
+            if n.kind == StatementKind::Select {
+                if let Some(cached) = self.plan_cache.lookup(n, fingerprint) {
+                    let (result, _) =
+                        self.run_optimized(&cached, true, cancel, sink, profile)?;
+                    return Ok(Response::Rows(result));
+                }
+            }
+        }
+        let statement = match prepared {
+            Some(p) => p.statement.clone(),
+            None => {
+                let _g = SpanGuard::enter(sink, Stage::Parse, "");
+                parse_statement(sql)?
+            }
         };
         match statement {
             Statement::CreateTable { name, columns } => {
@@ -578,6 +728,7 @@ impl Database {
                 let n = result.rows.len();
                 table.insert_all(result.rows)?;
                 self.catalog.create_table(table)?;
+                self.plan_cache.bump(InvalidationReason::Ddl);
                 Ok(Response::Inserted(n))
             }
             Statement::CreateView { name, columns, query, sql } => {
@@ -594,14 +745,75 @@ impl Database {
                     }
                 }
                 self.catalog.create_view(&name, sql, columns)?;
+                self.plan_cache.bump(InvalidationReason::Ddl);
                 Ok(Response::Done)
             }
-            Statement::DropTable { name } => {
+            Statement::CreateMaterializedView { name, query, sql } => {
+                let plan = {
+                    let _g = SpanGuard::enter(sink, Stage::Bind, "");
+                    Binder::new(&self.catalog).bind_select(&query)?
+                };
+                // Lineage from the *bound* plan: views are expanded, so
+                // these are the base tables whose INSERTs must maintain
+                // the view.
+                let base_tables = crate::matview::scan_tables(&plan);
+                let (result, _) =
+                    self.run_traced(plan, /*gather=*/ false, cancel, sink, profile)?;
+                let mut table = Table::new(
+                    &name,
+                    result.schema.clone(),
+                    self.config.workers,
+                    Partitioning::RoundRobin,
+                );
+                let n = result.rows.len();
+                table.insert_all(result.rows)?;
+                self.catalog.create_table(table)?;
+                if let Err(e) =
+                    self.catalog.create_matview(&name, MatViewDef { sql, base_tables })
+                {
+                    let _ = self.catalog.drop_table(&name);
+                    return Err(e.into());
+                }
+                self.plan_cache.bump(InvalidationReason::Ddl);
+                lardb_obs::global().counter("mv.created").inc();
+                Ok(Response::Inserted(n))
+            }
+            Statement::DropMaterializedView { name } => {
+                if !self.catalog.has_matview(&name) {
+                    return Err(EngineError::Usage(format!(
+                        "no such materialized view: {name}"
+                    )));
+                }
+                self.catalog.drop_matview(&name)?;
                 self.catalog.drop_table(&name)?;
+                self.plan_cache.bump(InvalidationReason::Ddl);
+                Ok(Response::Done)
+            }
+            Statement::RefreshMaterializedView { name } => {
+                let n = self.recompute_matview(&name)?;
+                self.plan_cache.bump(InvalidationReason::Stats);
+                Ok(Response::Inserted(n))
+            }
+            Statement::DropTable { name } => {
+                if self.catalog.has_matview(&name) {
+                    return Err(EngineError::Usage(format!(
+                        "{name} is a materialized view; use DROP MATERIALIZED VIEW"
+                    )));
+                }
+                let dependents = self.catalog.matviews_on(&name);
+                if !dependents.is_empty() {
+                    return Err(EngineError::Usage(format!(
+                        "table {name} has dependent materialized views: {}",
+                        dependents.join(", ")
+                    )));
+                }
+                self.catalog.drop_table(&name)?;
+                self.plan_cache.bump(InvalidationReason::Ddl);
                 Ok(Response::Done)
             }
             Statement::DropView { name } => {
                 self.catalog.drop_view(&name)?;
+                self.plan_cache.bump(InvalidationReason::Ddl);
                 Ok(Response::Done)
             }
             Statement::Insert { table, rows } => {
@@ -619,15 +831,49 @@ impl Database {
                 }
                 let n = materialized.len();
                 let handle = self.catalog.table(&table)?;
-                handle.write().insert_all(materialized)?;
+                // Clone the delta only when some materialized view's
+                // lineage includes this table.
+                if self.catalog.matviews_on(&table).is_empty() {
+                    handle.write().insert_all(materialized)?;
+                } else {
+                    let delta = materialized.clone();
+                    handle.write().insert_all(materialized)?;
+                    self.maintain_matviews_on(&table, &delta)?;
+                }
+                self.plan_cache.bump(InvalidationReason::Stats);
                 Ok(Response::Inserted(n))
             }
             Statement::Select(sel) => {
                 self.refresh_virtual_tables(&sel)?;
+                let cacheable = norm
+                    .as_ref()
+                    .is_some_and(|n| n.kind == StatementKind::Select)
+                    && !references_virtual(&sel);
                 let plan = {
                     let _g = SpanGuard::enter(sink, Stage::Bind, "");
                     Binder::new(&self.catalog).bind_select(&sel)?
                 };
+                if cacheable {
+                    let optimized = {
+                        let _g = SpanGuard::enter(sink, Stage::Optimize, "");
+                        let optimizer = Optimizer::new(
+                            self.catalog.as_ref(),
+                            self.config.optimizer.clone(),
+                        );
+                        Arc::new(optimizer.optimize(plan)?)
+                    };
+                    self.plan_cache.insert(
+                        norm.as_ref().expect("cacheable implies normalized"),
+                        fingerprint,
+                        Arc::clone(&optimized),
+                    );
+                    let (result, _) =
+                        self.run_optimized(&optimized, true, cancel, sink, profile)?;
+                    return Ok(Response::Rows(result));
+                }
+                if self.plan_cache.enabled() {
+                    self.plan_cache.note_uncacheable();
+                }
                 let (result, _) = self.run_traced(plan, true, cancel, sink, profile)?;
                 Ok(Response::Rows(result))
             }
@@ -671,10 +917,47 @@ impl Database {
                     let _g = SpanGuard::enter(sink, Stage::Bind, "");
                     Binder::new(&self.catalog).bind_select(&query)?
                 };
-                let mut text = self.explain_logical(plan.clone())?;
+                // EXPLAIN shares the wrapped SELECT's cache shape (the
+                // prefix is stripped during normalization): a hit reuses
+                // the cached optimized plan and says so; a miss seeds the
+                // cache for the bare statement.
+                let cacheable = norm.is_some() && !references_virtual(&query);
+                let (optimized, cache_note) = if cacheable {
+                    let n = norm.as_ref().expect("cacheable implies normalized");
+                    match self.plan_cache.lookup(n, fingerprint) {
+                        Some(cached) => (cached, "hit"),
+                        None => {
+                            let optimized = {
+                                let _g = SpanGuard::enter(sink, Stage::Optimize, "");
+                                let optimizer = Optimizer::new(
+                                    self.catalog.as_ref(),
+                                    self.config.optimizer.clone(),
+                                );
+                                Arc::new(optimizer.optimize(plan)?)
+                            };
+                            self.plan_cache.insert(n, fingerprint, Arc::clone(&optimized));
+                            (optimized, "miss")
+                        }
+                    }
+                } else {
+                    let optimized = {
+                        let _g = SpanGuard::enter(sink, Stage::Optimize, "");
+                        let optimizer = Optimizer::new(
+                            self.catalog.as_ref(),
+                            self.config.optimizer.clone(),
+                        );
+                        Arc::new(optimizer.optimize(plan)?)
+                    };
+                    (optimized, "off")
+                };
+                let mut text = self.explain_optimized(&optimized)?;
+                if !text.ends_with('\n') {
+                    text.push('\n');
+                }
+                text.push_str(&format!("plan cache: {cache_note}\n"));
                 if analyze {
                     let (result, operators) =
-                        self.run_traced(plan, true, cancel, sink, profile)?;
+                        self.run_optimized(&optimized, true, cancel, sink, profile)?;
                     if !text.ends_with('\n') {
                         text.push('\n');
                     }
@@ -742,8 +1025,15 @@ impl Database {
         let optimizer =
             Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
         let optimized = optimizer.optimize(plan)?;
+        self.explain_optimized(&optimized)
+    }
+
+    /// Renders the EXPLAIN text for an already-optimized plan (the
+    /// statement path arrives here with a cached or freshly-optimized
+    /// plan in hand).
+    fn explain_optimized(&self, optimized: &LogicalPlan) -> Result<String> {
         let mut pp = PhysicalPlanner::new(&self.catalog, self.catalog.as_ref());
-        let physical = pp.plan_gathered(&optimized)?;
+        let physical = pp.plan_gathered(optimized)?;
         Ok(format!(
             "== Optimized Logical Plan ==\n{}\n== Physical Plan ==\n{}",
             optimized.display_tree(),
@@ -772,7 +1062,7 @@ impl Database {
     /// Actual bytes are the metered shuffle bytes for exchanges; other
     /// operators don't move data across workers, so their "actual" bytes
     /// are derived as measured rows × the cost model's row width.
-    fn run_traced(
+    pub(crate) fn run_traced(
         &self,
         plan: LogicalPlan,
         gather: bool,
@@ -786,13 +1076,28 @@ impl Database {
                 Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
             optimizer.optimize(plan)?
         };
+        self.run_optimized(&optimized, gather, cancel, sink, profile)
+    }
+
+    /// The back half of [`Database::run_traced`] from an already-optimized
+    /// plan: physical planning and execution under their spans. Plan-cache
+    /// hits enter here directly, which is exactly what makes the
+    /// parse/bind/optimize stages disappear from their profiles.
+    fn run_optimized(
+        &self,
+        optimized: &LogicalPlan,
+        gather: bool,
+        cancel: Option<&CancelToken>,
+        sink: &CollectingSink,
+        profile: &mut QueryProfile,
+    ) -> Result<(QueryResult, Vec<OperatorProfile>)> {
         let (physical, estimates) = {
             let _g = SpanGuard::enter(sink, Stage::Plan, "");
             let mut pp = PhysicalPlanner::new(&self.catalog, self.catalog.as_ref());
             let physical = if gather {
-                pp.plan_gathered(&optimized)?
+                pp.plan_gathered(optimized)?
             } else {
-                pp.plan(&optimized)?
+                pp.plan(optimized)?
             };
             let estimates = pp.estimates(&physical);
             (physical, estimates)
@@ -876,25 +1181,59 @@ impl Database {
     ) -> Result<()> {
         let table = Table::new(name, schema, self.config.workers, partitioning);
         self.catalog.create_table(table)?;
+        self.plan_cache.bump(InvalidationReason::Ddl);
         Ok(())
     }
 
     /// Programmatic bulk load (used by generators: vectors and matrices
-    /// cannot be written as SQL literals).
+    /// cannot be written as SQL literals). Maintains materialized views
+    /// over the table and invalidates the plan cache's stats version,
+    /// like SQL `INSERT`.
     pub fn insert_rows(
         &self,
         table: &str,
         rows: impl IntoIterator<Item = Row>,
     ) -> Result<usize> {
+        let materialized: Vec<Row> = rows.into_iter().collect();
+        let n = materialized.len();
         let handle = self.catalog.table(table)?;
-        let mut guard = handle.write();
-        let mut n = 0;
-        for r in rows {
-            guard.insert(r)?;
-            n += 1;
+        if self.catalog.matviews_on(table).is_empty() {
+            handle.write().insert_all(materialized)?;
+        } else {
+            let delta = materialized.clone();
+            handle.write().insert_all(materialized)?;
+            self.maintain_matviews_on(table, &delta)?;
         }
+        self.plan_cache.bump(InvalidationReason::Stats);
         Ok(n)
     }
+}
+
+/// A statement prepared once via [`Database::prepare`]: the parse tree
+/// and plan-cache shape key are stored, so executing it never re-parses
+/// and SELECT shapes go straight to the plan cache.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    sql: Arc<str>,
+    statement: Statement,
+    norm: Option<NormalizedStatement>,
+}
+
+impl PreparedStatement {
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+}
+
+/// True when the SELECT references any auto-materialized introspection
+/// table. Their contents change between executions (each reference
+/// re-snapshots live engine state from the AST), so plans over them must
+/// never be served from the cache.
+fn references_virtual(sel: &SelectStatement) -> bool {
+    ["metrics", "queries", "sessions"]
+        .iter()
+        .any(|t| references_table(sel, t))
 }
 
 /// True when the SELECT references `name` in any FROM clause, including

@@ -34,10 +34,13 @@
 
 pub mod database;
 pub mod error;
+mod matview;
+pub mod plan_cache;
 pub mod sessions;
 
-pub use database::{Database, DatabaseConfig, QueryResult, Response};
+pub use database::{Database, DatabaseConfig, PreparedStatement, QueryResult, Response};
 pub use error::{EngineError, Result};
+pub use plan_cache::{CacheStats, InvalidationReason, PlanCache};
 pub use sessions::{SessionRegistry, SessionSnapshot};
 
 // Re-exports for downstream convenience (examples, benches, tests).

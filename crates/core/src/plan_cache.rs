@@ -1,0 +1,427 @@
+//! Normalized plan cache: repeat statements skip parse/bind/optimize.
+//!
+//! At production traffic most statements are repeats, so the front half
+//! of the lifecycle (parse → bind → optimize) is pure overhead after the
+//! first execution. The cache keys on the statement's **shape** — its
+//! token stream with literals replaced by `?` and identifiers lowercased
+//! — plus the *exact literal values*, a monotonic catalog version, and a
+//! fingerprint of the plan-relevant configuration knobs. Keying on the
+//! exact literal vector (Oracle-style cursor sharing, narrowed to exact
+//! matches) makes reuse sound by construction: a cached optimized
+//! [`LogicalPlan`] is only ever replayed for a statement whose literals
+//! are identical, so constant folding, `LIMIT` counts and `ORDER BY`
+//! ordinals baked into the plan are all still correct.
+//!
+//! Invalidation is **typed**, never a silent truncation: every DDL or
+//! stats-changing event calls [`PlanCache::bump`] with an
+//! [`InvalidationReason`], which advances the version (making every older
+//! key unreachable) and counts the reason under
+//! `cache.invalidations.<reason>`. Stale entries are then recycled by the
+//! bounded LRU like any cold entry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lardb_planner::LogicalPlan;
+use lardb_sql::lexer::{tokenize, Token};
+
+/// Default cache capacity (entries) when `LARDB_PLAN_CACHE` is unset.
+pub const DEFAULT_PLAN_CACHE_ENTRIES: usize = 256;
+
+/// A literal value captured during normalization. Floats are stored as
+/// raw bits so the key is `Eq + Hash` and `-0.0`/`NaN` variants never
+/// alias each other.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal, by bit pattern.
+    Float(u64),
+    /// String literal.
+    Str(String),
+}
+
+/// Which statement wrapper preceded the SELECT body, so `EXPLAIN ANALYZE
+/// SELECT …` shares a shape with the bare `SELECT …` without the hit
+/// fast-path short-circuiting non-SELECT responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    /// A bare SELECT: eligible for the full skip-parse/bind/optimize path.
+    Select,
+    /// `EXPLAIN [ANALYZE|TRACE] SELECT …`: shares the SELECT's shape (for
+    /// the cache-hit annotation and optimize reuse) but must still run
+    /// the explain machinery.
+    Explain,
+}
+
+/// A statement shape: the normalized token string plus the captured
+/// literal vector, computed **without parsing**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedStatement {
+    /// Token shape with literals parameterized as `?`.
+    pub shape: String,
+    /// The literal values, in token order.
+    pub literals: Vec<Literal>,
+    /// Bare SELECT or EXPLAIN-wrapped.
+    pub kind: StatementKind,
+}
+
+/// Normalizes a statement into its cache shape. Returns `None` for
+/// statements that are not SELECT-shaped (DDL, INSERT, SHOW, KILL, …) or
+/// that fail to tokenize — those always take the full path.
+pub fn normalize(sql: &str) -> Option<NormalizedStatement> {
+    let tokens = tokenize(sql).ok()?;
+    let mut shape = String::with_capacity(sql.len());
+    let mut literals = Vec::new();
+    let mut it = tokens.iter().map(|s| &s.token).peekable();
+    // Strip an EXPLAIN [ANALYZE|TRACE] prefix so the wrapped SELECT
+    // shares its shape with the bare statement.
+    let mut kind = StatementKind::Select;
+    if matches!(it.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("EXPLAIN")) {
+        it.next();
+        kind = StatementKind::Explain;
+        if matches!(it.peek(), Some(Token::Ident(s))
+            if s.eq_ignore_ascii_case("ANALYZE") || s.eq_ignore_ascii_case("TRACE"))
+        {
+            it.next();
+        }
+    }
+    match it.peek() {
+        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("SELECT") => {}
+        _ => return None,
+    }
+    for token in it {
+        match token {
+            Token::Int(v) => {
+                literals.push(Literal::Int(*v));
+                shape.push_str("? ");
+            }
+            Token::Float(v) => {
+                literals.push(Literal::Float(v.to_bits()));
+                shape.push_str("? ");
+            }
+            Token::Str(s) => {
+                literals.push(Literal::Str(s.clone()));
+                shape.push_str("? ");
+            }
+            Token::Ident(s) => {
+                shape.push_str(&s.to_ascii_lowercase());
+                shape.push(' ');
+            }
+            Token::Semicolon => {} // optional trailing `;` is not shape
+            other => {
+                shape.push_str(symbol(other));
+                shape.push(' ');
+            }
+        }
+    }
+    Some(NormalizedStatement { shape, literals, kind })
+}
+
+fn symbol(t: &Token) -> &'static str {
+    match t {
+        Token::LParen => "(",
+        Token::RParen => ")",
+        Token::LBracket => "[",
+        Token::RBracket => "]",
+        Token::Comma => ",",
+        Token::Dot => ".",
+        Token::Star => "*",
+        Token::Plus => "+",
+        Token::Minus => "-",
+        Token::Slash => "/",
+        Token::Eq => "=",
+        Token::NotEq => "<>",
+        Token::Lt => "<",
+        Token::LtEq => "<=",
+        Token::Gt => ">",
+        Token::GtEq => ">=",
+        // Literals, idents and `;` are handled by the caller.
+        Token::Ident(_) | Token::Int(_) | Token::Float(_) | Token::Str(_)
+        | Token::Semicolon => "",
+    }
+}
+
+/// Why the cache version was bumped. Each reason has its own counter so
+/// `SHOW METRICS` distinguishes schema changes from stats drift from
+/// configuration changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationReason {
+    /// Schema change: CREATE/DROP of tables, views or materialized views.
+    Ddl,
+    /// Statistics change: INSERT / bulk load (cardinalities moved, so a
+    /// cached join order may no longer be the optimizer's choice).
+    Stats,
+    /// Configuration change affecting planning (e.g. optimizer knobs).
+    Config,
+}
+
+impl InvalidationReason {
+    fn metric(self) -> &'static str {
+        match self {
+            InvalidationReason::Ddl => "cache.invalidations.ddl",
+            InvalidationReason::Stats => "cache.invalidations.stats",
+            InvalidationReason::Config => "cache.invalidations.config",
+        }
+    }
+}
+
+/// Full cache key: shape + exact literals + catalog version + config
+/// fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    shape: String,
+    literals: Vec<Literal>,
+    version: u64,
+    fingerprint: u64,
+}
+
+struct Entry {
+    plan: Arc<LogicalPlan>,
+    last_used: u64,
+}
+
+/// Point-in-time counters for tests and introspection (per cache, unlike
+/// the process-global metrics registry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a plan.
+    pub hits: u64,
+    /// Lookups that found nothing (including version/fingerprint misses).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Version bumps, all reasons.
+    pub invalidations: u64,
+    /// Current live entries (including unreachable stale versions not yet
+    /// recycled).
+    pub entries: usize,
+}
+
+/// A bounded LRU cache of optimized logical plans, shared by every clone
+/// of a [`crate::Database`]. Thread-safe; lookups and inserts take one
+/// short mutex hold.
+pub struct PlanCache {
+    capacity: usize,
+    version: AtomicU64,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    entries: Mutex<HashMap<CacheKey, Entry>>,
+}
+
+impl PlanCache {
+    /// A cache bounded at `capacity` entries; 0 disables caching (every
+    /// lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            version: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether caching is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The current catalog version (part of every key, so bumping it
+    /// makes all older entries unreachable).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Typed invalidation: advances the version and counts the reason.
+    pub fn bump(&self, reason: InvalidationReason) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        let registry = lardb_obs::global();
+        registry.counter(reason.metric()).inc();
+        registry.counter("cache.invalidations").inc();
+    }
+
+    fn key(&self, norm: &NormalizedStatement, fingerprint: u64) -> CacheKey {
+        CacheKey {
+            shape: norm.shape.clone(),
+            literals: norm.literals.clone(),
+            version: self.version(),
+            fingerprint,
+        }
+    }
+
+    /// Looks up the optimized plan for a normalized statement under the
+    /// current version. Counts a hit or miss.
+    pub fn lookup(
+        &self,
+        norm: &NormalizedStatement,
+        fingerprint: u64,
+    ) -> Option<Arc<LogicalPlan>> {
+        if !self.enabled() {
+            return None;
+        }
+        let key = self.key(norm, fingerprint);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                lardb_obs::global().counter("cache.hits").inc();
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                lardb_obs::global().counter("cache.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts an optimized plan under the current version, evicting the
+    /// least-recently-used entry when full.
+    pub fn insert(
+        &self,
+        norm: &NormalizedStatement,
+        fingerprint: u64,
+        plan: Arc<LogicalPlan>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let key = self.key(norm, fingerprint);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if !entries.contains_key(&key) && entries.len() >= self.capacity {
+            // Evict the LRU entry. Capacities are small (hundreds), so a
+            // linear scan on the rare full-insert beats maintaining an
+            // order list on every lookup.
+            if let Some(victim) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                lardb_obs::global().counter("cache.evictions").inc();
+            }
+        }
+        entries.insert(
+            key,
+            Entry { plan, last_used: self.tick.fetch_add(1, Ordering::Relaxed) },
+        );
+    }
+
+    /// Counts a statement that could not be cached (non-SELECT shape,
+    /// virtual-table reference, bind failure).
+    pub fn note_uncacheable(&self) {
+        lardb_obs::global().counter("cache.uncacheable").inc();
+    }
+
+    /// Point-in-time stats snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lardb_storage::Schema;
+
+    fn plan() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan { table: "t".into(), schema: Schema::default() })
+    }
+
+    #[test]
+    fn shapes_share_across_whitespace_case_and_explain() {
+        let a = normalize("SELECT id FROM t WHERE id = 1").unwrap();
+        let b = normalize("select  ID\nfrom T where ID=1 ;").unwrap();
+        assert_eq!(a.shape, b.shape);
+        assert_eq!(a.literals, b.literals);
+        assert_eq!(a.kind, StatementKind::Select);
+        let e = normalize("EXPLAIN ANALYZE SELECT id FROM t WHERE id = 1").unwrap();
+        assert_eq!(e.shape, a.shape);
+        assert_eq!(e.kind, StatementKind::Explain);
+    }
+
+    #[test]
+    fn literals_discriminate_variants() {
+        let a = normalize("SELECT id FROM t WHERE id = 1").unwrap();
+        let b = normalize("SELECT id FROM t WHERE id = 2").unwrap();
+        assert_eq!(a.shape, b.shape);
+        assert_ne!(a.literals, b.literals);
+        // Float bit-patterns: 0.0 and -0.0 are distinct variants.
+        let p = normalize("SELECT v FROM t WHERE v > 0.0").unwrap();
+        let n = normalize("SELECT v FROM t WHERE v > -0.0").unwrap();
+        // `-` is a separate token, so the shapes differ too — either way
+        // these must never alias.
+        assert!(p.shape != n.shape || p.literals != n.literals);
+    }
+
+    #[test]
+    fn non_selects_do_not_normalize() {
+        assert!(normalize("INSERT INTO t VALUES (1)").is_none());
+        assert!(normalize("CREATE TABLE t (id INTEGER)").is_none());
+        assert!(normalize("SHOW METRICS").is_none());
+        assert!(normalize("KILL 3").is_none());
+        assert!(normalize("not even ' sql").is_none());
+    }
+
+    #[test]
+    fn lookup_insert_and_version_bump() {
+        let cache = PlanCache::new(4);
+        let norm = normalize("SELECT id FROM t").unwrap();
+        assert!(cache.lookup(&norm, 7).is_none());
+        cache.insert(&norm, 7, plan());
+        assert!(cache.lookup(&norm, 7).is_some());
+        // A different config fingerprint is a different key.
+        assert!(cache.lookup(&norm, 8).is_none());
+        // A version bump makes the entry unreachable.
+        cache.bump(InvalidationReason::Ddl);
+        assert!(cache.lookup(&norm, 7).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded() {
+        let cache = PlanCache::new(2);
+        let a = normalize("SELECT a FROM t").unwrap();
+        let b = normalize("SELECT b FROM t").unwrap();
+        let c = normalize("SELECT c FROM t").unwrap();
+        cache.insert(&a, 0, plan());
+        cache.insert(&b, 0, plan());
+        assert!(cache.lookup(&a, 0).is_some()); // touch a → b is LRU
+        cache.insert(&c, 0, plan());
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&b, 0).is_none(), "LRU victim was b");
+        assert!(cache.lookup(&a, 0).is_some());
+        assert!(cache.lookup(&c, 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PlanCache::new(0);
+        let norm = normalize("SELECT a FROM t").unwrap();
+        cache.insert(&norm, 0, plan());
+        assert!(!cache.enabled());
+        assert!(cache.lookup(&norm, 0).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

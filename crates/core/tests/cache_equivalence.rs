@@ -1,0 +1,304 @@
+//! Plan-cache and materialized-view equivalence tests.
+//!
+//! The plan cache must be a pure performance change: a warm (cached)
+//! execution must return bit-identical rows to the cold run that seeded
+//! it, across worker counts and schedulers. Materialized-view delta
+//! maintenance must be bit-identical to recomputing the defining query
+//! from scratch — the test data uses dyadic rationals so float
+//! aggregation is exact and "bit-identical" is meaningful.
+
+use lardb::{Database, DatabaseConfig, Response, SchedulerMode, Value};
+
+/// Canonical, bit-exact rendering of a result row: doubles render as
+/// their IEEE-754 bit pattern so `0.1 + 0.2`-style drift can't hide
+/// behind display rounding.
+fn canon_rows(result: &lardb::QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = result
+        .rows
+        .iter()
+        .map(|row| {
+            row.values()
+                .iter()
+                .map(|v| match v {
+                    Value::Double(d) => format!("f64:{:016x}", d.to_bits()),
+                    other => format!("{other:?}"),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn config(workers: usize, scheduler: SchedulerMode) -> DatabaseConfig {
+    // Pin the capacity: these tests assert hit/miss counters, so they
+    // must not inherit a `LARDB_PLAN_CACHE` override from the
+    // environment (CI runs the tier-1 suites with the cache forced off
+    // and forced tiny).
+    DatabaseConfig { workers, scheduler, plan_cache_entries: 256, ..DatabaseConfig::default() }
+}
+
+/// A small schema exercised by every test: a fact table with integer
+/// keys and dyadic-rational doubles, plus a dimension to join against.
+fn seed_db(config: DatabaseConfig) -> Database {
+    let db = Database::with_config(config);
+    db.execute("CREATE TABLE facts (id INTEGER, g INTEGER, v DOUBLE)").unwrap();
+    let mut values = Vec::new();
+    for i in 0..200i64 {
+        // 0.25 steps: exactly representable, so SUM/AVG are exact.
+        values.push(format!("({}, {}, {})", i, i % 5, (i as f64) * 0.25));
+    }
+    db.execute(&format!("INSERT INTO facts VALUES {}", values.join(", "))).unwrap();
+    db.execute("CREATE TABLE dims (g INTEGER, label INTEGER)").unwrap();
+    db.execute("INSERT INTO dims VALUES (0, 100), (1, 101), (2, 102), (3, 103), (4, 104)")
+        .unwrap();
+    db
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT id, v * 2 AS vv FROM facts WHERE id >= 150",
+    "SELECT g, COUNT(*) AS c, SUM(v) AS s FROM facts GROUP BY g",
+    "SELECT COUNT(*) AS n, SUM(g) AS sg FROM facts",
+    "SELECT f.id, d.label FROM facts AS f, dims AS d WHERE f.g = d.g AND f.id >= 190",
+];
+
+#[test]
+fn cached_matches_cold_across_schedulers() {
+    for workers in [1usize, 4] {
+        for scheduler in [SchedulerMode::Pool, SchedulerMode::Spawn] {
+            let db = seed_db(config(workers, scheduler));
+            for q in QUERIES {
+                let cold = db.query(q).unwrap();
+                let misses = db.plan_cache_stats().misses;
+                let warm = db.query(q).unwrap();
+                let stats = db.plan_cache_stats();
+                assert_eq!(
+                    canon_rows(&cold),
+                    canon_rows(&warm),
+                    "W={workers} scheduler={scheduler:?} query={q}"
+                );
+                assert!(stats.hits >= 1, "second run should hit: {q}");
+                assert_eq!(stats.misses, misses, "second run re-missed: {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn literal_variants_do_not_collide() {
+    // Same shape, different literals: both hit the cold path once, and
+    // neither is served the other's rows.
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    let one = db.query("SELECT id FROM facts WHERE id = 1").unwrap();
+    let two = db.query("SELECT id FROM facts WHERE id = 2").unwrap();
+    assert_eq!(one.rows.len(), 1);
+    assert_eq!(two.rows.len(), 1);
+    assert_eq!(one.rows[0].value(0).as_integer(), Some(1));
+    assert_eq!(two.rows[0].value(0).as_integer(), Some(2));
+    // And each variant is independently cached.
+    let before = db.plan_cache_stats().hits;
+    db.query("SELECT id FROM facts WHERE id = 1").unwrap();
+    db.query("SELECT id FROM facts WHERE id = 2").unwrap();
+    assert_eq!(db.plan_cache_stats().hits, before + 2);
+}
+
+#[test]
+fn ddl_invalidates_cached_plans() {
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    let q = "SELECT g, COUNT(*) AS c FROM facts GROUP BY g";
+    db.query(q).unwrap();
+    db.query(q).unwrap();
+    let warm = db.plan_cache_stats();
+    assert!(warm.hits >= 1);
+    // DDL bumps the catalog version: the old key is unreachable.
+    db.execute("CREATE TABLE unrelated (x INTEGER)").unwrap();
+    let misses = db.plan_cache_stats().misses;
+    db.query(q).unwrap();
+    let stats = db.plan_cache_stats();
+    assert_eq!(stats.misses, misses + 1, "post-DDL run must re-plan");
+    assert!(stats.invalidations >= 1);
+}
+
+#[test]
+fn prepared_statement_reexecution_hits_cache() {
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    let prepared = db.prepare("SELECT id, v FROM facts WHERE id >= 195").unwrap();
+    // Prepare warmed the cache, so even the *first* execute is a hit.
+    let before = db.plan_cache_stats();
+    let first = match db.execute_prepared(&prepared).unwrap() {
+        Response::Rows(r) => r,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    let second = match db.execute_prepared(&prepared).unwrap() {
+        Response::Rows(r) => r,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    let stats = db.plan_cache_stats();
+    assert_eq!(canon_rows(&first), canon_rows(&second));
+    assert_eq!(first.rows.len(), 5);
+    assert_eq!(stats.hits, before.hits + 2, "both executions should hit");
+    assert_eq!(stats.misses, before.misses, "executions must not re-plan");
+}
+
+#[test]
+fn explain_analyze_reports_cache_hit() {
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    let q = "SELECT g, SUM(v) AS s FROM facts GROUP BY g";
+    db.query(q).unwrap(); // seeds the cache
+    let text = match db.execute(&format!("EXPLAIN ANALYZE {q}")).unwrap() {
+        Response::Explained(t) => t,
+        other => panic!("expected explain text, got {other:?}"),
+    };
+    assert!(
+        text.contains("plan cache: hit"),
+        "EXPLAIN ANALYZE should note the cache hit:\n{text}"
+    );
+}
+
+#[test]
+fn disabled_cache_is_correct_and_silent() {
+    let db = seed_db(DatabaseConfig {
+        workers: 2,
+        plan_cache_entries: 0,
+        ..DatabaseConfig::default()
+    });
+    for q in QUERIES {
+        let a = db.query(q).unwrap();
+        let b = db.query(q).unwrap();
+        assert_eq!(canon_rows(&a), canon_rows(&b), "query={q}");
+    }
+    let stats = db.plan_cache_stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.entries, 0);
+}
+
+/// Every materialized-view shape: after an INSERT into the base table,
+/// the maintained MV contents must be bit-identical to recomputing the
+/// defining query from the current base data.
+#[test]
+fn mv_incremental_refresh_matches_recompute() {
+    let cases: &[(&str, &str, &str)] = &[
+        // Append-only: filter + project distributes over union.
+        (
+            "mv_append",
+            "SELECT id, v * 2 AS vv FROM facts WHERE g = 1",
+            "SELECT id, vv FROM mv_append",
+        ),
+        // Mergeable grouped aggregates: stored rows are merge states.
+        (
+            "mv_merge",
+            "SELECT g, COUNT(*) AS c, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi \
+             FROM facts GROUP BY g",
+            "SELECT g, c, s, lo, hi FROM mv_merge",
+        ),
+        // Global (group-less) mergeable aggregate.
+        (
+            "mv_global",
+            "SELECT COUNT(*) AS n, SUM(v) AS s FROM facts",
+            "SELECT n, s FROM mv_global",
+        ),
+        // Non-incrementalizable (AVG): falls back to full recompute.
+        (
+            "mv_avg",
+            "SELECT g, AVG(v) AS a FROM facts GROUP BY g",
+            "SELECT g, a FROM mv_avg",
+        ),
+        // Join view: append-able when the base appears once.
+        (
+            "mv_join",
+            "SELECT f.id, d.label FROM facts AS f, dims AS d \
+             WHERE f.g = d.g AND f.id >= 150",
+            "SELECT id, label FROM mv_join",
+        ),
+    ];
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    for (name, defining, _) in cases {
+        db.execute(&format!("CREATE MATERIALIZED VIEW {name} AS {defining}")).unwrap();
+    }
+    // Deltas hit both grouped and filtered shapes: existing groups grow,
+    // a brand-new group (g has no 7 yet ⇒ joins produce nothing for it)
+    // appears, and dyadic values keep the arithmetic exact.
+    db.execute(
+        "INSERT INTO facts VALUES \
+         (500, 1, 0.5), (501, 1, 128.25), (502, 7, 2.75), (503, 4, 0.125)",
+    )
+    .unwrap();
+    for (name, defining, read_back) in cases {
+        let maintained = db.query(read_back).unwrap();
+        let recomputed = db.query(defining).unwrap();
+        assert_eq!(
+            canon_rows(&maintained),
+            canon_rows(&recomputed),
+            "mv {name} diverged from recompute after INSERT"
+        );
+    }
+    // A second wave, through the non-SQL insert path too.
+    db.execute("INSERT INTO facts VALUES (600, 7, 64.5), (601, 0, 0.0625)").unwrap();
+    for (name, defining, read_back) in cases {
+        let maintained = db.query(read_back).unwrap();
+        let recomputed = db.query(defining).unwrap();
+        assert_eq!(
+            canon_rows(&maintained),
+            canon_rows(&recomputed),
+            "mv {name} diverged after second INSERT"
+        );
+    }
+}
+
+#[test]
+fn refresh_statement_matches_recompute() {
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv_r AS \
+         SELECT g, SUM(v) AS s FROM facts GROUP BY g",
+    )
+    .unwrap();
+    db.execute("INSERT INTO facts VALUES (900, 2, 12.5)").unwrap();
+    // Explicit REFRESH recomputes from scratch; contents must match both
+    // the incremental state and a fresh run of the defining query.
+    match db.execute("REFRESH MATERIALIZED VIEW mv_r").unwrap() {
+        Response::Inserted(n) => assert!(n >= 1),
+        other => panic!("expected row count, got {other:?}"),
+    }
+    let refreshed = db.query("SELECT g, s FROM mv_r").unwrap();
+    let recomputed = db.query("SELECT g, SUM(v) AS s FROM facts GROUP BY g").unwrap();
+    assert_eq!(canon_rows(&refreshed), canon_rows(&recomputed));
+}
+
+#[test]
+fn drop_guards_protect_matviews_and_bases() {
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    db.execute("CREATE MATERIALIZED VIEW mv_g AS SELECT id FROM facts WHERE g = 0")
+        .unwrap();
+    // The backing table is not a plain table.
+    let err = db.execute("DROP TABLE mv_g").unwrap_err().to_string();
+    assert!(err.contains("MATERIALIZED"), "unexpected error: {err}");
+    // The base can't be dropped out from under its dependents.
+    let err = db.execute("DROP TABLE facts").unwrap_err().to_string();
+    assert!(err.contains("mv_g"), "unexpected error: {err}");
+    // Dropping the view releases the base.
+    db.execute("DROP MATERIALIZED VIEW mv_g").unwrap();
+    db.execute("DROP TABLE facts").unwrap();
+}
+
+#[test]
+fn cache_and_mv_metrics_surface_in_show_metrics() {
+    let db = seed_db(config(2, SchedulerMode::Pool));
+    db.execute("CREATE MATERIALIZED VIEW mv_m AS SELECT g, SUM(v) AS s FROM facts GROUP BY g")
+        .unwrap();
+    db.execute("INSERT INTO facts VALUES (700, 1, 1.5)").unwrap();
+    let q = "SELECT COUNT(*) AS n FROM facts";
+    db.query(q).unwrap();
+    db.query(q).unwrap();
+    let r = db.query("SHOW METRICS").unwrap();
+    let names: Vec<String> =
+        r.rows.iter().map(|row| row.value(0).to_string()).collect();
+    for metric in ["cache.hits", "cache.misses", "mv.created", "mv.refresh_rows"] {
+        assert!(
+            names.iter().any(|n| n == metric),
+            "metric {metric} missing from SHOW METRICS: {names:?}"
+        );
+    }
+}

@@ -209,14 +209,14 @@ fn arith_lane(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
             }?;
             Ok(Value::vector(out))
         }
-        (Value::Vector(v), s) if s.as_double().is_some() => {
-            let s = s.as_double().expect("checked");
-            Ok(Value::vector(v.map(|x| apply_f64(op, x, s))))
-        }
-        (s, Value::Vector(v)) if s.as_double().is_some() => {
-            let s = s.as_double().expect("checked");
-            Ok(Value::vector(v.map(|x| apply_f64(op, s, x))))
-        }
+        (Value::Vector(v), s) => match s.as_double() {
+            Some(s) => Ok(Value::vector(v.map(|x| apply_f64(op, x, s)))),
+            None => Ok(ops::arith(op, l, r)?),
+        },
+        (s, Value::Vector(v)) => match s.as_double() {
+            Some(s) => Ok(Value::vector(v.map(|x| apply_f64(op, s, x)))),
+            None => Ok(ops::arith(op, l, r)?),
+        },
         _ => Ok(ops::arith(op, l, r)?),
     }
 }

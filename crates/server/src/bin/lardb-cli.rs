@@ -402,6 +402,7 @@ fn parse_engine_flag(
                 .unwrap_or_else(|| usage());
         }
         "--batch-rows" => config.batch_rows = std::cmp::max(1, next_parsed(argv)),
+        "--plan-cache-entries" => config.plan_cache_entries = next_parsed(argv),
         "--gemm-par-flops" => config.gemm_parallel_flops = Some(next_parsed(argv)),
         "--net-timeout-ms" => config.net.timeout_ms = next_parsed(argv),
         "--max-frame-bytes" => config.net.max_frame_bytes = next_parsed(argv),
@@ -468,7 +469,7 @@ fn usage() -> ! {
          engine flags: [--workers N] [--transport pointer|serialized|tcp] \
          [--slow-ms MS] [--pool-workers N] [--morsel-rows N] \
          [--scheduler pool|spawn] [--expr-engine compiled|interpret] \
-         [--batch-rows N] [--gemm-par-flops N] \
+         [--batch-rows N] [--plan-cache-entries N (0 = off)] [--gemm-par-flops N] \
          [--net-timeout-ms MS] [--max-frame-bytes N] \
          [--fault-kind drop|truncate|corrupt|delay|kill] [--fault-seed N] \
          [--fault-rate-ppm N] [--fault-after N] \

@@ -10,12 +10,13 @@
 //! finished, so governor reservations and spill files are provably
 //! released before the session is deregistered.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use lardb::{CancelToken, Database, EngineError, QueryResult, Response};
+use lardb::{CancelToken, Database, EngineError, PreparedStatement, QueryResult, Response};
 use lardb_exec::ExecError;
 use lardb_net::codec::{checksum_update, FinSummary, Frame, CHECKSUM_SEED};
 use lardb_net::{msg, Message};
@@ -122,7 +123,12 @@ fn serve_session(
     session_id: u64,
     tenant: &str,
 ) {
-    let mut prepared: Vec<(u64, String)> = Vec::new();
+    // Statements prepared on this session: parsed (and, for cacheable
+    // SELECTs, bound + optimized into the shared plan cache) exactly once
+    // at Prepare; every Execute reuses the stored handle instead of
+    // re-planning the SQL text. Keyed by statement id — sessions
+    // accumulate statements, so lookup must not degrade linearly.
+    let mut prepared: HashMap<u64, PreparedStatement> = HashMap::new();
     let mut next_stmt: u64 = 1;
     loop {
         match recv_message(stream) {
@@ -134,16 +140,16 @@ fn serve_session(
             Ok(Recv::Closed) | Err(_) => return,
             Ok(Recv::Msg(message)) => match message {
                 Message::Query { sql } => {
-                    if run_query(shared, db, stream, session_id, tenant, &sql).is_err() {
+                    if run_query(shared, db, stream, session_id, tenant, &sql, None).is_err() {
                         return;
                     }
                 }
                 Message::Prepare { sql } => {
-                    let reply = match lardb_sql::parse_statement(&sql) {
-                        Ok(_) => {
+                    let reply = match db.prepare(&sql) {
+                        Ok(stmt) => {
                             let id = next_stmt;
                             next_stmt += 1;
-                            prepared.push((id, sql));
+                            prepared.insert(id, stmt);
                             Message::Ok { code: msg::OK_PREPARED, value: id, text: String::new() }
                         }
                         Err(e) => {
@@ -155,10 +161,20 @@ fn serve_session(
                     }
                 }
                 Message::Execute { stmt_id } => {
-                    let sql = prepared.iter().find(|(id, _)| *id == stmt_id).map(|(_, s)| s.clone());
-                    match sql {
-                        Some(sql) => {
-                            if run_query(shared, db, stream, session_id, tenant, &sql).is_err() {
+                    match prepared.get(&stmt_id) {
+                        Some(stmt) => {
+                            let stmt = stmt.clone();
+                            if run_query(
+                                shared,
+                                db,
+                                stream,
+                                session_id,
+                                tenant,
+                                stmt.sql(),
+                                Some(&stmt),
+                            )
+                            .is_err()
+                            {
                                 return;
                             }
                         }
@@ -212,7 +228,10 @@ fn kill_reply(db: &Database, query_id: u64) -> Message {
 
 /// Admits, executes, and streams one query. `Err(())` means the
 /// connection is gone and the session should end; protocol-level
-/// failures (saturation, query errors) are replies, not `Err`.
+/// failures (saturation, query errors) are replies, not `Err`. With
+/// `prepared`, execution reuses the stored parse tree and shape key
+/// instead of re-planning `sql`.
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     shared: &Shared,
     db: &Database,
@@ -220,6 +239,7 @@ fn run_query(
     session_id: u64,
     tenant: &str,
     sql: &str,
+    prepared: Option<&PreparedStatement>,
 ) -> Result<(), ()> {
     // Mint the trace BEFORE admission so queue wait is on the trace; the
     // recorder applies its sampling policy here.
@@ -271,12 +291,17 @@ fn run_query(
     let exec_sql = sql.to_string();
     let exec_cancel = cancel.clone();
     let exec_trace = trace.clone();
+    let exec_prepared = prepared.cloned();
     let exec = std::thread::Builder::new()
         .name(format!("lardb-query-{query_id}"))
         .spawn(move || {
-            let result = match &exec_trace {
-                Some(t) => exec_db.execute_with_trace(&exec_sql, &exec_cancel, t),
-                None => exec_db.execute_with_cancel(&exec_sql, &exec_cancel),
+            let result = match (&exec_trace, &exec_prepared) {
+                (Some(t), Some(p)) => {
+                    exec_db.execute_prepared_with_trace(p, &exec_cancel, t)
+                }
+                (None, Some(p)) => exec_db.execute_prepared_with_cancel(p, &exec_cancel),
+                (Some(t), None) => exec_db.execute_with_trace(&exec_sql, &exec_cancel, t),
+                (None, None) => exec_db.execute_with_cancel(&exec_sql, &exec_cancel),
             };
             let _ = tx.send(result);
         });

@@ -163,6 +163,30 @@ pub enum Statement {
         /// Original SQL of the body (stored in the catalog).
         sql: String,
     },
+    /// `CREATE MATERIALIZED VIEW name AS SELECT …` — the query result is
+    /// stored as a table and maintained incrementally on base-table
+    /// INSERTs (recompute fallback for non-incrementalizable plans).
+    CreateMaterializedView {
+        /// View name (also the backing table's name).
+        name: String,
+        /// The view body.
+        query: SelectStatement,
+        /// Original SQL of the body (stored in the catalog; refreshes
+        /// re-plan from it).
+        sql: String,
+    },
+    /// `DROP MATERIALIZED VIEW name`.
+    DropMaterializedView {
+        /// View name.
+        name: String,
+    },
+    /// `REFRESH MATERIALIZED VIEW name` — forces a full recompute from
+    /// the stored definition (the baseline incremental maintenance is
+    /// checked against).
+    RefreshMaterializedView {
+        /// View name.
+        name: String,
+    },
     /// `DROP TABLE name`.
     DropTable {
         /// Table name.

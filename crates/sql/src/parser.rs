@@ -151,6 +151,20 @@ impl<'a> Parser<'a> {
                 self.expect(&Token::RParen, "')'")?;
                 return Ok(Statement::CreateTable { name, columns });
             }
+            if self.accept_kw("MATERIALIZED") {
+                self.expect_kw("VIEW")?;
+                let name = self.ident("view name")?;
+                self.expect_kw("AS")?;
+                let body_start =
+                    self.peek().map(|t| t.position).unwrap_or(self.input.len());
+                let query = self.select()?;
+                let body_end = self
+                    .peek()
+                    .map(|t| t.position)
+                    .unwrap_or(self.input.len());
+                let sql = self.input[body_start..body_end].trim().to_string();
+                return Ok(Statement::CreateMaterializedView { name, query, sql });
+            }
             if self.accept_kw("VIEW") {
                 let name = self.ident("view name")?;
                 let columns = if self.accept(&Token::LParen) {
@@ -178,16 +192,29 @@ impl<'a> Parser<'a> {
                 let sql = self.input[body_start..body_end].trim().to_string();
                 return Ok(Statement::CreateView { name, columns, query, sql });
             }
-            return Err(self.err_here("expected TABLE or VIEW after CREATE"));
+            return Err(self.err_here("expected TABLE, VIEW or MATERIALIZED VIEW after CREATE"));
         }
         if self.accept_kw("DROP") {
             if self.accept_kw("TABLE") {
                 return Ok(Statement::DropTable { name: self.ident("table name")? });
             }
+            if self.accept_kw("MATERIALIZED") {
+                self.expect_kw("VIEW")?;
+                return Ok(Statement::DropMaterializedView {
+                    name: self.ident("view name")?,
+                });
+            }
             if self.accept_kw("VIEW") {
                 return Ok(Statement::DropView { name: self.ident("view name")? });
             }
-            return Err(self.err_here("expected TABLE or VIEW after DROP"));
+            return Err(self.err_here("expected TABLE, VIEW or MATERIALIZED VIEW after DROP"));
+        }
+        if self.accept_kw("REFRESH") {
+            self.expect_kw("MATERIALIZED")?;
+            self.expect_kw("VIEW")?;
+            return Ok(Statement::RefreshMaterializedView {
+                name: self.ident("view name")?,
+            });
         }
         if self.accept_kw("INSERT") {
             self.expect_kw("INTO")?;
@@ -610,6 +637,32 @@ mod tests {
         assert_eq!(name, "vecs");
         assert_eq!(query.group_by.len(), 1);
         assert!(body.starts_with("SELECT"));
+    }
+
+    #[test]
+    fn parse_materialized_view_statements() {
+        let sql = "CREATE MATERIALIZED VIEW totals AS
+                   SELECT g, SUM(v) AS s FROM t GROUP BY g";
+        let Statement::CreateMaterializedView { name, query, sql: body } =
+            parse_statement(sql).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(name, "totals");
+        assert_eq!(query.group_by.len(), 1);
+        assert!(body.starts_with("SELECT"));
+        assert!(matches!(
+            parse_statement("DROP MATERIALIZED VIEW totals").unwrap(),
+            Statement::DropMaterializedView { name } if name == "totals"
+        ));
+        assert!(matches!(
+            parse_statement("refresh materialized view totals;").unwrap(),
+            Statement::RefreshMaterializedView { name } if name == "totals"
+        ));
+        // MATERIALIZED requires VIEW; REFRESH requires the full phrase.
+        assert!(parse_statement("CREATE MATERIALIZED TABLE x AS SELECT a FROM t").is_err());
+        assert!(parse_statement("REFRESH VIEW v").is_err());
+        assert!(parse_statement("DROP MATERIALIZED TABLE t").is_err());
     }
 
     #[test]

@@ -42,6 +42,20 @@ pub struct ViewDef {
     pub column_names: Option<Vec<String>>,
 }
 
+/// A materialized view: its defining SQL plus the lineage to the base
+/// tables it reads, so INSERTs into those tables can trigger maintenance.
+/// The materialized rows live in an ordinary catalog table of the same
+/// name; this definition only records how to (re)build them.
+#[derive(Debug, Clone)]
+pub struct MatViewDef {
+    /// The view body (a SELECT statement), re-planned on refresh.
+    pub sql: String,
+    /// Lowercased names of the base tables the bound plan scans (views
+    /// already expanded), i.e. the tables whose INSERTs must maintain
+    /// this view.
+    pub base_tables: Vec<String>,
+}
+
 /// Registry of tables and views. Shared across the engine behind `Arc`;
 /// table payloads use an `RwLock` so the executor can scan while DDL is
 /// locked out.
@@ -49,6 +63,7 @@ pub struct ViewDef {
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     views: RwLock<HashMap<String, ViewDef>>,
+    matviews: RwLock<HashMap<String, MatViewDef>>,
 }
 
 impl Catalog {
@@ -131,6 +146,54 @@ impl Catalog {
             .remove(&name.to_ascii_lowercase())
             .map(|_| ())
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Registers a materialized-view definition. The backing table (same
+    /// name) is created separately via [`Catalog::create_table`], which
+    /// enforces name uniqueness; this only stores how to maintain it.
+    pub fn create_matview(&self, name: &str, def: MatViewDef) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut mats = self.matviews.write();
+        if mats.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        mats.insert(key, def);
+        Ok(())
+    }
+
+    /// Looks up a materialized-view definition.
+    pub fn matview(&self, name: &str) -> Option<MatViewDef> {
+        self.matviews.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// True when a materialized view with this name exists.
+    pub fn has_matview(&self, name: &str) -> bool {
+        self.matviews.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Drops a materialized-view definition (the backing table is dropped
+    /// separately).
+    pub fn drop_matview(&self, name: &str) -> Result<()> {
+        self.matviews
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Names of the materialized views whose lineage includes `base`
+    /// (sorted, so maintenance order is deterministic).
+    pub fn matviews_on(&self, base: &str) -> Vec<String> {
+        let key = base.to_ascii_lowercase();
+        let mut names: Vec<String> = self
+            .matviews
+            .read()
+            .iter()
+            .filter(|(_, def)| def.base_tables.contains(&key))
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
     }
 
     /// Schema of a table (views are resolved at bind time, not here).
@@ -219,5 +282,31 @@ mod tests {
     #[test]
     fn empty_stats() {
         assert_eq!(TableStats::default().avg_row_bytes(), 0);
+    }
+
+    #[test]
+    fn matview_registry_roundtrip_and_lineage() {
+        let c = Catalog::new();
+        let def = MatViewDef {
+            sql: "SELECT g, SUM(v) AS s FROM base GROUP BY g".into(),
+            base_tables: vec!["base".into()],
+        };
+        c.create_matview("Totals", def.clone()).unwrap();
+        assert!(c.has_matview("totals"));
+        assert!(c.has_matview("TOTALS")); // case-insensitive
+        assert_eq!(c.matview("totals").unwrap().sql, def.sql);
+        assert!(c.create_matview("totals", def).is_err()); // duplicate
+        // Lineage query: views on `base` include it; others don't.
+        c.create_matview(
+            "other",
+            MatViewDef { sql: "SELECT a FROM t2".into(), base_tables: vec!["t2".into()] },
+        )
+        .unwrap();
+        assert_eq!(c.matviews_on("BASE"), vec!["totals".to_string()]);
+        assert_eq!(c.matviews_on("t2"), vec!["other".to_string()]);
+        assert!(c.matviews_on("nope").is_empty());
+        c.drop_matview("totals").unwrap();
+        assert!(!c.has_matview("totals"));
+        assert!(c.drop_matview("totals").is_err());
     }
 }

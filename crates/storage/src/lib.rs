@@ -31,7 +31,7 @@ pub mod table;
 pub mod types;
 pub mod value;
 
-pub use catalog::{Catalog, TableStats};
+pub use catalog::{Catalog, MatViewDef, TableStats};
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use table::{Partitioning, Table};
