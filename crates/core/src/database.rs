@@ -520,7 +520,9 @@ impl Database {
 
     /// Best-effort bind + optimize of a cacheable prepared SELECT into
     /// the plan cache. Failures are swallowed: they will surface (typed)
-    /// when the statement is executed.
+    /// when the statement is executed. The catalog version is captured
+    /// *before* binding, so a concurrent DDL drops the insert instead of
+    /// caching a plan bound against the pre-DDL catalog.
     fn warm_plan_cache(&self, prepared: &PreparedStatement) {
         let Some(norm) = &prepared.norm else { return };
         if norm.kind != StatementKind::Select {
@@ -530,12 +532,18 @@ impl Database {
         if references_virtual(sel) {
             return;
         }
+        let version = self.plan_cache.version();
         let Ok(plan) = Binder::new(&self.catalog).bind_select(sel) else { return };
         let optimizer =
             Optimizer::new(self.catalog.as_ref(), self.config.optimizer.clone());
         let Ok(optimized) = optimizer.optimize(plan) else { return };
-        self.plan_cache
-            .insert(norm, self.config_fingerprint(), Arc::new(optimized));
+        self.plan_cache.insert(
+            norm,
+            self.config_fingerprint(),
+            version,
+            &crate::matview::scan_tables(&optimized),
+            Arc::new(optimized),
+        );
     }
 
     /// Executes a prepared statement. The stored parse tree is reused and
@@ -674,6 +682,10 @@ impl Database {
         prepared: Option<&PreparedStatement>,
     ) -> Result<Response> {
         let fingerprint = self.config_fingerprint();
+        // Captured once, before any bind: lookups read under it and
+        // inserts are keyed (and validity-checked) against it, so a plan
+        // is only ever cached under the catalog version it was bound at.
+        let cache_version = self.plan_cache.version();
         let norm = match prepared {
             Some(p) => p.norm.clone(),
             None if self.plan_cache.enabled() => normalize(sql),
@@ -687,7 +699,7 @@ impl Database {
         // tables (gated at insert), so skipping their refresh is sound.
         if let Some(n) = &norm {
             if n.kind == StatementKind::Select {
-                if let Some(cached) = self.plan_cache.lookup(n, fingerprint) {
+                if let Some(cached) = self.plan_cache.lookup(n, fingerprint, cache_version) {
                     let (result, _) =
                         self.run_optimized(&cached, true, cancel, sink, profile)?;
                     return Ok(Response::Rows(result));
@@ -755,8 +767,19 @@ impl Database {
                 };
                 // Lineage from the *bound* plan: views are expanded, so
                 // these are the base tables whose INSERTs must maintain
-                // the view.
+                // the view. Lineage through another materialized view is
+                // rejected outright: maintenance writes to backing tables
+                // directly (not through INSERT dispatch), so a view over
+                // a view's backing table would silently go stale.
                 let base_tables = crate::matview::scan_tables(&plan);
+                if let Some(mv) = base_tables.iter().find(|t| self.catalog.has_matview(t))
+                {
+                    return Err(EngineError::Usage(format!(
+                        "cannot create materialized view {name} over materialized \
+                         view {mv}: maintenance does not cascade through \
+                         materialized views"
+                    )));
+                }
                 let (result, _) =
                     self.run_traced(plan, /*gather=*/ false, cancel, sink, profile)?;
                 let mut table = Table::new(
@@ -784,14 +807,26 @@ impl Database {
                         "no such materialized view: {name}"
                     )));
                 }
+                // Mirror the DropTable guard: CREATE rejects lineage
+                // through materialized views, but a registry that names
+                // one anyway (however it got there) must not lose its
+                // base out from under it.
+                let dependents = self.catalog.matviews_on(&name);
+                if !dependents.is_empty() {
+                    return Err(EngineError::Usage(format!(
+                        "materialized view {name} has dependent materialized \
+                         views: {}",
+                        dependents.join(", ")
+                    )));
+                }
                 self.catalog.drop_matview(&name)?;
                 self.catalog.drop_table(&name)?;
                 self.plan_cache.bump(InvalidationReason::Ddl);
                 Ok(Response::Done)
             }
             Statement::RefreshMaterializedView { name } => {
+                // recompute_matview bumps the view's stats version.
                 let n = self.recompute_matview(&name)?;
-                self.plan_cache.bump(InvalidationReason::Stats);
                 Ok(Response::Inserted(n))
             }
             Statement::DropTable { name } => {
@@ -840,7 +875,9 @@ impl Database {
                     handle.write().insert_all(materialized)?;
                     self.maintain_matviews_on(&table, &delta)?;
                 }
-                self.plan_cache.bump(InvalidationReason::Stats);
+                // Per-table: only cached plans reading this table (or a
+                // maintained view, bumped during maintenance) go stale.
+                self.plan_cache.bump_stats(&table);
                 Ok(Response::Inserted(n))
             }
             Statement::Select(sel) => {
@@ -865,6 +902,8 @@ impl Database {
                     self.plan_cache.insert(
                         norm.as_ref().expect("cacheable implies normalized"),
                         fingerprint,
+                        cache_version,
+                        &crate::matview::scan_tables(&optimized),
                         Arc::clone(&optimized),
                     );
                     let (result, _) =
@@ -924,7 +963,7 @@ impl Database {
                 let cacheable = norm.is_some() && !references_virtual(&query);
                 let (optimized, cache_note) = if cacheable {
                     let n = norm.as_ref().expect("cacheable implies normalized");
-                    match self.plan_cache.lookup(n, fingerprint) {
+                    match self.plan_cache.lookup(n, fingerprint, cache_version) {
                         Some(cached) => (cached, "hit"),
                         None => {
                             let optimized = {
@@ -935,7 +974,13 @@ impl Database {
                                 );
                                 Arc::new(optimizer.optimize(plan)?)
                             };
-                            self.plan_cache.insert(n, fingerprint, Arc::clone(&optimized));
+                            self.plan_cache.insert(
+                                n,
+                                fingerprint,
+                                cache_version,
+                                &crate::matview::scan_tables(&optimized),
+                                Arc::clone(&optimized),
+                            );
                             (optimized, "miss")
                         }
                     }
@@ -1204,7 +1249,7 @@ impl Database {
             handle.write().insert_all(materialized)?;
             self.maintain_matviews_on(table, &delta)?;
         }
-        self.plan_cache.bump(InvalidationReason::Stats);
+        self.plan_cache.bump_stats(table);
         Ok(n)
     }
 }

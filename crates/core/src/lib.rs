@@ -55,4 +55,6 @@ pub use lardb_obs::{
     StageTiming,
 };
 pub use lardb_planner::{LogicalPlan, Optimizer, OptimizerConfig, PhysicalPlan};
-pub use lardb_storage::{Catalog, Column, DataType, Partitioning, Row, Schema, Table, Value};
+pub use lardb_storage::{
+    Catalog, Column, DataType, MatViewDef, Partitioning, Row, Schema, Table, Value,
+};

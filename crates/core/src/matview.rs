@@ -28,6 +28,11 @@
 //! `REFRESH MATERIALIZED VIEW` forces the recompute path — it is the
 //! baseline the incremental paths are checked against in the equivalence
 //! suite.
+//!
+//! Lineage through another materialized view is rejected at CREATE time:
+//! maintenance writes to backing tables directly (not through the INSERT
+//! dispatch that triggers maintenance), so a view-over-view would never
+//! be maintained and would silently serve stale rows.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -222,9 +227,13 @@ impl Database {
         }
     }
 
-    /// Replaces the backing table of view `name` with `result`.
+    /// Replaces the backing table of view `name` with `result`. The new
+    /// table is built fully first and then swapped through the existing
+    /// catalog handle under its write lock: a concurrent SELECT sees
+    /// either the old rows or the new, never a missing table, and an
+    /// error while building leaves the old rows intact. Cached plans
+    /// over the view are invalidated via its per-table stats version.
     fn replace_matview_table(&self, name: &str, result: QueryResult) -> Result<usize> {
-        self.catalog().drop_table(name)?;
         let mut table = Table::new(
             name,
             result.schema.clone(),
@@ -233,7 +242,8 @@ impl Database {
         );
         let n = result.rows.len();
         table.insert_all(result.rows)?;
-        self.catalog().create_table(table)?;
+        *self.catalog().table(name)?.write() = table;
+        self.plan_cache().bump_stats(name);
         Ok(n)
     }
 
@@ -271,6 +281,7 @@ impl Database {
                     let rows = self.run_query_over_delta(&sel, base, delta)?.rows;
                     let n = rows.len();
                     self.catalog().table(&view)?.write().insert_all(rows)?;
+                    self.plan_cache().bump_stats(&view);
                     let registry = lardb_obs::global();
                     registry.counter("mv.refresh.incremental").inc();
                     registry.counter("mv.refresh_rows").add(n as u64);

@@ -12,12 +12,22 @@
 //! are identical, so constant folding, `LIMIT` counts and `ORDER BY`
 //! ordinals baked into the plan are all still correct.
 //!
-//! Invalidation is **typed**, never a silent truncation: every DDL or
-//! stats-changing event calls [`PlanCache::bump`] with an
-//! [`InvalidationReason`], which advances the version (making every older
-//! key unreachable) and counts the reason under
-//! `cache.invalidations.<reason>`. Stale entries are then recycled by the
-//! bounded LRU like any cold entry.
+//! Invalidation is **typed**, never a silent truncation. Schema and
+//! config changes call [`PlanCache::bump`] with an
+//! [`InvalidationReason`], which advances the global version (making
+//! every older key unreachable); stale entries are then recycled by the
+//! bounded LRU like any cold entry. Stats changes (INSERT / bulk load)
+//! call [`PlanCache::bump_stats`] for just the written table: every
+//! entry records, per base table its plan scans, the table's stats
+//! version at insert time, and a lookup re-validates those versions — so
+//! a write to one table never touches cached plans over others. Every
+//! reason counts under `cache.invalidations.<reason>`.
+//!
+//! Soundness against concurrent DDL: callers capture the version **once,
+//! before binding** ([`PlanCache::version`]), and [`PlanCache::insert`]
+//! refuses to cache when the version has moved on — a plan is only ever
+//! cached under the catalog version it was bound at, never under a
+//! post-DDL version it has not seen.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -179,7 +189,20 @@ struct CacheKey {
 
 struct Entry {
     plan: Arc<LogicalPlan>,
+    /// Base tables the plan scans, with each table's stats version at
+    /// insert time; a lookup re-validates these so a write to one table
+    /// only invalidates the plans that actually read it.
+    stats: Vec<(String, u64)>,
     last_used: u64,
+}
+
+/// Mutex-protected cache state: the entries plus the per-table stats
+/// versions they are validated against. One lock for both, so a
+/// `bump_stats` is never interleaved half-way through a lookup.
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<CacheKey, Entry>,
+    stats_versions: HashMap<String, u64>,
 }
 
 /// Point-in-time counters for tests and introspection (per cache, unlike
@@ -194,6 +217,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Version bumps, all reasons.
     pub invalidations: u64,
+    /// Inserts dropped because a DDL moved the catalog version between
+    /// bind and insert (the plan was bound against a stale catalog).
+    pub stale_inserts: u64,
     /// Current live entries (including unreachable stale versions not yet
     /// recycled).
     pub entries: usize,
@@ -210,7 +236,8 @@ pub struct PlanCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
-    entries: Mutex<HashMap<CacheKey, Entry>>,
+    stale_inserts: AtomicU64,
+    inner: Mutex<Inner>,
 }
 
 impl PlanCache {
@@ -225,7 +252,8 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
-            entries: Mutex::new(HashMap::new()),
+            stale_inserts: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
         }
     }
 
@@ -234,13 +262,17 @@ impl PlanCache {
         self.capacity > 0
     }
 
-    /// The current catalog version (part of every key, so bumping it
-    /// makes all older entries unreachable).
+    /// The current catalog version. Callers capture this **once, before
+    /// binding**, and pass the captured value to [`PlanCache::lookup`]
+    /// and [`PlanCache::insert`] — that is what guarantees a plan is
+    /// only ever cached under the version it was bound at.
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
-    /// Typed invalidation: advances the version and counts the reason.
+    /// Typed invalidation for schema/config changes: advances the global
+    /// version (making every older key unreachable) and counts the
+    /// reason. Stats changes use [`PlanCache::bump_stats`] instead.
     pub fn bump(&self, reason: InvalidationReason) {
         self.version.fetch_add(1, Ordering::AcqRel);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
@@ -249,72 +281,123 @@ impl PlanCache {
         registry.counter("cache.invalidations").inc();
     }
 
-    fn key(&self, norm: &NormalizedStatement, fingerprint: u64) -> CacheKey {
+    /// Typed invalidation for a statistics change (INSERT / bulk load /
+    /// matview refresh) scoped to one table: only cached plans whose
+    /// scan set includes `table` become stale; plans over other tables
+    /// keep hitting.
+    pub fn bump_stats(&self, table: &str) {
+        let key = table.to_ascii_lowercase();
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            *inner.stats_versions.entry(key).or_insert(0) += 1;
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        let registry = lardb_obs::global();
+        registry.counter(InvalidationReason::Stats.metric()).inc();
+        registry.counter("cache.invalidations").inc();
+    }
+
+    fn key(&self, norm: &NormalizedStatement, fingerprint: u64, version: u64) -> CacheKey {
         CacheKey {
             shape: norm.shape.clone(),
             literals: norm.literals.clone(),
-            version: self.version(),
+            version,
             fingerprint,
         }
     }
 
     /// Looks up the optimized plan for a normalized statement under the
-    /// current version. Counts a hit or miss.
+    /// caller's captured catalog `version`, re-validating the per-table
+    /// stats versions the entry was inserted with. A stats mismatch
+    /// removes the entry and counts a miss. Counts a hit or miss.
     pub fn lookup(
         &self,
         norm: &NormalizedStatement,
         fingerprint: u64,
+        version: u64,
     ) -> Option<Arc<LogicalPlan>> {
         if !self.enabled() {
             return None;
         }
-        let key = self.key(norm, fingerprint);
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        match entries.get_mut(&key) {
+        let key = self.key(norm, fingerprint, version);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Inner { entries, stats_versions } = &mut *inner;
+        let fresh = match entries.get_mut(&key) {
             Some(entry) => {
-                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                lardb_obs::global().counter("cache.hits").inc();
-                Some(Arc::clone(&entry.plan))
+                let fresh = entry.stats.iter().all(|(table, v)| {
+                    stats_versions.get(table).copied().unwrap_or(0) == *v
+                });
+                if fresh {
+                    entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    lardb_obs::global().counter("cache.hits").inc();
+                    return Some(Arc::clone(&entry.plan));
+                }
+                false
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                lardb_obs::global().counter("cache.misses").inc();
-                None
-            }
+            None => true, // plain miss; nothing to remove
+        };
+        if !fresh {
+            entries.remove(&key);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        lardb_obs::global().counter("cache.misses").inc();
+        None
     }
 
-    /// Inserts an optimized plan under the current version, evicting the
-    /// least-recently-used entry when full.
+    /// Inserts an optimized plan under the catalog `version` captured
+    /// before the plan was bound, evicting the least-recently-used entry
+    /// when full. `tables` are the base tables the plan scans; their
+    /// current stats versions are recorded for lookup re-validation. If
+    /// a concurrent DDL moved the version since capture, the insert is
+    /// **dropped** (counted under `cache.stale_inserts`) — the plan was
+    /// bound against a catalog that no longer exists.
     pub fn insert(
         &self,
         norm: &NormalizedStatement,
         fingerprint: u64,
+        version: u64,
+        tables: &[String],
         plan: Arc<LogicalPlan>,
     ) {
         if !self.enabled() {
             return;
         }
-        let key = self.key(norm, fingerprint);
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if !entries.contains_key(&key) && entries.len() >= self.capacity {
+        let key = self.key(norm, fingerprint, version);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the lock: a bump after this wins (its version
+        // differs from `version`), so the entry could never be served.
+        if self.version() != version {
+            self.stale_inserts.fetch_add(1, Ordering::Relaxed);
+            lardb_obs::global().counter("cache.stale_inserts").inc();
+            return;
+        }
+        let stats = tables
+            .iter()
+            .map(|t| {
+                let t = t.to_ascii_lowercase();
+                let v = inner.stats_versions.get(&t).copied().unwrap_or(0);
+                (t, v)
+            })
+            .collect();
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
             // Evict the LRU entry. Capacities are small (hundreds), so a
             // linear scan on the rare full-insert beats maintaining an
             // order list on every lookup.
-            if let Some(victim) = entries
+            if let Some(victim) = inner
+                .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                entries.remove(&victim);
+                inner.entries.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 lardb_obs::global().counter("cache.evictions").inc();
             }
         }
-        entries.insert(
+        inner.entries.insert(
             key,
-            Entry { plan, last_used: self.tick.fetch_add(1, Ordering::Relaxed) },
+            Entry { plan, stats, last_used: self.tick.fetch_add(1, Ordering::Relaxed) },
         );
     }
 
@@ -331,7 +414,13 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            stale_inserts: self.stale_inserts.load(Ordering::Relaxed),
+            entries: self
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .entries
+                .len(),
         }
     }
 }
@@ -384,18 +473,56 @@ mod tests {
     fn lookup_insert_and_version_bump() {
         let cache = PlanCache::new(4);
         let norm = normalize("SELECT id FROM t").unwrap();
-        assert!(cache.lookup(&norm, 7).is_none());
-        cache.insert(&norm, 7, plan());
-        assert!(cache.lookup(&norm, 7).is_some());
+        assert!(cache.lookup(&norm, 7, cache.version()).is_none());
+        cache.insert(&norm, 7, cache.version(), &["t".into()], plan());
+        assert!(cache.lookup(&norm, 7, cache.version()).is_some());
         // A different config fingerprint is a different key.
-        assert!(cache.lookup(&norm, 8).is_none());
+        assert!(cache.lookup(&norm, 8, cache.version()).is_none());
         // A version bump makes the entry unreachable.
         cache.bump(InvalidationReason::Ddl);
-        assert!(cache.lookup(&norm, 7).is_none());
+        assert!(cache.lookup(&norm, 7, cache.version()).is_none());
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn stale_insert_after_concurrent_ddl_is_dropped() {
+        let cache = PlanCache::new(4);
+        let norm = normalize("SELECT id FROM t").unwrap();
+        // Capture the version as the bind would, then a "concurrent" DDL
+        // lands before the insert: the plan was bound against a catalog
+        // that no longer exists and must not be cached.
+        let bind_version = cache.version();
+        cache.bump(InvalidationReason::Ddl);
+        cache.insert(&norm, 0, bind_version, &["t".into()], plan());
+        assert_eq!(cache.stats().entries, 0, "stale insert must be dropped");
+        assert_eq!(cache.stats().stale_inserts, 1);
+        assert!(cache.lookup(&norm, 0, cache.version()).is_none());
+    }
+
+    #[test]
+    fn stats_bump_invalidates_only_plans_over_that_table() {
+        let cache = PlanCache::new(4);
+        let over_t = normalize("SELECT a FROM t").unwrap();
+        let over_o = normalize("SELECT a FROM o").unwrap();
+        cache.insert(&over_t, 0, cache.version(), &["t".into()], plan());
+        cache.insert(&over_o, 0, cache.version(), &["o".into()], plan());
+        cache.bump_stats("T"); // case-insensitive, like the catalog
+        assert!(
+            cache.lookup(&over_t, 0, cache.version()).is_none(),
+            "plan over t saw a stats change"
+        );
+        assert!(
+            cache.lookup(&over_o, 0, cache.version()).is_some(),
+            "plan over o must survive a write to t"
+        );
+        // The stale entry was removed on the failed lookup.
+        assert_eq!(cache.stats().entries, 1);
+        // Re-inserting under the new stats version hits again.
+        cache.insert(&over_t, 0, cache.version(), &["t".into()], plan());
+        assert!(cache.lookup(&over_t, 0, cache.version()).is_some());
     }
 
     #[test]
@@ -404,24 +531,25 @@ mod tests {
         let a = normalize("SELECT a FROM t").unwrap();
         let b = normalize("SELECT b FROM t").unwrap();
         let c = normalize("SELECT c FROM t").unwrap();
-        cache.insert(&a, 0, plan());
-        cache.insert(&b, 0, plan());
-        assert!(cache.lookup(&a, 0).is_some()); // touch a → b is LRU
-        cache.insert(&c, 0, plan());
+        let v = cache.version();
+        cache.insert(&a, 0, v, &["t".into()], plan());
+        cache.insert(&b, 0, v, &["t".into()], plan());
+        assert!(cache.lookup(&a, 0, v).is_some()); // touch a → b is LRU
+        cache.insert(&c, 0, v, &["t".into()], plan());
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().evictions, 1);
-        assert!(cache.lookup(&b, 0).is_none(), "LRU victim was b");
-        assert!(cache.lookup(&a, 0).is_some());
-        assert!(cache.lookup(&c, 0).is_some());
+        assert!(cache.lookup(&b, 0, v).is_none(), "LRU victim was b");
+        assert!(cache.lookup(&a, 0, v).is_some());
+        assert!(cache.lookup(&c, 0, v).is_some());
     }
 
     #[test]
     fn zero_capacity_disables() {
         let cache = PlanCache::new(0);
         let norm = normalize("SELECT a FROM t").unwrap();
-        cache.insert(&norm, 0, plan());
+        cache.insert(&norm, 0, cache.version(), &[], plan());
         assert!(!cache.enabled());
-        assert!(cache.lookup(&norm, 0).is_none());
+        assert!(cache.lookup(&norm, 0, cache.version()).is_none());
         assert_eq!(cache.stats().entries, 0);
     }
 }
