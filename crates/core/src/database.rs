@@ -61,6 +61,19 @@ pub struct DatabaseConfig {
     /// leaves the kernel's built-in cutoff untouched. Applied process-wide
     /// at database construction.
     pub gemm_parallel_flops: Option<usize>,
+    /// Zero-fraction / density threshold steering the density-adaptive
+    /// kernel dispatch (skip-zero GEMM inner loops, when sparse products
+    /// stay sparse). `None` (the default) honors `LARDB_SPARSE_THRESHOLD`,
+    /// falling back to the kernel default
+    /// ([`lardb_la::dispatch::DEFAULT_SPARSE_THRESHOLD`]). Applied
+    /// process-wide at database construction; clamped to `[0, 1]`.
+    pub sparse_threshold: Option<f64>,
+    /// Kernel-dispatch mode: `Adaptive` (the default) picks dense or
+    /// sparse kernels per tile by measured density; `Dense` / `Sparse`
+    /// force one representation everywhere (ablation / debugging).
+    /// `None` honors `LARDB_SPARSE_DISPATCH`. Applied process-wide at
+    /// database construction.
+    pub sparse_dispatch: Option<lardb_la::DispatchMode>,
     /// Network-layer knobs for serialized/TCP exchanges: I/O timeouts, the
     /// maximum accepted frame size, and an optional deterministic fault
     /// injection plan (see `lardb_exec::FaultPlan`) for chaos testing.
@@ -120,6 +133,12 @@ impl Default for DatabaseConfig {
             morsel_rows: lardb_exec::DEFAULT_MORSEL_ROWS,
             scheduler: SchedulerMode::default(),
             gemm_parallel_flops: None,
+            sparse_threshold: std::env::var("LARDB_SPARSE_THRESHOLD")
+                .ok()
+                .and_then(|s| s.parse().ok()),
+            sparse_dispatch: std::env::var("LARDB_SPARSE_DISPATCH")
+                .ok()
+                .and_then(|s| lardb_la::DispatchMode::parse(&s)),
             net: NetConfig::default(),
             mem: None,
             spill_dir: None,
@@ -264,6 +283,12 @@ impl Database {
     pub fn with_config(config: DatabaseConfig) -> Self {
         if let Some(flops) = config.gemm_parallel_flops {
             lardb_la::gemm::set_parallel_flops(flops);
+        }
+        if let Some(t) = config.sparse_threshold {
+            lardb_la::dispatch::set_sparse_threshold(t);
+        }
+        if let Some(mode) = config.sparse_dispatch {
+            lardb_la::dispatch::set_dispatch_mode(mode);
         }
         // Flight-recorder knobs are process-global, like the GEMM cutoff:
         // applied once at construction.
@@ -1028,6 +1053,22 @@ impl Database {
                             result.stats.total_fallbacks(),
                         ));
                     }
+                    let d = result.stats.dispatch;
+                    if d.any() {
+                        text.push_str(&format!(
+                            "la dispatch ({}): {} dense, {} skip-zero, \
+                             {} spmv, {} sp×dense, {} spgemm, {} sp-syrk, \
+                             {} densified\n",
+                            lardb_la::dispatch::dispatch_mode().name(),
+                            d.dense,
+                            d.skipzero,
+                            d.spmv,
+                            d.sp_dense,
+                            d.spgemm,
+                            d.sp_syrk,
+                            d.densified,
+                        ));
+                    }
                     text.push_str(&render_estimate_table(&operators));
                 }
                 Ok(Response::Explained(text))
@@ -1147,6 +1188,7 @@ impl Database {
             let estimates = pp.estimates(&physical);
             (physical, estimates)
         };
+        let dispatch_before = lardb_la::dispatch::dispatch_counters();
         let mut result = {
             let _g = SpanGuard::enter(sink, Stage::Execute, "");
             let executor = Executor::new(&self.catalog, self.cluster(cancel))
@@ -1157,6 +1199,22 @@ impl Database {
                 .with_batch_rows(self.config.batch_rows);
             executor.execute(&physical)?
         };
+        // Per-query kernel-dispatch attribution: the delta of the
+        // process-wide counters across execution (concurrent queries may
+        // bleed into each other's deltas). Also bridged to the global
+        // `la.dispatch.*` metrics SHOW METRICS exposes.
+        let d = lardb_la::dispatch::dispatch_counters().since(&dispatch_before);
+        result.stats.dispatch = d;
+        if d.any() {
+            let m = lardb_obs::global();
+            m.counter("la.dispatch.dense").add(d.dense);
+            m.counter("la.dispatch.skipzero").add(d.skipzero);
+            m.counter("la.dispatch.spmv").add(d.spmv);
+            m.counter("la.dispatch.sp_dense").add(d.sp_dense);
+            m.counter("la.dispatch.spgemm").add(d.spgemm);
+            m.counter("la.dispatch.sp_syrk").add(d.sp_syrk);
+            m.counter("la.dispatch.densified").add(d.densified);
+        }
         let operators = join_estimates(&estimates, &result.stats);
         profile.operators.extend(operators.iter().cloned());
         let schema = result.schema.clone();

@@ -49,7 +49,10 @@ pub use lardb_exec::{
     FaultKind, FaultPlan, MemoryConfig, NetConfig, OperatorStats, SchedulerMode,
     ShuffleStats, SpillStats, TransportMode,
 };
-pub use lardb_la::{LabeledScalar, Matrix, Vector};
+pub use lardb_la::{
+    dispatch, CooBuilder, DispatchCounters, DispatchMode, LabeledScalar, Matrix,
+    SparseMatrix, Vector,
+};
 pub use lardb_obs::{
     MetricKind, MetricSample, MetricsRegistry, OperatorProfile, QueryProfile,
     StageTiming,

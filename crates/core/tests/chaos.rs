@@ -9,8 +9,8 @@
 //! particular must be detected 100% of the time.
 
 use lardb::{
-    Database, DatabaseConfig, DataType, FaultKind, FaultPlan, Partitioning,
-    QueryResult, Row, Schema, Table, TransportMode, Value,
+    CooBuilder, Database, DatabaseConfig, DataType, FaultKind, FaultPlan,
+    Partitioning, QueryResult, Row, Schema, Table, TransportMode, Value,
 };
 
 /// Builds the same skewed database as the scheduler-equivalence suite:
@@ -50,6 +50,41 @@ fn skewed_db(config: DatabaseConfig) -> Database {
             .unwrap();
     }
     db.catalog().create_table(dim).unwrap();
+
+    // A 3×3 grid of sparse 32×32 CSR tiles: their exchange frames take
+    // the sparse (tag-8) wire encoding, so drop/truncate/corrupt faults
+    // cover the sparse codec path too — a corrupted sparse frame must be
+    // a typed error, never a short or silently-densified answer.
+    let tile_schema = Schema::from_pairs(&[
+        ("tr", DataType::Integer),
+        ("tc", DataType::Integer),
+        ("mat", DataType::Matrix(Some(32), Some(32))),
+    ]);
+    let mut stile = Table::new("stile", tile_schema, workers, Partitioning::Hash(0));
+    let mut seed = 0x7153u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for tr in 0..3i64 {
+        for tc in 0..3i64 {
+            let mut b = CooBuilder::new();
+            for _ in 0..50 {
+                b.push((rng() % 32) as i64, (rng() % 32) as i64, (rng() % 100 + 1) as f64 / 16.0)
+                    .unwrap();
+            }
+            stile
+                .insert(Row::new(vec![
+                    Value::Integer(tr),
+                    Value::Integer(tc),
+                    Value::sparse_matrix(b.build(32, 32).unwrap()),
+                ]))
+                .unwrap();
+        }
+    }
+    db.catalog().create_table(stile).unwrap();
     db
 }
 
@@ -64,6 +99,10 @@ const QUERIES: &[&str] = &[
     "SELECT g, COUNT(*) AS c, SUM(k) AS s FROM skew GROUP BY g",
     "SELECT COUNT(*) AS n, SUM(g) AS sg FROM skew",
     "SELECT s.k, d.label FROM skew AS s, dim AS d WHERE s.g = d.g AND s.k >= 990",
+    // Sparse tiles cross the wire twice here: raw CSR cells into the
+    // repartitioning join, sparse SUM partials into the final aggregate.
+    "SELECT a.tr, b.tc, sum_elements(SUM(matrix_multiply(a.mat, b.mat))) AS s
+     FROM stile AS a, stile AS b WHERE a.tc = b.tr GROUP BY a.tr, b.tc",
 ];
 
 fn config(

@@ -8,7 +8,8 @@
 //! substrate relies on; without it, the distributed `SUM` of Gram-matrix
 //! outer products would serialize on one worker.
 
-use lardb_la::{LabeledScalar, Matrix, RowMatrixBuilder, Vector, VectorizeBuilder};
+use lardb_la::dispatch::{self, Kernel};
+use lardb_la::{CooBuilder, LabeledScalar, Matrix, RowMatrixBuilder, Vector, VectorizeBuilder};
 use lardb_planner::AggFunc;
 use lardb_storage::ops::{self, ArithOp};
 use lardb_storage::Value;
@@ -23,6 +24,7 @@ pub fn state_arity(func: AggFunc) -> usize {
         AggFunc::Avg => 2,
         AggFunc::Vectorize => 2,
         AggFunc::RowMatrix | AggFunc::ColMatrix => 2,
+        AggFunc::MatrixFromEntries => 3,
     }
 }
 
@@ -45,6 +47,8 @@ pub enum Accumulator {
     RowMatrix(RowMatrixBuilder),
     /// `COLMATRIX`.
     ColMatrix(RowMatrixBuilder),
+    /// `MATRIX_FROM_ENTRIES` — COO assembly of a sparse matrix.
+    MatrixFromEntries(CooBuilder),
 }
 
 impl Accumulator {
@@ -59,6 +63,7 @@ impl Accumulator {
             AggFunc::Vectorize => Accumulator::Vectorize(VectorizeBuilder::new()),
             AggFunc::RowMatrix => Accumulator::RowMatrix(RowMatrixBuilder::new()),
             AggFunc::ColMatrix => Accumulator::ColMatrix(RowMatrixBuilder::new()),
+            AggFunc::MatrixFromEntries => Accumulator::MatrixFromEntries(CooBuilder::new()),
         }
     }
 
@@ -97,6 +102,10 @@ impl Accumulator {
                 })?;
                 b.push((**vec).clone())?;
             }
+            Accumulator::MatrixFromEntries(b) => {
+                let (r, c, x) = unpack_entry(v)?;
+                b.push(r, c, x)?;
+            }
         }
         Ok(())
     }
@@ -113,6 +122,16 @@ impl Accumulator {
             }
             Accumulator::Vectorize(b) => encode_vectorize(b),
             Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => encode_labeled_rows(b),
+            // (rows, cols, vals) parallel vectors — the partial state ships
+            // proportionally to the entries actually seen.
+            Accumulator::MatrixFromEntries(b) => {
+                let (rows, cols, vals) = b.parts();
+                vec![
+                    Value::vector(Vector::from_vec(rows)),
+                    Value::vector(Vector::from_vec(cols)),
+                    Value::vector(Vector::from_vec(vals)),
+                ]
+            }
         }
     }
 
@@ -121,6 +140,7 @@ impl Accumulator {
         let need = match self {
             Accumulator::Avg(..) => 2,
             Accumulator::Vectorize(_) | Accumulator::RowMatrix(_) | Accumulator::ColMatrix(_) => 2,
+            Accumulator::MatrixFromEntries(_) => 3,
             _ => 1,
         };
         if state.len() != need {
@@ -146,6 +166,21 @@ impl Accumulator {
             Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => {
                 decode_labeled_rows(b, state)?
             }
+            Accumulator::MatrixFromEntries(b) => {
+                let get = |i: usize| {
+                    state[i].as_vector().ok_or_else(|| bad_state("MATRIX_FROM_ENTRIES"))
+                };
+                let (rows, cols, vals) = (get(0)?, get(1)?, get(2)?);
+                if rows.len() != cols.len() || rows.len() != vals.len() {
+                    return Err(bad_state("MATRIX_FROM_ENTRIES"));
+                }
+                for i in 0..rows.len() {
+                    // Re-validate through the typed push path: a corrupted
+                    // partial must not assemble a bogus matrix.
+                    let (r, c) = (coord(rows.get(i)?)?, coord(cols.get(i)?)?);
+                    b.push(r, c, vals.get(i)?)?;
+                }
+            }
         }
         Ok(())
     }
@@ -166,6 +201,7 @@ impl Accumulator {
             Accumulator::RowMatrix(b) | Accumulator::ColMatrix(b) => {
                 b.entries().iter().map(|(_, v)| 8 + v.len() * 8).sum()
             }
+            Accumulator::MatrixFromEntries(b) => b.len() * 16,
         }
     }
 
@@ -186,7 +222,44 @@ impl Accumulator {
             Accumulator::Vectorize(b) => Value::vector(b.finish()),
             Accumulator::RowMatrix(b) => Value::matrix(b.finish_rows()),
             Accumulator::ColMatrix(b) => Value::matrix(b.finish_cols()),
+            Accumulator::MatrixFromEntries(b) => {
+                let m = b.build_inferred();
+                // The dispatch layer decides the output representation:
+                // forced-dense runs get an ordinary MATRIX, adaptive runs
+                // keep the CSR form while it is worth it.
+                if dispatch::keep_sparse(m.density()) {
+                    Value::sparse_matrix(m)
+                } else {
+                    dispatch::note_kernel(Kernel::Densified);
+                    Value::matrix(m.to_dense())
+                }
+            }
         }
+    }
+}
+
+/// Unpacks one `sparse_entry(row, col, val)` carrier vector.
+fn unpack_entry(v: &Value) -> Result<(i64, i64, f64)> {
+    let vec = v.as_vector().filter(|e| e.len() == 3).ok_or_else(|| {
+        ExecError::Runtime(format!(
+            "MATRIX_FROM_ENTRIES expects (row, col, val), got {}",
+            v.data_type()
+        ))
+    })?;
+    let s = vec.as_slice();
+    Ok((coord(s[0])?, coord(s[1])?, s[2]))
+}
+
+/// A coordinate must be an exact non-negative integer; anything else —
+/// fractional values, NaN, negatives — is a typed error rather than a
+/// silent truncation.
+fn coord(x: f64) -> Result<i64> {
+    if x.fract() == 0.0 && (0.0..9e15).contains(&x) {
+        Ok(x as i64)
+    } else {
+        Err(ExecError::Runtime(format!(
+            "MATRIX_FROM_ENTRIES: coordinate {x} is not a non-negative integer"
+        )))
     }
 }
 
@@ -200,6 +273,8 @@ fn add_into(acc: &mut Option<Value>, v: &Value) -> Result<()> {
     match acc {
         None => {
             // Deep-copy LA payloads: the accumulator will mutate them.
+            // (Sparse tiles are never mutated in place, so sharing the Arc
+            // is safe there.)
             *acc = Some(match v {
                 Value::Matrix(m) => Value::Matrix(Arc::new((**m).clone())),
                 Value::Vector(x) => Value::Vector(Arc::new((**x).clone())),
@@ -207,6 +282,12 @@ fn add_into(acc: &mut Option<Value>, v: &Value) -> Result<()> {
             });
         }
         Some(Value::Matrix(m)) => {
+            // Sparse input into a dense accumulator: scatter-add in O(nnz).
+            if let Value::SparseMatrix(rhs) = v {
+                let lhs = Arc::make_mut(m);
+                rhs.add_to_dense(lhs)?;
+                return Ok(());
+            }
             let rhs = v.as_matrix().ok_or_else(|| mix_err("SUM", v))?;
             let lhs = Arc::make_mut(m);
             lhs.add_in_place(rhs)?;
@@ -227,6 +308,17 @@ fn minmax_into(acc: &mut Option<Value>, v: &Value, is_min: bool) -> Result<()> {
     if v.is_null() {
         return Ok(());
     }
+    // Element-wise MIN/MAX over matrices compares every coordinate, so
+    // implicit zeros participate: densify sparse inputs up front.
+    let dense_v;
+    let v = match v {
+        Value::SparseMatrix(m) => {
+            dispatch::note_kernel(Kernel::Densified);
+            dense_v = Value::matrix(m.to_dense());
+            &dense_v
+        }
+        other => other,
+    };
     match acc {
         None => {
             *acc = Some(match v {
@@ -482,8 +574,107 @@ mod tests {
             AggFunc::Vectorize,
             AggFunc::RowMatrix,
             AggFunc::ColMatrix,
+            AggFunc::MatrixFromEntries,
         ] {
             assert_eq!(Accumulator::new(f).state().len(), state_arity(f));
         }
+    }
+
+    fn entry(r: f64, c: f64, v: f64) -> Value {
+        Value::vector(Vector::from_slice(&[r, c, v]))
+    }
+
+    #[test]
+    fn matrix_from_entries_sums_duplicates_and_roundtrips_state() {
+        // Default mode is Adaptive; the forced-dense variant lives in the
+        // same test as the mode flip to avoid cross-test races on the
+        // process-wide dispatch mode.
+        let mut p1 = Accumulator::new(AggFunc::MatrixFromEntries);
+        p1.update(&entry(0.0, 1.0, 2.0)).unwrap();
+        p1.update(&entry(2.0, 0.0, 5.0)).unwrap();
+        let mut p2 = Accumulator::new(AggFunc::MatrixFromEntries);
+        p2.update(&entry(0.0, 1.0, 3.0)).unwrap(); // duplicate of p1's first
+
+        let mut f = Accumulator::new(AggFunc::MatrixFromEntries);
+        f.merge_state(&p1.state()).unwrap();
+        f.merge_state(&p2.state()).unwrap();
+        let out = f.finish();
+        let m = out.as_sparse_matrix().expect("low density stays sparse");
+        assert_eq!(m.shape(), (3, 2)); // inferred from max coordinates
+        assert_eq!(m.get(0, 1).unwrap(), 5.0); // 2.0 + 3.0
+        assert_eq!(m.get(2, 0).unwrap(), 5.0);
+        assert_eq!(m.nnz(), 2);
+
+        // Forced-dense mode yields an ordinary MATRIX from the same input.
+        lardb_la::dispatch::set_dispatch_mode(lardb_la::DispatchMode::Dense);
+        let mut a = Accumulator::new(AggFunc::MatrixFromEntries);
+        a.update(&entry(0.0, 0.0, 1.0)).unwrap();
+        a.update(&entry(3.0, 3.0, 2.0)).unwrap();
+        let out = a.finish();
+        lardb_la::dispatch::set_dispatch_mode(lardb_la::DispatchMode::Adaptive);
+        let m = out.as_matrix().expect("forced dense yields MATRIX");
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.get(3, 3).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn matrix_from_entries_rejects_bad_coordinates() {
+        let mut a = Accumulator::new(AggFunc::MatrixFromEntries);
+        assert!(a.update(&entry(-1.0, 0.0, 1.0)).is_err());
+        assert!(a.update(&entry(0.5, 0.0, 1.0)).is_err());
+        assert!(a.update(&entry(f64::NAN, 0.0, 1.0)).is_err());
+        assert!(a.update(&Value::Double(1.0)).is_err());
+        assert!(a.update(&Value::vector(Vector::zeros(2))).is_err());
+    }
+
+    #[test]
+    fn sum_mixes_sparse_and_dense_tiles() {
+        use lardb_la::CooBuilder;
+        let mut b = CooBuilder::new();
+        b.push(0, 1, 2.0).unwrap();
+        let sp = b.build(2, 2).unwrap();
+        let dense = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 3.0]]).unwrap();
+
+        // dense first, then sparse (O(nnz) scatter-add path)
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::matrix(dense.clone())).unwrap();
+        a.update(&Value::sparse_matrix(sp.clone())).unwrap();
+        let m1 = a.finish();
+
+        // sparse first, then dense (generic arith path)
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::sparse_matrix(sp.clone())).unwrap();
+        a.update(&Value::matrix(dense.clone())).unwrap();
+        let m2 = a.finish();
+
+        let expected = Value::matrix(
+            Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]).unwrap(),
+        );
+        assert_eq!(m1, expected);
+        assert_eq!(m2, expected);
+
+        // sparse-only SUM stays sparse
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(&Value::sparse_matrix(sp.clone())).unwrap();
+        a.update(&Value::sparse_matrix(sp)).unwrap();
+        assert_eq!(
+            a.finish(),
+            Value::matrix(Matrix::from_rows(&[&[0.0, 4.0], &[0.0, 0.0]]).unwrap())
+        );
+    }
+
+    #[test]
+    fn minmax_densifies_sparse_input() {
+        use lardb_la::CooBuilder;
+        let mut b = CooBuilder::new();
+        b.push(0, 0, -5.0).unwrap();
+        let sp = b.build(1, 2).unwrap();
+        let mut mn = Accumulator::new(AggFunc::Min);
+        mn.update(&Value::matrix(Matrix::from_rows(&[&[1.0, -2.0]]).unwrap())).unwrap();
+        mn.update(&Value::sparse_matrix(sp)).unwrap();
+        let m = mn.finish();
+        let m = m.as_matrix().unwrap();
+        // min(1, -5) = -5; min(-2, implicit 0) = -2
+        assert_eq!(m.row(0), &[-5.0, -2.0]);
     }
 }

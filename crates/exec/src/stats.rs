@@ -172,6 +172,11 @@ impl OperatorStats {
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     ops: Vec<OperatorStats>,
+    /// Kernel-dispatch choices (dense vs skip-zero vs sparse kernels) made
+    /// while this query executed. Attributed by snapshotting the
+    /// process-wide dispatch counters around execution, so concurrent
+    /// queries' kernels can overlap into each other's counts.
+    pub dispatch: lardb_la::DispatchCounters,
 }
 
 impl ExecStats {
@@ -268,6 +273,7 @@ impl ExecStats {
     /// workloads sum their queries).
     pub fn merge(&mut self, other: &ExecStats) {
         self.ops.extend(other.ops.iter().cloned());
+        self.dispatch = self.dispatch.plus(&other.dispatch);
     }
 
     /// Renders a human-readable table. Exchanges that ran over a

@@ -41,10 +41,6 @@ const PAR_BLOCK: usize = 2 * BLOCK;
 /// output blocks out onto the worker pool. `0` disables parallel GEMM.
 static PARALLEL_FLOPS: AtomicUsize = AtomicUsize::new(2_000_000);
 
-/// Fraction of sampled zero elements in `a` above which the skip-zero
-/// (branchy) inner loop beats the branch-free dense loop.
-const SPARSE_CUTOFF: f64 = 0.25;
-
 /// Sets the flop-count cutoff above which GEMM/SYRK run pool-parallel
 /// (`0` keeps every multiply inline). Returns the previous value.
 pub fn set_parallel_flops(flops: usize) -> usize {
@@ -57,7 +53,7 @@ pub fn parallel_flops() -> usize {
 }
 
 /// Estimates the zero fraction of `data` from ≤ 1024 strided samples.
-fn zero_fraction(data: &[f64]) -> f64 {
+pub fn zero_fraction(data: &[f64]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
@@ -154,7 +150,7 @@ pub fn gemm_acc_pooled(
     debug_assert_eq!(b.rows(), k);
     debug_assert_eq!(out.shape(), (m, n));
 
-    let skip_zero = zero_fraction(a.as_slice()) > SPARSE_CUTOFF;
+    let skip_zero = crate::dispatch::choose_skip_zero(zero_fraction(a.as_slice()));
     let cutoff = parallel_flops();
     let flops = m.saturating_mul(n).saturating_mul(k);
     if cutoff > 0 && flops >= cutoff && pool.workers() > 1 && m * n > PAR_BLOCK {
@@ -258,7 +254,7 @@ pub fn syrk_t_pooled(pool: &lardb_pool::WorkerPool, a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
     let data = a.as_slice();
     let mut out = Matrix::zeros(n, n);
-    let skip_zero = zero_fraction(data) > SPARSE_CUTOFF;
+    let skip_zero = crate::dispatch::choose_skip_zero(zero_fraction(data));
     let cutoff = parallel_flops();
     // ~half the multiplies of a full m×n×n GEMM.
     let flops = m.saturating_mul(n).saturating_mul(n) / 2;

@@ -40,21 +40,25 @@
 
 pub mod builder;
 pub mod chol;
+pub mod dispatch;
 pub mod error;
 pub mod gemm;
 pub mod labeled;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod sparse;
 pub mod vector;
 
 pub use builder::{ColMatrixBuilder, RowMatrixBuilder, VectorizeBuilder};
 pub use chol::CholeskyDecomposition;
+pub use dispatch::{DispatchCounters, DispatchMode};
 pub use error::{LaError, Result};
 pub use labeled::LabeledScalar;
 pub use lu::LuDecomposition;
 pub use qr::QrDecomposition;
 pub use matrix::Matrix;
+pub use sparse::{CooBuilder, SparseMatrix};
 pub use vector::Vector;
 
 /// Default label carried by vectors whose label was never set explicitly.

@@ -36,6 +36,16 @@
 //! | 5 | `LabeledScalar` | `f64` value + `i64` label |
 //! | 6 | `Vector` | `u32 len` + `i64` label + `len × f64` |
 //! | 7 | `Matrix` | `u32 rows` + `u32 cols` + `rows·cols × f64` |
+//! | 8 | `SparseMatrix` | `u32 rows` + `u32 cols` + `u32 nnz` + nnz × (varint Δrow + varint col/Δcol + `f64`) |
+//!
+//! Sparse tiles ship **only their nonzeros**: entries stream in row-major
+//! order, the row index as a delta from the previous entry's row and the
+//! column either absolute (first entry of a row) or as the gap from the
+//! previous column minus one (columns are strictly increasing within a
+//! row). Deltas are LEB128 varints, so a million-edge tile costs a few
+//! bytes per edge instead of `8·n²`. Decoded CSR structure is re-validated
+//! (monotone, in-bounds) before construction, so a corrupted frame is a
+//! typed error — never a mis-shapen tile.
 //!
 //! Doubles travel as raw IEEE-754 bit patterns, so NaNs (any payload) and
 //! signed zeros roundtrip exactly. Decoding is *checked*: truncated or
@@ -45,7 +55,7 @@
 
 use std::sync::Arc;
 
-use lardb_la::{LabeledScalar, Matrix, Vector};
+use lardb_la::{LabeledScalar, Matrix, SparseMatrix, Vector};
 use lardb_storage::{Column, DataType, Row, Schema, Value};
 
 /// First byte of every frame.
@@ -83,6 +93,7 @@ const TAG_VARCHAR: u8 = 4;
 const TAG_LABELED: u8 = 5;
 const TAG_VECTOR: u8 = 6;
 const TAG_MATRIX: u8 = 7;
+const TAG_SPARSE_MATRIX: u8 = 8;
 
 const DT_INTEGER: u8 = 0;
 const DT_DOUBLE: u8 = 1;
@@ -110,6 +121,9 @@ pub enum CodecError {
     LengthOverflow { what: &'static str, len: u64, available: usize },
     /// Bytes were left over after the frame's declared contents.
     TrailingBytes(usize),
+    /// A structurally invalid payload (e.g. a sparse tile whose decoded
+    /// indices are out of bounds or non-monotone).
+    Malformed { what: &'static str },
 }
 
 impl std::fmt::Display for CodecError {
@@ -128,6 +142,7 @@ impl std::fmt::Display for CodecError {
                 "{what} length {len} exceeds remaining buffer ({available} bytes)"
             ),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            CodecError::Malformed { what } => write!(f, "malformed {what} payload"),
         }
     }
 }
@@ -186,6 +201,46 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+/// LEB128 unsigned varint — used by the sparse-tile index deltas.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Encoded byte length of a LEB128 varint.
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Streams one sparse tile's entries as row-major deltas: Δrow varint,
+/// then absolute column (new row) or `col − prev_col − 1` (same row),
+/// then the raw value bits.
+fn encode_sparse_entries(m: &SparseMatrix, buf: &mut Vec<u8>) {
+    let mut prev_row = 0usize;
+    let mut prev_col = 0usize;
+    let mut first = true;
+    for (r, c, v) in m.iter() {
+        let drow = r - prev_row;
+        put_varint(buf, drow as u64);
+        if first || drow > 0 {
+            put_varint(buf, c as u64);
+        } else {
+            put_varint(buf, (c - prev_col - 1) as u64);
+        }
+        put_f64(buf, v);
+        prev_row = r;
+        prev_col = c;
+        first = false;
+    }
+}
+
 /// Appends one value's wire form to `buf`.
 pub fn encode_value(v: &Value, buf: &mut Vec<u8>) {
     match v {
@@ -228,6 +283,14 @@ pub fn encode_value(v: &Value, buf: &mut Vec<u8>) {
             for &x in m.as_slice() {
                 put_f64(buf, x);
             }
+        }
+        Value::SparseMatrix(m) => {
+            buf.push(TAG_SPARSE_MATRIX);
+            put_u32(buf, m.rows() as u32);
+            put_u32(buf, m.cols() as u32);
+            put_u32(buf, m.nnz() as u32);
+            buf.reserve(m.nnz() * 10);
+            encode_sparse_entries(m, buf);
         }
     }
 }
@@ -396,6 +459,23 @@ impl<'a> Reader<'a> {
         std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)
     }
 
+    /// Reads a LEB128 varint (≤ 10 bytes; overlong encodings rejected).
+    fn varint(&mut self, what: &'static str) -> Result<u64> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(CodecError::Malformed { what });
+            }
+            out |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
     fn f64_run(&mut self, n: usize, what: &'static str) -> Result<Vec<f64>> {
         let bytes = self.take(n * 8, what)?;
         let mut out = Vec::with_capacity(n);
@@ -444,6 +524,39 @@ fn decode_value_inner(r: &mut Reader<'_>) -> Result<Value> {
             let m = Matrix::from_vec(rows, cols, data)
                 .expect("dimension check precedes construction");
             Value::matrix(m)
+        }
+        TAG_SPARSE_MATRIX => {
+            let rows = r.checked_count("SPARSE_MATRIX rows", 0)?;
+            let cols = r.checked_count("SPARSE_MATRIX cols", 0)?;
+            // Each entry is ≥ 2 varint bytes + 8 value bytes.
+            let nnz = r.checked_count("SPARSE_MATRIX nnz", 10)?;
+            let mut indptr = vec![0usize; rows + 1];
+            let mut indices = Vec::with_capacity(nnz);
+            let mut values = Vec::with_capacity(nnz);
+            let mut row = 0usize;
+            let mut col = 0usize;
+            for i in 0..nnz {
+                let drow = r.varint("SPARSE_MATRIX row delta")? as usize;
+                let dcol = r.varint("SPARSE_MATRIX col delta")? as usize;
+                let new_row = i == 0 || drow > 0;
+                row = row.checked_add(drow).ok_or(CodecError::Malformed {
+                    what: "SPARSE_MATRIX row index",
+                })?;
+                col = if new_row { dcol } else { col + dcol + 1 };
+                if row >= rows || col >= cols {
+                    return Err(CodecError::Malformed { what: "SPARSE_MATRIX index" });
+                }
+                // indptr[row+1] counts row's entries; prefix-summed below.
+                indptr[row + 1] += 1;
+                indices.push(col as u32);
+                values.push(r.f64("SPARSE_MATRIX value")?);
+            }
+            for i in 0..rows {
+                indptr[i + 1] += indptr[i];
+            }
+            let m = SparseMatrix::from_csr(rows, cols, indptr, indices, values)
+                .map_err(|_| CodecError::Malformed { what: "SPARSE_MATRIX structure" })?;
+            Value::sparse_matrix(m)
         }
         tag => return Err(CodecError::BadTag { what: "value", tag }),
     })
@@ -581,6 +694,29 @@ pub fn encoded_value_size(v: &Value) -> usize {
         Value::LabeledScalar(_) => 17,
         Value::Vector(vec) => 13 + 8 * vec.len(),
         Value::Matrix(m) => 9 + 8 * m.as_slice().len(),
+        Value::SparseMatrix(m) => {
+            // Tag + three u32 headers + per-entry varint deltas + value.
+            // Mirrors `encode_sparse_entries` exactly, so the serialized
+            // byte meter charges nnz-proportional sizes.
+            let mut size = 13;
+            let mut prev_row = 0usize;
+            let mut prev_col = 0usize;
+            let mut first = true;
+            for (r, c, _) in m.iter() {
+                let drow = r - prev_row;
+                size += varint_len(drow as u64);
+                size += if first || drow > 0 {
+                    varint_len(c as u64)
+                } else {
+                    varint_len((c - prev_col - 1) as u64)
+                };
+                size += 8;
+                prev_row = r;
+                prev_col = c;
+                first = false;
+            }
+            size
+        }
     }
 }
 
@@ -609,6 +745,16 @@ pub fn wire_eq(a: &Value, b: &Value) -> bool {
                 && x.cols() == y.cols()
                 && x.as_slice().iter().zip(y.as_slice()).all(|(p, q)| bits_eq(*p, *q))
         }
+        // Structural, bit-exact: the wire must preserve the sparse
+        // representation itself, not just its dense meaning.
+        (Value::SparseMatrix(x), Value::SparseMatrix(y)) => {
+            let (xp, xi, xv) = x.csr_parts();
+            let (yp, yi, yv) = y.csr_parts();
+            x.shape() == y.shape()
+                && xp == yp
+                && xi == yi
+                && xv.iter().zip(yv).all(|(p, q)| bits_eq(*p, *q))
+        }
         _ => false,
     }
 }
@@ -616,6 +762,16 @@ pub fn wire_eq(a: &Value, b: &Value) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_sparse() -> SparseMatrix {
+        let mut b = lardb_la::CooBuilder::new();
+        b.push(0, 0, 1.5).unwrap();
+        b.push(0, 300, -2.25).unwrap();
+        b.push(7, 3, f64::NAN).unwrap();
+        b.push(7, 4, -0.0).unwrap();
+        b.push(12, 511, 9.75).unwrap();
+        b.build(13, 512).unwrap()
+    }
 
     fn sample_values() -> Vec<Value> {
         let mut v = Vector::from_slice(&[1.5, -2.5, 0.0]);
@@ -636,6 +792,9 @@ mod tests {
             Value::vector(Vector::zeros(0)),
             Value::matrix(Matrix::zeros(0, 0)),
             Value::matrix(Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64)),
+            Value::sparse_matrix(sample_sparse()),
+            Value::sparse_matrix(SparseMatrix::zeros(4, 9)),
+            Value::sparse_matrix(SparseMatrix::zeros(0, 0)),
         ]
     }
 
@@ -750,6 +909,61 @@ mod tests {
         let frame = encode_rows_frame(&rows);
         for cut in 0..frame.len() {
             assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn sparse_tile_ships_nnz_not_dense_size() {
+        // A 13×512 tile with 5 entries must encode in tens of bytes, not
+        // the 8·13·512 ≈ 53 KB its dense form costs.
+        let v = Value::sparse_matrix(sample_sparse());
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        assert_eq!(buf.len(), encoded_value_size(&v));
+        assert!(buf.len() < 100, "sparse tile encoded {} bytes", buf.len());
+        let dense = Value::matrix(sample_sparse().to_dense());
+        assert!(encoded_value_size(&dense) > 50_000);
+        // Signed zero and NaN payloads roundtrip bit-exactly.
+        let back = decode_value(&buf).unwrap();
+        assert!(wire_eq(&v, &back));
+    }
+
+    #[test]
+    fn sparse_hostile_inputs_are_typed_errors() {
+        // nnz claiming more entries than the buffer can hold.
+        let mut buf = vec![TAG_SPARSE_MATRIX];
+        buf.extend_from_slice(&4u32.to_le_bytes()); // rows
+        buf.extend_from_slice(&4u32.to_le_bytes()); // cols
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // nnz
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_value(&buf),
+            Err(CodecError::LengthOverflow { what: "SPARSE_MATRIX nnz", .. })
+        ));
+
+        // An entry whose decoded index lands outside the declared shape.
+        let mut buf = vec![TAG_SPARSE_MATRIX];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(9); // Δrow = 9 → row 9 of a 2-row tile
+        buf.push(0);
+        buf.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_value(&buf),
+            Err(CodecError::Malformed { what: "SPARSE_MATRIX index" })
+        ));
+
+        // Corrupting any single byte of a valid encoding must never
+        // produce a *wrong* sparse tile silently: it either still decodes
+        // to bit-identical values elsewhere (payload bytes of a value) or
+        // errors. Structure bytes (deltas, counts) must error or change
+        // the value — we assert no panic and no trailing acceptance.
+        let v = Value::sparse_matrix(sample_sparse());
+        let mut good = Vec::new();
+        encode_value(&v, &mut good);
+        for cut in 0..good.len() {
+            assert!(decode_value(&good[..cut]).is_err(), "cut at {cut} decoded");
         }
     }
 

@@ -35,6 +35,26 @@ impl PlanEstimate {
     }
 }
 
+/// Bytes charged per COO entry of a `MATRIX_FROM_ENTRIES` aggregate —
+/// (row, col, val) coordinates plus CSR overhead. Matches the wire
+/// format's nnz-proportional sizing.
+pub const COO_ENTRY_BYTES: f64 = 16.0;
+
+/// Makes aggregate output widths nnz-aware: each `MATRIX_FROM_ENTRIES`
+/// column is priced at `input_rows × COO_ENTRY_BYTES` (one COO entry per
+/// input row) instead of the unknown-dims dense guess the schema carries,
+/// which overstates a sparse tile by orders of magnitude.
+pub fn sparse_agg_width(base: f64, n_sparse_aggs: usize, input_rows: f64) -> f64 {
+    if n_sparse_aggs == 0 {
+        return base;
+    }
+    let dense_guess =
+        lardb_storage::DataType::Matrix(None, None).estimated_byte_width() as f64;
+    let adjusted =
+        base + n_sparse_aggs as f64 * (input_rows * COO_ENTRY_BYTES - dense_guess);
+    adjusted.max(8.0)
+}
+
 /// Default selectivity of an equality predicate between two columns
 /// (an equi-join): 1 / max cardinality side, the textbook Selinger
 /// assumption with unknown distinct counts.
@@ -69,6 +89,19 @@ mod tests {
             ("m", DataType::Matrix(Some(100_000), Some(100))),
         ]);
         assert_eq!(PlanEstimate::row_bytes_of(&s), 8.0 + 80_000_000.0);
+    }
+
+    #[test]
+    fn sparse_agg_width_is_nnz_proportional() {
+        let dense = DataType::Matrix(None, None).estimated_byte_width() as f64;
+        // No sparse aggs: untouched.
+        assert_eq!(sparse_agg_width(100.0, 0, 1e6), 100.0);
+        // One sparse agg over 10k entries replaces the dense guess.
+        let w = sparse_agg_width(dense + 8.0, 1, 10_000.0);
+        assert_eq!(w, 8.0 + 10_000.0 * COO_ENTRY_BYTES);
+        assert!(w < dense / 10.0, "sparse estimate far below dense guess");
+        // Never collapses below a scalar's width.
+        assert_eq!(sparse_agg_width(8.0, 1, 0.0), 8.0);
     }
 
     #[test]

@@ -45,9 +45,10 @@ impl ArgType {
 }
 
 /// The scalar built-in functions over `LABELED_SCALAR`, `VECTOR` and
-/// `MATRIX`. The paper reports 22 built-ins; this implementation has 28
-/// (the paper's suite plus `solve_ls`, `min_element`, `max_element` and a
-/// few constructors its examples imply).
+/// `MATRIX`. The paper reports 22 built-ins; this implementation has 32
+/// (the paper's suite plus `solve_ls`, `min_element`, `max_element`, a
+/// few constructors its examples imply, and the sparse-representation
+/// helpers `sparsify`, `densify`, `nnz` and `sparse_entry`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Builtin {
     /// `matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]`
@@ -107,6 +108,19 @@ pub enum Builtin {
     MinElement,
     /// `max_element(MATRIX[a][b] | VECTOR[a]) -> DOUBLE`
     MaxElement,
+    /// `sparsify(MATRIX[a][b]) -> MATRIX[a][b]` — force the CSR sparse
+    /// representation (logically the identity function).
+    Sparsify,
+    /// `densify(MATRIX[a][b]) -> MATRIX[a][b]` — force the dense
+    /// representation (logically the identity function).
+    Densify,
+    /// `nnz(MATRIX[a][b]) -> INTEGER` — number of stored/non-zero entries.
+    Nnz,
+    /// `sparse_entry(row, col, val) -> VECTOR[3]` — packs one COO
+    /// coordinate into a 3-vector. Internal carrier for the single-argument
+    /// `MATRIX_FROM_ENTRIES` aggregate; the binder synthesizes it, but it
+    /// is also callable directly.
+    SparseEntry,
 }
 
 /// All built-ins, for registry listings and docs.
@@ -139,6 +153,10 @@ pub const ALL_BUILTINS: &[Builtin] = &[
     Builtin::SolveLs,
     Builtin::MinElement,
     Builtin::MaxElement,
+    Builtin::Sparsify,
+    Builtin::Densify,
+    Builtin::Nnz,
+    Builtin::SparseEntry,
 ];
 
 impl Builtin {
@@ -173,6 +191,10 @@ impl Builtin {
             Builtin::SolveLs => "solve_ls",
             Builtin::MinElement => "min_element",
             Builtin::MaxElement => "max_element",
+            Builtin::Sparsify => "sparsify",
+            Builtin::Densify => "densify",
+            Builtin::Nnz => "nnz",
+            Builtin::SparseEntry => "sparse_entry",
         }
     }
 
@@ -200,8 +222,11 @@ impl Builtin {
             | Builtin::RowMin
             | Builtin::RowMax
             | Builtin::MinElement
-            | Builtin::MaxElement => 1,
-            Builtin::GetEntry => 3,
+            | Builtin::MaxElement
+            | Builtin::Sparsify
+            | Builtin::Densify
+            | Builtin::Nnz => 1,
+            Builtin::GetEntry | Builtin::SparseEntry => 3,
             _ => 2,
         }
     }
@@ -349,6 +374,20 @@ impl Builtin {
                     self.name()
                 ))),
             },
+            Builtin::Sparsify | Builtin::Densify => {
+                let (a, b) = expect_matrix(self.name(), t(0))?;
+                Ok(DataType::Matrix(a, b))
+            }
+            Builtin::Nnz => {
+                expect_matrix(self.name(), t(0))?;
+                Ok(DataType::Integer)
+            }
+            Builtin::SparseEntry => {
+                expect_numeric_scalar(self.name(), t(0))?;
+                expect_numeric_scalar(self.name(), t(1))?;
+                expect_numeric_scalar(self.name(), t(2))?;
+                Ok(DataType::Vector(Some(3)))
+            }
         }
     }
 
@@ -367,22 +406,74 @@ impl Builtin {
                 args[i].data_type()
             ))
         };
-        let mat = |i: usize| args[i].as_matrix().ok_or_else(|| bad(i));
+        // Dense view of a matrix argument in either representation. A
+        // sparse tile reaching a builtin with no sparse kernel densifies
+        // here, and the dispatch layer counts it so EXPLAIN ANALYZE can
+        // show the fallback.
+        let mat = |i: usize| -> Result<std::sync::Arc<Matrix>> {
+            match &args[i] {
+                Value::Matrix(m) => Ok(std::sync::Arc::clone(m)),
+                Value::SparseMatrix(m) => {
+                    lardb_la::dispatch::note_kernel(lardb_la::dispatch::Kernel::Densified);
+                    Ok(std::sync::Arc::new(m.to_dense()))
+                }
+                _ => Err(bad(i)),
+            }
+        };
         let vec = |i: usize| args[i].as_vector().ok_or_else(|| bad(i));
         let int = |i: usize| args[i].as_integer().ok_or_else(|| bad(i));
         let dbl = |i: usize| args[i].as_double().ok_or_else(|| bad(i));
+        use lardb_la::dispatch::{self, Kernel};
 
         Ok(match self {
-            Builtin::MatrixMultiply => Value::matrix(mat(0)?.multiply(mat(1)?)?),
-            Builtin::MatrixVectorMultiply => {
-                Value::vector(mat(0)?.matrix_vector_multiply(vec(1)?)?)
-            }
-            Builtin::VectorMatrixMultiply => {
-                Value::vector(vec(0)?.vector_matrix_multiply(mat(1)?)?)
-            }
+            Builtin::MatrixMultiply => match (&args[0], &args[1]) {
+                // Sparse × sparse: Gustavson SpGEMM; keep the product
+                // sparse only while it is still worth it.
+                (Value::SparseMatrix(a), Value::SparseMatrix(b)) => {
+                    dispatch::note_kernel(Kernel::SpGemm);
+                    let p = a.multiply_sparse(b)?;
+                    if dispatch::keep_sparse(p.density()) {
+                        Value::sparse_matrix(p)
+                    } else {
+                        Value::matrix(p.to_dense())
+                    }
+                }
+                // Sparse × dense: row-wise skip-zero kernel, dense result.
+                (Value::SparseMatrix(a), Value::Matrix(b)) => {
+                    dispatch::note_kernel(Kernel::SpDense);
+                    Value::matrix(a.multiply_dense(b)?)
+                }
+                // Dense × sparse and dense × dense go through the dense
+                // GEMM (densifying the right side when needed).
+                _ => {
+                    let (a, b) = (mat(0)?, mat(1)?);
+                    Value::matrix(a.multiply(&b)?)
+                }
+            },
+            Builtin::MatrixVectorMultiply => match &args[0] {
+                Value::SparseMatrix(a) => {
+                    dispatch::note_kernel(Kernel::Spmv);
+                    Value::vector(a.spmv(vec(1)?)?)
+                }
+                _ => Value::vector(mat(0)?.matrix_vector_multiply(vec(1)?)?),
+            },
+            Builtin::VectorMatrixMultiply => match &args[1] {
+                // xᵀA = (Aᵀx)ᵀ; the CSR transpose is O(nnz + cols).
+                Value::SparseMatrix(a) => {
+                    dispatch::note_kernel(Kernel::Spmv);
+                    Value::vector(a.transpose().spmv(vec(0)?)?)
+                }
+                _ => {
+                    let m = mat(1)?;
+                    Value::vector(vec(0)?.vector_matrix_multiply(&m)?)
+                }
+            },
             Builtin::OuterProduct => Value::matrix(vec(0)?.outer_product(vec(1)?)),
             Builtin::InnerProduct => Value::Double(vec(0)?.inner_product(vec(1)?)?),
-            Builtin::TransMatrix => Value::matrix(mat(0)?.transpose()),
+            Builtin::TransMatrix => match &args[0] {
+                Value::SparseMatrix(a) => Value::sparse_matrix(a.transpose()),
+                _ => Value::matrix(mat(0)?.transpose()),
+            },
             Builtin::MatrixInverse => Value::matrix(mat(0)?.inverse()?),
             Builtin::Diag => Value::vector(mat(0)?.diag()?),
             Builtin::DiagMatrix => Value::matrix(Matrix::from_diag(vec(0)?)),
@@ -397,6 +488,7 @@ impl Builtin {
             Builtin::Norm2 => Value::Double(vec(0)?.norm2()),
             Builtin::SumElements => match &args[0] {
                 Value::Matrix(m) => Value::Double(m.sum_elements()),
+                Value::SparseMatrix(m) => Value::Double(m.sum_elements()),
                 Value::Vector(v) => Value::Double(v.sum_elements()),
                 _ => return Err(bad(0)),
             },
@@ -428,6 +520,30 @@ impl Builtin {
                 Value::Vector(v) => Value::Double(v.max_element()),
                 _ => return Err(bad(0)),
             },
+            Builtin::Sparsify => match &args[0] {
+                Value::SparseMatrix(_) => args[0].clone(),
+                Value::Matrix(m) => {
+                    Value::sparse_matrix(lardb_la::SparseMatrix::from_dense(m))
+                }
+                _ => return Err(bad(0)),
+            },
+            // Explicit representation change requested by the query; not a
+            // dispatch decision, so it is not counted as a densification.
+            Builtin::Densify => match &args[0] {
+                Value::SparseMatrix(m) => Value::matrix(m.to_dense()),
+                Value::Matrix(_) => args[0].clone(),
+                _ => return Err(bad(0)),
+            },
+            Builtin::Nnz => match &args[0] {
+                Value::SparseMatrix(m) => Value::Integer(m.nnz() as i64),
+                Value::Matrix(m) => Value::Integer(
+                    m.as_slice().iter().filter(|&&x| x != 0.0).count() as i64,
+                ),
+                _ => return Err(bad(0)),
+            },
+            Builtin::SparseEntry => {
+                Value::vector(Vector::from_slice(&[dbl(0)?, dbl(1)?, dbl(2)?]))
+            }
         })
     }
 }
@@ -535,6 +651,13 @@ pub enum AggFunc {
     RowMatrix,
     /// `COLMATRIX(VECTOR) -> MATRIX` (§3.3)
     ColMatrix,
+    /// `MATRIX_FROM_ENTRIES(row, col, val) -> MATRIX` — assembles a sparse
+    /// matrix from COO coordinates, one entry per input row. Duplicate
+    /// coordinates sum; negative or > `u32::MAX` coordinates are typed
+    /// errors. The binder packs the three arguments into one
+    /// `sparse_entry(row, col, val)` vector, so the planner-level aggregate
+    /// stays single-argument like every other.
+    MatrixFromEntries,
 }
 
 impl AggFunc {
@@ -549,6 +672,7 @@ impl AggFunc {
             AggFunc::Vectorize => "VECTORIZE",
             AggFunc::RowMatrix => "ROWMATRIX",
             AggFunc::ColMatrix => "COLMATRIX",
+            AggFunc::MatrixFromEntries => "MATRIX_FROM_ENTRIES",
         }
     }
 
@@ -563,6 +687,7 @@ impl AggFunc {
             "VECTORIZE" => Some(AggFunc::Vectorize),
             "ROWMATRIX" => Some(AggFunc::RowMatrix),
             "COLMATRIX" => Some(AggFunc::ColMatrix),
+            "MATRIX_FROM_ENTRIES" => Some(AggFunc::MatrixFromEntries),
             _ => None,
         }
     }
@@ -602,6 +727,15 @@ impl AggFunc {
                     self.name()
                 ))),
             },
+            AggFunc::MatrixFromEntries => match input {
+                // Input is the packed sparse_entry(row, col, val) carrier.
+                // The assembled size depends on the coordinates present,
+                // so it is unknown statically.
+                DataType::Vector(_) => Ok(DataType::Matrix(None, None)),
+                other => Err(PlanError::Type(format!(
+                    "MATRIX_FROM_ENTRIES expects (row, col, val), got {other}"
+                ))),
+            },
         }
     }
 }
@@ -625,7 +759,7 @@ mod tests {
             assert_eq!(Builtin::from_name(&b.name().to_uppercase()), Some(*b));
         }
         assert_eq!(Builtin::from_name("nope"), None);
-        assert_eq!(ALL_BUILTINS.len(), 28);
+        assert_eq!(ALL_BUILTINS.len(), 32);
     }
 
     #[test]
@@ -778,6 +912,7 @@ mod tests {
             AggFunc::Vectorize,
             AggFunc::RowMatrix,
             AggFunc::ColMatrix,
+            AggFunc::MatrixFromEntries,
         ] {
             assert_eq!(AggFunc::from_name(f.name()), Some(f));
         }

@@ -257,10 +257,18 @@ impl<'a> Optimizer<'a> {
                 };
                 PlanEstimate::new((l.rows * r.rows * sel).max(1.0), l.row_bytes + r.row_bytes)
             }
-            LogicalPlan::Aggregate { input, group_by, schema, .. } => {
+            LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
                 let e = self.estimate(input);
                 let rows = if group_by.is_empty() { 1.0 } else { e.rows.sqrt().max(1.0) };
-                PlanEstimate::new(rows, self.schema_width(schema))
+                let mut width = self.schema_width(schema);
+                if self.config.size_inference {
+                    let sparse = aggs
+                        .iter()
+                        .filter(|a| a.func == crate::AggFunc::MatrixFromEntries)
+                        .count();
+                    width = crate::cost::sparse_agg_width(width, sparse, e.rows);
+                }
+                PlanEstimate::new(rows, width)
             }
             LogicalPlan::Sort { input, .. } => self.estimate(input),
             LogicalPlan::Limit { input, n } => {

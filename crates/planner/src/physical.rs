@@ -330,6 +330,11 @@ pub fn partial_state_types(func: AggFunc, input: DataType) -> Vec<DataType> {
         AggFunc::RowMatrix | AggFunc::ColMatrix => {
             vec![DataType::Matrix(None, None), DataType::Vector(None)]
         }
+        // COO coordinate stream: (rows, cols, vals) as parallel vectors,
+        // so partial states stay nnz-proportional.
+        AggFunc::MatrixFromEntries => {
+            vec![DataType::Vector(None), DataType::Vector(None), DataType::Vector(None)]
+        }
     }
 }
 
@@ -786,7 +791,7 @@ impl<'a> PhysicalPlanner<'a> {
                     PlanEstimate::row_bytes_of(schema),
                 )
             }
-            PhysicalPlan::HashAggregate { input, group_by, mode, schema, .. } => {
+            PhysicalPlan::HashAggregate { input, group_by, mode, aggs, schema, .. } => {
                 let e = self.estimate_into(input, out);
                 let rows = match (mode, group_by.is_empty()) {
                     // Per-partition pre-aggregation can't shrink below the
@@ -795,7 +800,16 @@ impl<'a> PhysicalPlanner<'a> {
                     (_, true) => 1.0,
                     (_, false) => e.rows.sqrt().max(1.0),
                 };
-                PlanEstimate::new(rows, PlanEstimate::row_bytes_of(schema))
+                let sparse = aggs
+                    .iter()
+                    .filter(|a| a.func == AggFunc::MatrixFromEntries)
+                    .count();
+                let width = crate::cost::sparse_agg_width(
+                    PlanEstimate::row_bytes_of(schema),
+                    sparse,
+                    e.rows,
+                );
+                PlanEstimate::new(rows, width)
             }
             PhysicalPlan::Exchange { input, .. }
             | PhysicalPlan::Sort { input, .. } => self.estimate_into(input, out),

@@ -24,8 +24,8 @@ use std::io::{BufRead, Write};
 use std::time::{Duration, Instant};
 
 use lardb::{
-    Database, DatabaseConfig, FaultKind, FaultPlan, Response, SchedulerMode,
-    TransportMode,
+    Database, DatabaseConfig, DispatchMode, FaultKind, FaultPlan, Response,
+    SchedulerMode, TransportMode,
 };
 use lardb_server::{Client, QueryOutput, Server, ServerConfig, ServerError};
 
@@ -404,6 +404,14 @@ fn parse_engine_flag(
         "--batch-rows" => config.batch_rows = std::cmp::max(1, next_parsed(argv)),
         "--plan-cache-entries" => config.plan_cache_entries = next_parsed(argv),
         "--gemm-par-flops" => config.gemm_parallel_flops = Some(next_parsed(argv)),
+        "--sparse-threshold" => config.sparse_threshold = Some(next_parsed(argv)),
+        "--sparse-dispatch" => {
+            config.sparse_dispatch = Some(
+                argv.next()
+                    .and_then(|v| DispatchMode::parse(&v))
+                    .unwrap_or_else(|| usage()),
+            );
+        }
         "--net-timeout-ms" => config.net.timeout_ms = next_parsed(argv),
         "--max-frame-bytes" => config.net.max_frame_bytes = next_parsed(argv),
         "--fault-kind" => {
@@ -470,6 +478,7 @@ fn usage() -> ! {
          [--slow-ms MS] [--pool-workers N] [--morsel-rows N] \
          [--scheduler pool|spawn] [--expr-engine compiled|interpret] \
          [--batch-rows N] [--plan-cache-entries N (0 = off)] [--gemm-par-flops N] \
+         [--sparse-threshold F (0..1)] [--sparse-dispatch dense|sparse|adaptive] \
          [--net-timeout-ms MS] [--max-frame-bytes N] \
          [--fault-kind drop|truncate|corrupt|delay|kill] [--fault-seed N] \
          [--fault-rate-ppm N] [--fault-after N] \

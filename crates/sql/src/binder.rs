@@ -249,6 +249,27 @@ impl<'a> Binder<'a> {
                             )));
                         }
                         None
+                    } else if func == AggFunc::MatrixFromEntries {
+                        // SQL surface is MATRIX_FROM_ENTRIES(row, col, val);
+                        // the three arguments are packed into one
+                        // sparse_entry carrier so the aggregate machinery
+                        // stays single-argument.
+                        if args.len() != 3 {
+                            return Err(SqlError::Bind(format!(
+                                "{} takes exactly three arguments (row, col, val)",
+                                func.name()
+                            )));
+                        }
+                        if args.iter().any(contains_aggregate) {
+                            return Err(SqlError::Bind(
+                                "nested aggregate calls are not allowed".into(),
+                            ));
+                        }
+                        let packed = args
+                            .iter()
+                            .map(|a| self.bind_expr(a, global))
+                            .collect::<Result<Vec<_>>>()?;
+                        Some(Expr::Call { func: Builtin::SparseEntry, args: packed })
                     } else {
                         if args.len() != 1 {
                             return Err(SqlError::Bind(format!(

@@ -98,6 +98,34 @@ pub fn arith(op: ArithOp, lhs: &Value, rhs: &Value) -> Result<Value> {
             Ok(Value::matrix(out))
         }
 
+        // Sparse ⊕ sparse: add/sub/Hadamard are O(nnz) row merges and stay
+        // sparse; division densifies because implicit zeros divide to the
+        // NaN/±inf the dense loop computes.
+        (SparseMatrix(a), SparseMatrix(b)) => Ok(match op {
+            ArithOp::Add => Value::sparse_matrix(a.add(b)?),
+            ArithOp::Sub => Value::sparse_matrix(a.sub(b)?),
+            ArithOp::Mul => Value::sparse_matrix(a.hadamard(b)?),
+            ArithOp::Div => Value::matrix(densify(a).div(&densify(b))?),
+        }),
+
+        // Sparse ⊕ dense matrix: the Hadamard product keeps only stored
+        // coordinates (implicit zeros annihilate `×` on finite data, the
+        // documented sparse contract); everything else densifies since the
+        // result is dense anyway.
+        (SparseMatrix(a), Matrix(b)) => Ok(match op {
+            ArithOp::Mul => Value::sparse_matrix(a.hadamard_dense(b)?),
+            ArithOp::Add => Value::matrix(densify(a).add(b)?),
+            ArithOp::Sub => Value::matrix(densify(a).sub(b)?),
+            ArithOp::Div => Value::matrix(densify(a).div(b)?),
+        }),
+        (Matrix(a), SparseMatrix(b)) => Ok(match op {
+            // x·y == y·x element-wise, so reuse the sparse-side kernel.
+            ArithOp::Mul => Value::sparse_matrix(b.hadamard_dense(a)?),
+            ArithOp::Add => Value::matrix(a.add(&densify(b))?),
+            ArithOp::Sub => Value::matrix(a.sub(&densify(b))?),
+            ArithOp::Div => Value::matrix(a.div(&densify(b))?),
+        }),
+
         // Scalar broadcast over vectors.
         (Vector(v), s) if s.as_double().is_some() => {
             let s = s.as_double().expect("checked");
@@ -116,6 +144,27 @@ pub fn arith(op: ArithOp, lhs: &Value, rhs: &Value) -> Result<Value> {
         (s, Matrix(m)) if s.as_double().is_some() => {
             let s = s.as_double().expect("checked");
             Ok(Value::matrix(broadcast_mat(op, m, s, true)))
+        }
+
+        // Scalar broadcast over sparse matrices: `× s` and `/ s` (s ≠ 0)
+        // map implicit zeros to ±0.0 and stay sparse; `+ s`, `- s` and
+        // division by zero change every element and densify.
+        (SparseMatrix(m), s) if s.as_double().is_some() => {
+            let s = s.as_double().expect("checked");
+            Ok(match op {
+                ArithOp::Mul => Value::sparse_matrix(m.scalar_mul(s)),
+                ArithOp::Div if s != 0.0 => {
+                    Value::sparse_matrix(m.map_values(|x| x / s))
+                }
+                _ => Value::matrix(broadcast_mat(op, &densify(m), s, false)),
+            })
+        }
+        (s, SparseMatrix(m)) if s.as_double().is_some() => {
+            let s = s.as_double().expect("checked");
+            Ok(match op {
+                ArithOp::Mul => Value::sparse_matrix(m.scalar_mul(s)),
+                _ => Value::matrix(broadcast_mat(op, &densify(m), s, true)),
+            })
         }
 
         // Remaining scalar numerics promote to DOUBLE.
@@ -149,6 +198,13 @@ fn broadcast_mat(op: ArithOp, m: &Matrix, s: f64, scalar_on_left: bool) -> Matri
     }
 }
 
+/// Materializes a sparse tile for a dense element-wise path, counting the
+/// densification in the dispatch-choice metrics.
+fn densify(s: &lardb_la::SparseMatrix) -> Matrix {
+    lardb_la::dispatch::note_kernel(lardb_la::dispatch::Kernel::Densified);
+    s.to_dense()
+}
+
 /// Unary minus.
 pub fn negate(v: &Value) -> Result<Value> {
     match v {
@@ -157,6 +213,7 @@ pub fn negate(v: &Value) -> Result<Value> {
         Value::Double(d) => Ok(Value::Double(-d)),
         Value::Vector(x) => Ok(Value::vector(x.scalar_mul(-1.0))),
         Value::Matrix(x) => Ok(Value::matrix(x.scalar_mul(-1.0))),
+        Value::SparseMatrix(x) => Ok(Value::sparse_matrix(x.scalar_mul(-1.0))),
         other => Err(StorageError::TypeMismatch {
             context: format!("cannot negate {}", other.data_type()),
         }),
@@ -229,6 +286,16 @@ impl Hash for KeyValue {
                 state.write_u8(6);
                 state.write_usize(m.rows());
                 for &x in m.as_slice() {
+                    canonical_f64_hash(x, state);
+                }
+            }
+            // Same tag and element stream as the dense arm: a sparse
+            // matrix equals its dense counterpart, so it must hash
+            // identically too.
+            Value::SparseMatrix(m) => {
+                state.write_u8(6);
+                state.write_usize(m.rows());
+                for &x in m.to_dense().as_slice() {
                     canonical_f64_hash(x, state);
                 }
             }
@@ -358,6 +425,62 @@ mod tests {
         assert_eq!(h(&KeyValue(Value::Integer(1))), h(&KeyValue(Value::Double(1.0))));
         // -0.0 and 0.0
         assert_eq!(h(&KeyValue(Value::Double(-0.0))), h(&KeyValue(Value::Double(0.0))));
+    }
+
+    #[test]
+    fn sparse_arith_matches_dense() {
+        use lardb_la::CooBuilder;
+        let mut b = CooBuilder::new();
+        b.push(0, 1, 2.0).unwrap();
+        b.push(1, 0, -3.0).unwrap();
+        let s = b.build(2, 2).unwrap();
+        let sv = Value::sparse_matrix(s.clone());
+        let dv = Value::matrix(s.to_dense());
+
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul] {
+            let sparse = arith(op, &sv, &sv).unwrap();
+            let dense = arith(op, &dv, &dv).unwrap();
+            assert_eq!(sparse, dense, "{op:?}");
+            // Mixed representations too, both sides.
+            assert_eq!(arith(op, &sv, &dv).unwrap(), dense, "{op:?} mixed");
+            assert_eq!(arith(op, &dv, &sv).unwrap(), dense, "{op:?} mixed rev");
+        }
+        // Division densifies (0/0 → NaN on implicit zeros), result dense.
+        let q = arith(ArithOp::Div, &sv, &sv).unwrap();
+        assert!(q.as_matrix().is_some());
+        assert!(q.as_matrix().unwrap().get(0, 0).unwrap().is_nan());
+
+        // Scalar broadcast: × and / (nonzero) stay sparse, + densifies.
+        let scaled = arith(ArithOp::Mul, &sv, &Value::Double(2.0)).unwrap();
+        assert!(scaled.as_sparse_matrix().is_some());
+        assert_eq!(scaled, arith(ArithOp::Mul, &dv, &Value::Double(2.0)).unwrap());
+        let halved = arith(ArithOp::Div, &sv, &Value::Double(2.0)).unwrap();
+        assert!(halved.as_sparse_matrix().is_some());
+        assert_eq!(halved, arith(ArithOp::Div, &dv, &Value::Double(2.0)).unwrap());
+        let shifted = arith(ArithOp::Add, &sv, &Value::Integer(1)).unwrap();
+        assert!(shifted.as_matrix().is_some());
+        assert_eq!(shifted, arith(ArithOp::Add, &dv, &Value::Integer(1)).unwrap());
+        // Scalar on the left of `-` is not commutative; densified path.
+        let l = arith(ArithOp::Sub, &Value::Double(10.0), &sv).unwrap();
+        assert_eq!(l, arith(ArithOp::Sub, &Value::Double(10.0), &dv).unwrap());
+
+        // Negation stays sparse and equals dense negation.
+        let n = negate(&sv).unwrap();
+        assert!(n.as_sparse_matrix().is_some());
+        assert_eq!(n, negate(&dv).unwrap());
+    }
+
+    #[test]
+    fn sparse_hashes_like_its_dense_equal() {
+        use lardb_la::CooBuilder;
+        let mut b = CooBuilder::new();
+        b.push(0, 0, 1.0).unwrap();
+        b.push(2, 1, 4.5).unwrap();
+        let s = b.build(3, 2).unwrap();
+        let sv = Value::sparse_matrix(s.clone());
+        let dv = Value::matrix(s.to_dense());
+        assert_eq!(KeyValue(sv.clone()), KeyValue(dv.clone()));
+        assert_eq!(h(&KeyValue(sv)), h(&KeyValue(dv)));
     }
 
     #[test]

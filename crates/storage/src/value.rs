@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lardb_la::{LabeledScalar, Matrix, Vector};
+use lardb_la::{LabeledScalar, Matrix, SparseMatrix, Vector};
 
 use crate::types::DataType;
 
@@ -31,6 +31,10 @@ pub enum Value {
     Vector(Arc<Vector>),
     /// `MATRIX` (§3.1).
     Matrix(Arc<Matrix>),
+    /// A `MATRIX` stored sparsely (CSR). Logically indistinguishable from
+    /// [`Value::Matrix`] — same SQL type, equality and arithmetic — but
+    /// storage, shuffle and spill accounting are proportional to nnz.
+    SparseMatrix(Arc<SparseMatrix>),
 }
 
 impl Value {
@@ -42,6 +46,11 @@ impl Value {
     /// Convenience constructor wrapping a matrix in its `Arc`.
     pub fn matrix(m: Matrix) -> Value {
         Value::Matrix(Arc::new(m))
+    }
+
+    /// Convenience constructor wrapping a sparse matrix in its `Arc`.
+    pub fn sparse_matrix(m: SparseMatrix) -> Value {
+        Value::SparseMatrix(Arc::new(m))
     }
 
     /// Convenience constructor for strings.
@@ -61,6 +70,9 @@ impl Value {
             Value::LabeledScalar(_) => DataType::LabeledScalar,
             Value::Vector(v) => DataType::Vector(Some(v.len())),
             Value::Matrix(m) => DataType::Matrix(Some(m.rows()), Some(m.cols())),
+            // Sparse is a storage format, not a SQL type: the planner and
+            // binder see an ordinary MATRIX with exact dimensions.
+            Value::SparseMatrix(m) => DataType::Matrix(Some(m.rows()), Some(m.cols())),
         }
     }
 
@@ -80,6 +92,9 @@ impl Value {
             Value::LabeledScalar(_) => 16,
             Value::Vector(v) => v.byte_size(),
             Value::Matrix(m) => m.byte_size(),
+            // nnz-proportional: this is what makes sparse tiles cheap for
+            // the memory governor, spill files and shuffle accounting.
+            Value::SparseMatrix(m) => m.byte_size(),
         }
     }
 
@@ -134,6 +149,31 @@ impl Value {
         }
     }
 
+    /// Extracts the sparse matrix payload.
+    pub fn as_sparse_matrix(&self) -> Option<&Arc<SparseMatrix>> {
+        match self {
+            Value::SparseMatrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when the value is a matrix in either representation.
+    pub fn is_matrix_like(&self) -> bool {
+        matches!(self, Value::Matrix(_) | Value::SparseMatrix(_))
+    }
+
+    /// A dense matrix view of either matrix representation. Dense values
+    /// share their `Arc`; sparse values materialize (the caller should
+    /// count that via `lardb_la::dispatch` when it happens on a kernel
+    /// path).
+    pub fn to_dense_matrix(&self) -> Option<Arc<Matrix>> {
+        match self {
+            Value::Matrix(m) => Some(Arc::clone(m)),
+            Value::SparseMatrix(m) => Some(Arc::new(m.to_dense())),
+            _ => None,
+        }
+    }
+
     /// Extracts the labeled scalar payload.
     pub fn as_labeled_scalar(&self) -> Option<LabeledScalar> {
         match self {
@@ -156,6 +196,15 @@ impl PartialEq for Value {
             (LabeledScalar(a), LabeledScalar(b)) => a == b,
             (Vector(a), Vector(b)) => a == b,
             (Matrix(a), Matrix(b)) => a == b,
+            // Sparse equality is logical, not structural: explicit zeros
+            // and representation differences must not break equality, so
+            // both sides compare through the dense element semantics.
+            (SparseMatrix(a), SparseMatrix(b)) => {
+                a.shape() == b.shape() && a.to_dense() == b.to_dense()
+            }
+            (SparseMatrix(s), Matrix(m)) | (Matrix(m), SparseMatrix(s)) => {
+                s.shape() == m.shape() && s.to_dense() == **m
+            }
             _ => false,
         }
     }
@@ -185,6 +234,9 @@ impl std::fmt::Display for Value {
                 write!(f, "]")
             }
             Value::Matrix(m) => write!(f, "MATRIX[{}][{}]", m.rows(), m.cols()),
+            Value::SparseMatrix(m) => {
+                write!(f, "SPARSE_MATRIX[{}][{}] nnz={}", m.rows(), m.cols(), m.nnz())
+            }
         }
     }
 }
@@ -228,6 +280,12 @@ impl From<Matrix> for Value {
 impl From<LabeledScalar> for Value {
     fn from(v: LabeledScalar) -> Self {
         Value::LabeledScalar(v)
+    }
+}
+
+impl From<SparseMatrix> for Value {
+    fn from(v: SparseMatrix) -> Self {
+        Value::sparse_matrix(v)
     }
 }
 
